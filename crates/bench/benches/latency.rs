@@ -1,0 +1,76 @@
+//! Criterion micro-latency benches: single-threaded operation cost per
+//! SMR scheme on each data structure. Complements the figure benches with
+//! statistically rigorous per-op numbers (the paper reports throughput;
+//! latency is its single-thread inverse and isolates scheme overhead from
+//! contention effects).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_ds::{ConcurrentSet, LinkedList, NmTree, SkipList};
+use mp_smr::schemes::{Ebr, He, Hp, Ibr, Leaky, Mp};
+use mp_smr::{Config, Smr};
+
+const PREFILL: u64 = 1024;
+
+fn bench_config() -> Config {
+    Config::default()
+        .with_max_threads(2)
+        .with_slots_per_thread(mp_ds::skiplist::SLOTS_NEEDED)
+}
+
+fn setup<S: Smr, D: ConcurrentSet<S>>() -> (Arc<S>, D, S::Handle) {
+    let smr = S::new(bench_config());
+    let ds = D::new(&smr);
+    let mut h = smr.register();
+    for k in 0..PREFILL {
+        ds.insert(&mut h, k * 2);
+    }
+    (smr, ds, h)
+}
+
+fn mixed_op_cycle<S: Smr, D: ConcurrentSet<S>>(ds: &D, h: &mut S::Handle, k: u64) {
+    // One insert + contains + remove on an odd key (always succeeds), plus
+    // a contains on an existing even key: 4 ops per cycle.
+    let key = (k % PREFILL) * 2 + 1;
+    ds.insert(h, key);
+    ds.contains(h, key);
+    ds.remove(h, key);
+    ds.contains(h, (k % PREFILL) * 2);
+}
+
+fn scheme_latency(c: &mut Criterion) {
+    macro_rules! group_for {
+        ($group:expr, $ds:ident) => {{
+            let mut g = c.benchmark_group($group);
+            g.sample_size(20);
+            g.measurement_time(std::time::Duration::from_millis(700));
+            g.warm_up_time(std::time::Duration::from_millis(200));
+            macro_rules! point {
+                ($s:ty, $name:expr) => {{
+                    let (_smr, ds, mut h) = setup::<$s, $ds<$s>>();
+                    let mut k = 0u64;
+                    g.bench_function(BenchmarkId::from_parameter($name), |b| {
+                        b.iter(|| {
+                            mixed_op_cycle::<$s, $ds<$s>>(&ds, &mut h, k);
+                            k = k.wrapping_add(1);
+                        })
+                    });
+                }};
+            }
+            point!(Mp, "MP");
+            point!(Hp, "HP");
+            point!(Ebr, "EBR");
+            point!(He, "HE");
+            point!(Ibr, "IBR");
+            point!(Leaky, "Leaky");
+            g.finish();
+        }};
+    }
+    group_for!("latency/list", LinkedList);
+    group_for!("latency/skiplist", SkipList);
+    group_for!("latency/nmtree", NmTree);
+}
+
+criterion_group!(benches, scheme_latency);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! The fixed-duration measurement driver (§6 experimental setup).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use mp_ds::ConcurrentSet;
+use mp_smr::{Config, OpStats, Smr, SmrHandle};
+
+use crate::workload::{draw_key, thread_rng, Mix, Op};
+
+/// How the structure is prefilled before measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prefill {
+    /// `S` uniformly random keys from a range of size `2S` (§6 default).
+    Random,
+    /// Keys `0..S` inserted in ascending order — the index-collision
+    /// worst case of Figure 7a (§6 "Key Distribution").
+    Ascending,
+}
+
+/// Whether to park a thread mid-operation for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallMode {
+    /// No artificial stalls (context-switch stalls still occur naturally
+    /// once threads exceed the host's cores, as in the paper).
+    None,
+    /// One extra registered thread announces an operation (pinning its
+    /// epoch/interval under epoch-based schemes) and sleeps to the end —
+    /// the §1 scenario motivating bounded wasted memory.
+    OneStalledThread,
+}
+
+/// Parameters of one measurement point.
+#[derive(Debug, Clone)]
+pub struct BenchParams {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Prefill size `S`; operations draw keys from `[0, 2S)`.
+    pub prefill: usize,
+    /// Prefill order.
+    pub prefill_mode: Prefill,
+    /// Operation mix.
+    pub mix: Mix,
+    /// RNG seed (runs are reproducible per seed).
+    pub seed: u64,
+    /// Stall injection.
+    pub stall: StallMode,
+    /// SMR configuration (margin, cadences, slots).
+    pub config: Config,
+}
+
+impl BenchParams {
+    /// Parameters for reproducing a paper experiment: `paper_prefill` is the
+    /// paper's S (500 K for BST/skip list, 5 K for the list); the actual
+    /// prefill is CI-scaled via [`crate::prefill_size`] and MP's margin is
+    /// scaled to keep *margin × index density* at the paper's operating
+    /// point — midpoint indices spread over the whole 32-bit space, so a
+    /// 2^20 margin over a 25×-smaller structure covers 25× fewer neighbors
+    /// unless rescaled.
+    pub fn paper(threads: usize, paper_prefill: usize, mix: Mix) -> Self {
+        let prefill = crate::prefill_size(paper_prefill);
+        let mut p = Self::new(threads, prefill, mix);
+        let scale = (paper_prefill as u64).div_ceil(prefill as u64).max(1);
+        let margin = ((1u64 << 20) * scale).next_power_of_two().min(1 << 28) as u32;
+        p.config = p.config.with_margin(margin);
+        p
+    }
+
+    /// Raw parameters: exact prefill, default margin, no stalls.
+    pub fn new(threads: usize, prefill: usize, mix: Mix) -> Self {
+        // Slot budget: the skip list needs the most (2 per level + 2).
+        let slots = mp_ds::skiplist::SLOTS_NEEDED;
+        BenchParams {
+            threads,
+            duration: crate::duration(),
+            prefill,
+            prefill_mode: Prefill::Random,
+            mix,
+            seed: 0x5eed_cafe_f00d_0001,
+            stall: StallMode::None,
+            config: Config::default()
+                .with_max_threads(threads + 2) // +setup, +staller
+                .with_slots_per_thread(slots)
+                .with_epoch_freq(150 * threads.max(1)),
+        }
+    }
+}
+
+/// Aggregated outcome of one measurement point.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Total completed operations across threads.
+    pub total_ops: u64,
+    /// Throughput in million operations per second.
+    pub mops: f64,
+    /// Merged per-thread counters.
+    pub stats: OpStats,
+    /// Average retired-but-unreclaimed nodes at operation start
+    /// (Figure 6's metric).
+    pub avg_retired: f64,
+    /// Fences per traversed node (Figure 5's metric).
+    pub fences_per_node: f64,
+    /// Peak global retired-pending observed by a 10 ms poller.
+    pub peak_pending: usize,
+    /// Fraction of reads that took MP's hazard-pointer fallback.
+    pub hp_fallback_rate: f64,
+}
+
+/// Runs one measurement point of scheme `S` on structure `D`.
+pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
+    p.mix.check();
+    let smr = S::new(p.config.clone());
+    let ds = Arc::new(D::new(&smr));
+    let key_range = (2 * p.prefill.max(1)) as u64;
+
+    // Prefill (single-threaded, outside the measured window).
+    {
+        let mut h = smr.register();
+        match p.prefill_mode {
+            Prefill::Random => {
+                let mut rng = thread_rng(p.seed, usize::MAX);
+                let mut added = 0;
+                while added < p.prefill {
+                    if ds.insert(&mut h, draw_key(&mut rng, key_range)) {
+                        added += 1;
+                    }
+                }
+            }
+            Prefill::Ascending => {
+                for k in 0..p.prefill as u64 {
+                    ds.insert(&mut h, k);
+                }
+            }
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(
+        p.threads + 1 + matches!(p.stall, StallMode::OneStalledThread) as usize,
+    ));
+    let total_ops = Arc::new(AtomicU64::new(0));
+
+    let mut result_stats: Vec<OpStats> = Vec::new();
+    let mut peak_pending = 0usize;
+
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for tid in 0..p.threads {
+            let smr = smr.clone();
+            let ds = ds.clone();
+            let stop = stop.clone();
+            let barrier = barrier.clone();
+            let total_ops = total_ops.clone();
+            let mix = p.mix;
+            let seed = p.seed;
+            joins.push(scope.spawn(move || {
+                let mut h = smr.register();
+                let mut rng = thread_rng(seed, tid);
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = draw_key(&mut rng, key_range);
+                    match mix.draw(&mut rng) {
+                        Op::Contains => {
+                            ds.contains(&mut h, key);
+                        }
+                        Op::Insert => {
+                            ds.insert(&mut h, key);
+                        }
+                        Op::Remove => {
+                            ds.remove(&mut h, key);
+                        }
+                    }
+                    ops += 1;
+                }
+                total_ops.fetch_add(ops, Ordering::AcqRel);
+                h.stats().clone()
+            }));
+        }
+
+        if matches!(p.stall, StallMode::OneStalledThread) {
+            let smr = smr.clone();
+            let stop = stop.clone();
+            let barrier = barrier.clone();
+            scope.spawn(move || {
+                let mut h = smr.register();
+                barrier.wait();
+                // Enter an operation and stop taking steps (§1's scenario).
+                h.start_op();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                h.end_op();
+            });
+        }
+
+        barrier.wait();
+        let deadline = Instant::now() + p.duration;
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10).min(p.duration));
+            peak_pending = peak_pending.max(smr.retired_pending());
+        }
+        stop.store(true, Ordering::Release);
+        for j in joins {
+            result_stats.push(j.join().expect("worker panicked"));
+        }
+    });
+
+    let mut merged = OpStats::default();
+    for s in &result_stats {
+        merged.merge(s);
+    }
+    let total = total_ops.load(Ordering::Acquire);
+    let reads = merged.nodes_traversed.max(1);
+    BenchResult {
+        total_ops: total,
+        mops: total as f64 / p.duration.as_secs_f64() / 1e6,
+        avg_retired: merged.avg_retired_at_op_start(),
+        fences_per_node: merged.fences_per_node(),
+        peak_pending,
+        hp_fallback_rate: merged.hp_fallback_reads as f64 / reads as f64,
+        stats: merged,
+    }
+}
+
+/// Averages `n` repetitions of the same point (the paper reports the mean
+/// of 10 runs).
+pub fn run_avg<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams, n: usize) -> BenchResult {
+    let mut results: Vec<BenchResult> = (0..n.max(1))
+        .map(|i| {
+            let mut p = p.clone();
+            p.seed = p.seed.wrapping_add(i as u64);
+            run::<S, D>(&p)
+        })
+        .collect();
+    let n = results.len() as f64;
+    let mut acc = results.pop().expect("at least one run");
+    for r in &results {
+        acc.total_ops += r.total_ops;
+        acc.mops += r.mops;
+        acc.avg_retired += r.avg_retired;
+        acc.fences_per_node += r.fences_per_node;
+        acc.peak_pending = acc.peak_pending.max(r.peak_pending);
+        acc.hp_fallback_rate += r.hp_fallback_rate;
+        acc.stats.merge(&r.stats);
+    }
+    acc.mops /= n;
+    acc.avg_retired /= n;
+    acc.fences_per_node /= n;
+    acc.hp_fallback_rate /= n;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{READ_DOMINATED, READ_ONLY};
+    use mp_ds::{LinkedList, NmTree, SkipList};
+    use mp_smr::schemes::{Ebr, Hp, Mp};
+
+    fn quick(threads: usize, prefill: usize, mix: Mix) -> BenchParams {
+        let mut p = BenchParams::new(threads, prefill, mix);
+        p.duration = Duration::from_millis(50);
+        p
+    }
+
+    #[test]
+    fn driver_runs_mp_on_all_structures() {
+        let p = quick(2, 100, READ_DOMINATED);
+        let a = run::<Mp, LinkedList<Mp>>(&p);
+        let b = run::<Mp, SkipList<Mp>>(&p);
+        let c = run::<Mp, NmTree<Mp>>(&p);
+        for r in [&a, &b, &c] {
+            assert!(r.total_ops > 0, "no progress: {r:?}");
+            assert!(r.stats.ops >= r.total_ops, "every op brackets start/end");
+        }
+    }
+
+    #[test]
+    fn read_only_workload_never_retires() {
+        let p = quick(2, 100, READ_ONLY);
+        let r = run::<Hp, LinkedList<Hp>>(&p);
+        assert_eq!(r.stats.retires, 0);
+        assert_eq!(r.avg_retired, 0.0);
+    }
+
+    #[test]
+    fn stalled_thread_grows_ebr_waste_but_not_mp() {
+        let mut p = quick(2, 200, READ_DOMINATED);
+        p.stall = StallMode::OneStalledThread;
+        p.duration = Duration::from_millis(150);
+        let ebr = run::<Ebr, LinkedList<Ebr>>(&p);
+        let mp = run::<Mp, LinkedList<Mp>>(&p);
+        assert!(
+            ebr.peak_pending > mp.peak_pending.max(60),
+            "EBR waste {} should exceed MP waste {} under a stall",
+            ebr.peak_pending,
+            mp.peak_pending
+        );
+    }
+
+    #[test]
+    fn ascending_prefill_populates() {
+        let mut p = quick(1, 64, READ_ONLY);
+        p.prefill_mode = Prefill::Ascending;
+        let r = run::<Mp, LinkedList<Mp>>(&p);
+        assert!(r.total_ops > 0);
+    }
+}

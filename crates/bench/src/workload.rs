@@ -1,0 +1,119 @@
+//! Workload mixes and key generation (§6 "Workloads").
+
+use rand::{RngExt, SeedableRng};
+
+/// An operation mix in percent. Probabilities must sum to 100.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// `contains` percentage.
+    pub contains: u8,
+    /// `insert` percentage.
+    pub insert: u8,
+    /// `remove` percentage.
+    pub remove: u8,
+    /// Display name ("read-dominated", …).
+    pub name: &'static str,
+}
+
+/// 90% contains / 5% insert / 5% remove.
+pub const READ_DOMINATED: Mix =
+    Mix { contains: 90, insert: 5, remove: 5, name: "read-dominated" };
+/// 50% insert / 50% remove (keeps size roughly constant).
+pub const WRITE_DOMINATED: Mix =
+    Mix { contains: 0, insert: 50, remove: 50, name: "write-dominated" };
+/// 100% contains.
+pub const READ_ONLY: Mix = Mix { contains: 100, insert: 0, remove: 0, name: "read-only" };
+
+/// The operation kinds drawn from a [`Mix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Membership query.
+    Contains,
+    /// Insertion.
+    Insert,
+    /// Removal.
+    Remove,
+}
+
+impl Mix {
+    /// Validates the mix sums to 100%.
+    pub fn check(&self) {
+        assert_eq!(
+            self.contains as u32 + self.insert as u32 + self.remove as u32,
+            100,
+            "mix must sum to 100%"
+        );
+    }
+
+    /// Draws an operation according to the mix.
+    #[inline]
+    pub fn draw<R: RngExt>(&self, rng: &mut R) -> Op {
+        let p: u8 = rng.random_range(0..100);
+        if p < self.contains {
+            Op::Contains
+        } else if p < self.contains + self.insert {
+            Op::Insert
+        } else {
+            Op::Remove
+        }
+    }
+}
+
+/// Deterministic per-thread RNG (reproducible runs given the same seed).
+pub fn thread_rng(seed: u64, tid: usize) -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Draws a uniform key from `[0, range)`.
+#[inline]
+pub fn draw_key<R: RngExt>(rng: &mut R, range: u64) -> u64 {
+    rng.random_range(0..range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_sum_to_100() {
+        READ_DOMINATED.check();
+        WRITE_DOMINATED.check();
+        READ_ONLY.check();
+    }
+
+    #[test]
+    fn draw_respects_mix() {
+        let mut rng = thread_rng(42, 0);
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            match READ_DOMINATED.draw(&mut rng) {
+                Op::Contains => counts[0] += 1,
+                Op::Insert => counts[1] += 1,
+                Op::Remove => counts[2] += 1,
+            }
+        }
+        let contains_frac = counts[0] as f64 / 20_000.0;
+        assert!((contains_frac - 0.9).abs() < 0.02, "got {contains_frac}");
+        assert!(counts[1] > 0 && counts[2] > 0);
+    }
+
+    #[test]
+    fn read_only_never_mutates() {
+        let mut rng = thread_rng(7, 3);
+        for _ in 0..1000 {
+            assert_eq!(READ_ONLY.draw(&mut rng), Op::Contains);
+        }
+    }
+
+    #[test]
+    fn rngs_are_deterministic_and_distinct() {
+        let mut a1 = thread_rng(1, 0);
+        let mut a2 = thread_rng(1, 0);
+        let mut b = thread_rng(1, 1);
+        let xs: Vec<u64> = (0..8).map(|_| draw_key(&mut a1, 1000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| draw_key(&mut a2, 1000)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| draw_key(&mut b, 1000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}

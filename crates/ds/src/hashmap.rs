@@ -1,0 +1,226 @@
+//! Michael's lock-free hash table (SPAA 2002 — the same paper as the
+//! list): a fixed array of lock-free sorted list buckets.
+//!
+//! This is the "hash tables" half of the paper the linked list came from,
+//! and a natural MP client beyond the three structures the paper
+//! evaluates: each bucket is an independent search structure, so MP's
+//! search-interval maintenance and midpoint index assignment apply
+//! per-bucket unchanged. One SMR scheme instance protects all buckets —
+//! margins/hazards are index/address based and bucket-agnostic.
+//!
+//! The table is not resizable (Michael's original; resizing lock-free hash
+//! tables is a separate line of work). Pick `buckets` for the expected
+//! load; performance degrades gracefully to the list's O(n/buckets).
+
+use std::sync::Arc;
+
+use mp_smr::Smr;
+
+use crate::list::LinkedList;
+use crate::ConcurrentSet;
+
+/// Fibonacci multiplicative hash: spreads sequential keys uniformly.
+#[inline]
+fn bucket_of(key: u64, buckets: usize) -> usize {
+    (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % buckets
+}
+
+/// Michael's lock-free hash set/map over list buckets.
+///
+/// ```
+/// use mp_smr::{Config, Smr, schemes::Mp};
+/// use mp_ds::{ConcurrentSet, HashMap};
+///
+/// let smr = Mp::new(Config::default());
+/// let map = HashMap::<Mp, u64>::with_buckets(&smr, 64);
+/// let mut h = smr.register();
+/// assert!(map.insert_kv(&mut h, 7, 49));
+/// assert_eq!(map.get(&mut h, 7), Some(49));
+/// assert!(map.remove(&mut h, 7));
+/// ```
+pub struct HashMap<S: Smr, V = ()> {
+    buckets: Box<[LinkedList<S, V>]>,
+}
+
+/// Default bucket count used by [`ConcurrentSet::new`].
+pub const DEFAULT_BUCKETS: usize = 256;
+
+impl<S: Smr, V: Send + Sync + Default + 'static> HashMap<S, V> {
+    /// Creates a table with `buckets` independent list buckets, all managed
+    /// by `smr`.
+    pub fn with_buckets(smr: &Arc<S>, buckets: usize) -> Self {
+        assert!(buckets > 0);
+        HashMap {
+            buckets: (0..buckets).map(|_| LinkedList::new(smr)).collect(),
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &LinkedList<S, V> {
+        &self.buckets[bucket_of(key, self.buckets.len())]
+    }
+
+    /// Adds `key` mapped to `value`; returns `false` if present.
+    pub fn insert_kv(&self, h: &mut S::Handle, key: u64, value: V) -> bool {
+        self.bucket(key).insert_kv(h, key, value)
+    }
+
+    /// Returns a copy of the value stored under `key`, if present.
+    pub fn get(&self, h: &mut S::Handle, key: u64) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.bucket(key).get(h, key)
+    }
+
+    /// Number of elements (test helper; not linearizable).
+    pub fn len(&self, h: &mut S::Handle) -> usize {
+        self.buckets.iter().map(|b| b.len(h)).sum()
+    }
+
+    /// True if no element is present (test helper).
+    pub fn is_empty(&self, h: &mut S::Handle) -> bool {
+        self.buckets.iter().all(|b| b.is_empty(h))
+    }
+
+    /// Collects all keys in unspecified order (test helper).
+    pub fn collect(&self, h: &mut S::Handle) -> Vec<u64> {
+        let mut out: Vec<u64> = self.buckets.iter().flat_map(|b| b.collect(h)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for HashMap<S, V> {
+    fn new(smr: &Arc<S>) -> Self {
+        Self::with_buckets(smr, DEFAULT_BUCKETS)
+    }
+
+    fn insert(&self, h: &mut S::Handle, key: u64) -> bool {
+        self.bucket(key).insert(h, key)
+    }
+
+    fn remove(&self, h: &mut S::Handle, key: u64) -> bool {
+        self.bucket(key).remove(h, key)
+    }
+
+    fn contains(&self, h: &mut S::Handle, key: u64) -> bool {
+        self.bucket(key).contains(h, key)
+    }
+
+    fn name() -> &'static str {
+        "hashmap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_smr::schemes::{Ebr, Hp, Mp};
+    use mp_smr::Config;
+
+    fn cfg() -> Config {
+        Config::default().with_max_threads(8).with_empty_freq(4).with_epoch_freq(8)
+    }
+
+    fn smoke<S: Smr>() {
+        let smr = S::new(cfg());
+        let map: HashMap<S> = HashMap::with_buckets(&smr, 16);
+        let mut h = smr.register();
+        assert!(map.is_empty(&mut h));
+        for k in 0..200u64 {
+            assert!(map.insert(&mut h, k), "insert {k}");
+        }
+        assert!(!map.insert(&mut h, 100));
+        assert_eq!(map.len(&mut h), 200);
+        for k in 0..200u64 {
+            assert!(map.contains(&mut h, k));
+        }
+        assert!(!map.contains(&mut h, 200));
+        for k in (0..200u64).step_by(2) {
+            assert!(map.remove(&mut h, k));
+        }
+        assert_eq!(map.collect(&mut h), (1..200u64).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn smoke_multiple_schemes() {
+        smoke::<Mp>();
+        smoke::<Hp>();
+        smoke::<Ebr>();
+    }
+
+    #[test]
+    fn kv_roundtrip() {
+        let smr = Mp::new(cfg());
+        let map: HashMap<Mp, String> = HashMap::with_buckets(&smr, 8);
+        let mut h = smr.register();
+        assert!(map.insert_kv(&mut h, 1, "a".into()));
+        assert!(map.insert_kv(&mut h, 9, "b".into())); // may share bucket with 1
+        assert_eq!(map.get(&mut h, 1).as_deref(), Some("a"));
+        assert_eq!(map.get(&mut h, 9).as_deref(), Some("b"));
+        assert_eq!(map.get(&mut h, 17), None);
+    }
+
+    #[test]
+    fn bucket_distribution_is_uniformish() {
+        let mut counts = vec![0usize; 64];
+        for k in 0..64_000u64 {
+            counts[bucket_of(k, 64)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "sequential keys must spread: min {min} max {max}");
+    }
+
+    #[test]
+    fn sequential_model_check() {
+        use rand::RngExt;
+        let smr = Mp::new(cfg());
+        let map: HashMap<Mp> = HashMap::with_buckets(&smr, 32);
+        let mut h = smr.register();
+        let mut model = std::collections::BTreeSet::new();
+        let mut rng = rand::rng();
+        for _ in 0..4000 {
+            let key = rng.random_range(0..256u64);
+            match rng.random_range(0..3) {
+                0 => assert_eq!(map.insert(&mut h, key), model.insert(key)),
+                1 => assert_eq!(map.remove(&mut h, key), model.remove(&key)),
+                _ => assert_eq!(map.contains(&mut h, key), model.contains(&key)),
+            }
+        }
+        assert_eq!(map.collect(&mut h), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        use rand::RngExt;
+        let smr = Mp::new(cfg());
+        let map: Arc<HashMap<Mp>> = Arc::new(HashMap::with_buckets(&smr, 32));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let (smr, map) = (smr.clone(), map.clone());
+                s.spawn(move || {
+                    let mut h = smr.register();
+                    let mut rng = rand::rng();
+                    for i in 0..2500usize {
+                        let key = rng.random_range(0..128u64);
+                        match (i + t) % 3 {
+                            0 => {
+                                map.insert(&mut h, key);
+                            }
+                            1 => {
+                                map.remove(&mut h, key);
+                            }
+                            _ => {
+                                map.contains(&mut h, key);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut h = smr.register();
+        let keys = map.collect(&mut h);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,69 @@
+//! # mp-ds — Nonblocking search data structures, generic over SMR
+//!
+//! The three client data structures the margin-pointers paper evaluates
+//! (§5), each parameterized by the reclamation scheme `S: Smr`:
+//!
+//! * [`LinkedList`] — Michael's lock-free sorted linked list (SPAA 2002)
+//!   with a tail sentinel, §5.2 Listing 7.
+//! * [`SkipList`] — Fraser's lock-free skip list (2004), §5.2.
+//! * [`NmTree`] — the Natarajan–Mittal external binary search tree
+//!   (PPoPP 2014), §5.3 Listings 8–9.
+//! * [`DtaList`] — the list specialized for Drop-the-Anchor, providing the
+//!   freezing procedure DTA's recovery requires (§3.1).
+//! * [`HashMap`] — Michael's lock-free hash table (same SPAA 2002 paper as
+//!   the list): fixed list buckets, a further MP client beyond the paper's
+//!   three.
+//!
+//! All structures implement the common [`ConcurrentSet`] interface over
+//! `u64` keys. Keys must be `< MAX_KEY` (the top values are reserved for
+//! sentinels). Every shared pointer access goes through the SMR handle's
+//! `read`, and insert paths maintain the MP search interval via
+//! `update_lower_bound` / `update_upper_bound` — so plugging in [`Mp`]
+//! yields margin protection, while any other scheme works unchanged.
+//!
+//! [`Mp`]: mp_smr::schemes::Mp
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod dta_list;
+pub mod hashmap;
+pub mod list;
+pub mod nmtree;
+pub mod skiplist;
+
+use std::sync::Arc;
+
+use mp_smr::Smr;
+
+pub use dta_list::DtaList;
+pub use hashmap::HashMap;
+pub use list::LinkedList;
+pub use nmtree::NmTree;
+pub use skiplist::SkipList;
+
+/// Largest usable client key; larger values are reserved for sentinels
+/// (list/skip-list tail `u64::MAX`, tree sentinels `∞₀ < ∞₁ < ∞₂`).
+pub const MAX_KEY: u64 = u64::MAX - 3;
+
+/// The common set interface the paper benchmarks (integer keys, §6).
+///
+/// Operations take the caller's SMR handle explicitly — the Rust equivalent
+/// of the paper's per-thread SMR state. Handles must come from the same
+/// scheme instance the structure was built with.
+pub trait ConcurrentSet<S: Smr>: Send + Sync + Sized + 'static {
+    /// Creates an empty set managed by `smr`.
+    fn new(smr: &Arc<S>) -> Self;
+
+    /// Adds `key`; returns `false` if it was already present.
+    fn insert(&self, handle: &mut S::Handle, key: u64) -> bool;
+
+    /// Removes `key`; returns `false` if it was absent.
+    fn remove(&self, handle: &mut S::Handle, key: u64) -> bool;
+
+    /// Membership test.
+    fn contains(&self, handle: &mut S::Handle, key: u64) -> bool;
+
+    /// Structure name for reports ("list", "skiplist", "nmtree").
+    fn name() -> &'static str;
+}

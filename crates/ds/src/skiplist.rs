@@ -1,0 +1,580 @@
+//! Fraser's nonblocking skip list (2004), paper §5.2.
+//!
+//! The skip list is a tower of Michael-style sorted linked lists, ordered
+//! by containment: every node is linked at level 0, and each higher level
+//! skips geometrically more nodes. `find` navigates top-down, producing
+//! per-level `(pred, succ)` pairs; `insert` links bottom-up; `remove` marks
+//! every level's next pointer top-down and the winner of the level-0 mark
+//! physically unlinks (via repeated `find`) and retires the node.
+//!
+//! MP integration (§5.2): searches update the MP search interval exactly as
+//! in the single list — each rightward step updates the lower bound, each
+//! descent point updates the upper bound — and two protection slots are
+//! used per level (alternating pred/curr), matching the paper's slot
+//! budget of "two MPs per level".
+
+use std::sync::Arc;
+use std::sync::atomic::Ordering;
+
+use mp_smr::{Atomic, Shared, Smr, SmrHandle};
+
+use crate::ConcurrentSet;
+
+/// Maximum tower height. With p = 1/2, level occupancy halves per level, so
+/// 20 levels comfortably cover the paper's 500 K-element experiments.
+pub const MAX_HEIGHT: usize = 20;
+
+/// Protection slots a skip-list operation may use: three per level
+/// (rotating pred/curr/next roles, so each traversed node costs exactly one
+/// protected read) plus a scratch slot for `remove`'s re-reads and a pin
+/// slot for the not-yet-fully-linked insert node.
+pub const SLOTS_NEEDED: usize = 3 * MAX_HEIGHT + 2;
+
+/// Deleted-bit on a level's next pointer.
+const DELETED: u64 = 0b01;
+
+/// Scratch slot for transient next-pointer reads outside `find`.
+const SCRATCH: usize = 3 * MAX_HEIGHT;
+/// Pin slot keeping an inserter's own node protected while it links the
+/// upper levels (a concurrent remove may otherwise retire and free it).
+const PIN: usize = 3 * MAX_HEIGHT + 1;
+
+/// The three rotating slots of `level`.
+#[inline]
+fn slot(level: usize, role: usize) -> usize {
+    3 * level + role
+}
+
+/// Skip-list node payload: immutable key, optional value, tower of links.
+pub struct Node<V = ()> {
+    key: u64,
+    value: V,
+    height: usize,
+    next: [Atomic<Node<V>>; MAX_HEIGHT],
+}
+
+impl<V> Node<V> {
+    fn new(key: u64, value: V, height: usize) -> Self {
+        Node { key, value, height, next: std::array::from_fn(|_| Atomic::null()) }
+    }
+}
+
+/// Fraser's lock-free skip-list set.
+///
+/// ```
+/// use mp_smr::{Config, Smr, schemes::Mp};
+/// use mp_ds::{ConcurrentSet, SkipList, skiplist::SLOTS_NEEDED};
+///
+/// let smr = Mp::new(Config::default().with_slots_per_thread(SLOTS_NEEDED));
+/// let sl = SkipList::<Mp>::new(&smr);
+/// let mut h = smr.register();
+/// assert!(sl.insert(&mut h, 3));
+/// assert!(sl.contains(&mut h, 3));
+/// assert!(sl.remove(&mut h, 3));
+/// ```
+pub struct SkipList<S: Smr, V = ()> {
+    head: Shared<Node<V>>,
+    tail: Shared<Node<V>>,
+    smr: Arc<S>,
+}
+
+unsafe impl<S: Smr, V: Send + Sync> Send for SkipList<S, V> {}
+unsafe impl<S: Smr, V: Send + Sync> Sync for SkipList<S, V> {}
+
+/// Per-level predecessor/successor pairs produced by `find`. Each level's
+/// pair stays protected by that level's two slots until the next `find` or
+/// `end_op`.
+struct FindResult<V> {
+    preds: [Shared<Node<V>>; MAX_HEIGHT],
+    succs: [Shared<Node<V>>; MAX_HEIGHT],
+    found: bool,
+}
+
+/// Pseudorandom tower height with p = 1/2 from a thread-local xorshift
+/// (allocation-free, no external RNG on the hot path).
+fn random_height() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0) };
+    }
+    STATE.with(|s| {
+        let mut x = s.get();
+        if x == 0 {
+            // First use on this thread: derive a distinct stream from the
+            // TLS slot's address.
+            x = 0x9e37_79b9_7f4a_7c15 ^ (s as *const _ as u64);
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        ((x.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    })
+}
+
+impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
+    /// Top-down search. Returns protected per-level (pred, succ) pairs with
+    /// `pred.key < key ≤ succ.key` at every level, splicing marked nodes
+    /// encountered along the way. Maintains the MP search interval across
+    /// the whole descent (§5.2).
+    fn find(&self, h: &mut S::Handle, key: u64) -> FindResult<V> {
+        'retry: loop {
+            let mut preds = [self.head; MAX_HEIGHT];
+            let mut succs = [self.tail; MAX_HEIGHT];
+            // pred enters each level protected either as a sentinel or by an
+            // upper level's slot, which lower levels never overwrite.
+            let mut pred = self.head;
+            for level in (0..MAX_HEIGHT).rev() {
+                // Three-slot rotation (as in the list seek): one protected
+                // read per traversed node. Each level owns its three slots,
+                // so the recorded (pred, succ) pair stays protected while
+                // lower levels — and the caller — do further reads.
+                let (mut pred_s, mut curr_s, mut next_s) =
+                    (slot(level, 0), slot(level, 1), slot(level, 2));
+                // Safety: pred is protected (sentinel or upper-level slot).
+                let mut pred_node = unsafe { pred.deref() }.data();
+                let mut curr = h.read(&pred_node.next[level], curr_s);
+                if curr.mark() != 0 {
+                    continue 'retry; // pred deleted under us
+                }
+                loop {
+                    h.stats_mut().nodes_traversed += 1;
+                    debug_assert!(!curr.is_null(), "tail bounds every level");
+                    // Safety: curr protected under curr_s.
+                    let curr_node = unsafe { curr.deref() }.data();
+                    let next = h.read(&curr_node.next[level], next_s);
+                    if next.mark() != 0 {
+                        // curr deleted at this level: splice it out. The
+                        // level-0 marker retires, not us.
+                        let next_clean = next.unmarked();
+                        if pred_node.next[level]
+                            .compare_exchange(
+                                curr,
+                                next_clean,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_err()
+                        {
+                            continue 'retry;
+                        }
+                        // next_clean (protected under next_s) becomes curr.
+                        std::mem::swap(&mut curr_s, &mut next_s);
+                        curr = next_clean;
+                        continue;
+                    }
+                    if curr_node.key < key {
+                        h.update_lower_bound(curr);
+                        // Advance right: rotate roles, no extra read.
+                        pred = curr;
+                        pred_node = curr_node;
+                        curr = next;
+                        let recycled = pred_s;
+                        pred_s = curr_s;
+                        curr_s = next_s;
+                        next_s = recycled;
+                        continue;
+                    }
+                    // Descend: record this level's pair; its slots are never
+                    // reused below this level or by the caller.
+                    h.update_upper_bound(curr);
+                    preds[level] = pred;
+                    succs[level] = curr;
+                    break;
+                }
+            }
+            let found = {
+                // Safety: succs[0] protected by level 0's slot.
+                unsafe { succs[0].deref() }.data().key == key
+            };
+            return FindResult { preds, succs, found };
+        }
+    }
+
+    /// Links `new` at levels `from..height`, re-finding on interference.
+    /// Returns once linking is complete or the node was concurrently
+    /// removed. `new` must be pinned under [`PIN`].
+    fn link_upper_levels(
+        &self,
+        h: &mut S::Handle,
+        new: Shared<Node<V>>,
+        key: u64,
+        mut r: FindResult<V>,
+        height: usize,
+    ) {
+        let mut level = 1;
+        while level < height {
+            // Safety: new pinned under PIN.
+            let new_node = unsafe { new.deref() }.data();
+            let cur_fwd = new_node.next[level].load(Ordering::Acquire);
+            if cur_fwd.mark() != 0 {
+                return; // concurrently removed; stop linking
+            }
+            let succ = r.succs[level];
+            // Point our forward pointer at succ before exposing the level.
+            if cur_fwd != succ
+                && new_node.next[level]
+                    .compare_exchange(cur_fwd, succ, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+            {
+                return; // marked concurrently
+            }
+            // Safety: pred protected by the most recent find.
+            let pred_node = unsafe { r.preds[level].deref() }.data();
+            if pred_node.next[level]
+                .compare_exchange(succ, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                level += 1;
+                continue;
+            }
+            // Interference: recompute the neighborhood and retry the level.
+            r = self.find(h, key);
+            if !r.found || r.succs[0] != new {
+                return; // removed while linking
+            }
+        }
+    }
+
+    /// Adds `key` mapped to `value`; returns `false` (dropping the node)
+    /// if the key is already present. The map flavor of `insert`.
+    pub fn insert_kv(&self, h: &mut S::Handle, key: u64, value: V) -> bool {
+        assert!(key < u64::MAX, "key space reserved for the tail sentinel");
+        h.start_op();
+        let height = random_height();
+        let mut value = value;
+        loop {
+            let r = self.find(h, key);
+            if r.found {
+                h.end_op();
+                return false;
+            }
+            // Midpoint index of the search interval find just maintained.
+            let payload = Node::new(key, value, height);
+            for (l, succ) in r.succs.iter().enumerate().take(height) {
+                payload.next[l].store(*succ, Ordering::Relaxed);
+            }
+            let new = h.alloc(payload);
+            // Pin our node before publishing: a concurrent remove may retire
+            // it as soon as it is reachable, but cannot reclaim it past this
+            // protection. The cell is stack-local, so validation is trivial.
+            let pin_cell = Atomic::new(new);
+            let new = h.read(&pin_cell, PIN);
+
+            // Level-0 link is the linearization point.
+            // Safety: preds are protected by find (or sentinels).
+            let pred0 = unsafe { r.preds[0].deref() }.data();
+            if pred0
+                .next[0]
+                .compare_exchange(r.succs[0], new, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // Safety: never published; exclusively ours. Recover the
+                // value for the next attempt.
+                value = unsafe { new.take_owned() }.value;
+                continue;
+            }
+            self.link_upper_levels(h, new, key, r, height);
+            h.end_op();
+            return true;
+        }
+    }
+
+    /// Returns a copy of the value stored under `key`, if present; cloned
+    /// while the node is protected.
+    pub fn get(&self, h: &mut S::Handle, key: u64) -> Option<V>
+    where
+        V: Clone,
+    {
+        h.start_op();
+        let r = self.find(h, key);
+        let out = if r.found {
+            // Safety: succs[0] protected by find until end_op.
+            Some(unsafe { r.succs[0].deref() }.data().value.clone())
+        } else {
+            None
+        };
+        h.end_op();
+        out
+    }
+
+    /// Collects all keys in order (test helper; not linearizable).
+    pub fn collect(&self, h: &mut S::Handle) -> Vec<u64> {
+        let mut out = Vec::new();
+        h.start_op();
+        let mut cursor = 0u64;
+        loop {
+            let r = self.find(h, cursor);
+            // Safety: protected by find.
+            let key = unsafe { r.succs[0].deref() }.data().key;
+            if key == u64::MAX {
+                break;
+            }
+            out.push(key);
+            cursor = key + 1;
+        }
+        h.end_op();
+        out
+    }
+
+    /// Number of live keys (test helper).
+    pub fn len(&self, h: &mut S::Handle) -> usize {
+        self.collect(h).len()
+    }
+
+    /// True if no client key is present (test helper).
+    pub fn is_empty(&self, h: &mut S::Handle) -> bool {
+        self.collect(h).is_empty()
+    }
+}
+
+impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for SkipList<S, V> {
+    fn new(smr: &Arc<S>) -> Self {
+        let mut h = smr.register();
+        // Sentinel indices per §5.2: head 0, tail max_index.
+        let tail =
+            h.alloc_with_index(Node::new(u64::MAX, V::default(), MAX_HEIGHT), u32::MAX - 1);
+        let head_payload = Node::new(0, V::default(), MAX_HEIGHT);
+        for l in 0..MAX_HEIGHT {
+            head_payload.next[l].store(tail, Ordering::Relaxed);
+        }
+        let head = h.alloc_with_index(head_payload, 0);
+        SkipList { head, tail, smr: smr.clone() }
+    }
+
+    fn insert(&self, h: &mut S::Handle, key: u64) -> bool {
+        self.insert_kv(h, key, V::default())
+    }
+    fn remove(&self, h: &mut S::Handle, key: u64) -> bool {
+        h.start_op();
+        let r = self.find(h, key);
+        if !r.found {
+            h.end_op();
+            return false;
+        }
+        let victim = r.succs[0];
+        // Safety: victim protected by find (level-0 slot, untouched below
+        // until the unlink loop's finds, by which point we only compare
+        // addresses and, as unique retirer, know it cannot be freed).
+        let victim_node = unsafe { victim.deref() }.data();
+        let height = victim_node.height;
+
+        // Mark top-down, levels height-1 .. 1.
+        for level in (1..height).rev() {
+            loop {
+                let next = h.read(&victim_node.next[level], SCRATCH);
+                if next.mark() != 0 {
+                    break;
+                }
+                if victim_node.next[level]
+                    .compare_exchange(
+                        next,
+                        next.with_mark(DELETED),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+
+        // The level-0 mark is the logical deletion; its winner retires.
+        loop {
+            let next = h.read(&victim_node.next[0], SCRATCH);
+            if next.mark() != 0 {
+                h.end_op();
+                return false; // another thread won the deletion
+            }
+            if victim_node.next[0]
+                .compare_exchange(
+                    next,
+                    next.with_mark(DELETED),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                break;
+            }
+        }
+
+        // Physically unlink at every level (find splices marked nodes),
+        // then retire. Compare identities — a same-key node may reappear.
+        loop {
+            let r = self.find(h, key);
+            if !r.found || r.succs[0] != victim {
+                break;
+            }
+        }
+        // Safety: fully unlinked and we won the level-0 mark — unique
+        // retirer.
+        unsafe { h.retire(victim) };
+        h.end_op();
+        true
+    }
+
+    fn contains(&self, h: &mut S::Handle, key: u64) -> bool {
+        h.start_op();
+        let r = self.find(h, key);
+        h.end_op();
+        r.found
+    }
+
+    fn name() -> &'static str {
+        "skiplist"
+    }
+}
+
+impl<S: Smr, V> Drop for SkipList<S, V> {
+    fn drop(&mut self) {
+        // Exclusive access: walk level 0 and free everything.
+        let mut curr = self.head;
+        while !curr.is_null() {
+            // Safety: exclusive during drop; each node freed once.
+            let next =
+                unsafe { curr.deref() }.data().next[0].load(Ordering::Relaxed).unmarked();
+            unsafe { curr.drop_owned() };
+            curr = next;
+        }
+        let _ = &self.smr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_smr::schemes::{Ebr, He, Hp, Ibr, Mp};
+    use mp_smr::Config;
+
+    fn cfg() -> Config {
+        Config::default()
+            .with_max_threads(8)
+            .with_slots_per_thread(SLOTS_NEEDED)
+            .with_empty_freq(4)
+            .with_epoch_freq(8)
+    }
+
+    fn smoke<S: Smr>() {
+        let smr = S::new(cfg());
+        let sl: SkipList<S> = SkipList::new(&smr);
+        let mut h = smr.register();
+        assert!(sl.is_empty(&mut h));
+        for k in [42u64, 7, 99, 3, 55] {
+            assert!(sl.insert(&mut h, k));
+        }
+        assert!(!sl.insert(&mut h, 42));
+        assert_eq!(sl.collect(&mut h), vec![3, 7, 42, 55, 99]);
+        assert!(sl.contains(&mut h, 55));
+        assert!(!sl.contains(&mut h, 56));
+        assert!(sl.remove(&mut h, 42));
+        assert!(!sl.remove(&mut h, 42));
+        assert_eq!(sl.collect(&mut h), vec![3, 7, 55, 99]);
+        assert_eq!(sl.len(&mut h), 4);
+    }
+
+    #[test]
+    fn smoke_all_schemes() {
+        smoke::<Mp>();
+        smoke::<Hp>();
+        smoke::<Ebr>();
+        smoke::<He>();
+        smoke::<Ibr>();
+    }
+
+    #[test]
+    fn random_height_distribution() {
+        let mut counts = [0usize; MAX_HEIGHT + 1];
+        for _ in 0..10_000 {
+            let ht = random_height();
+            assert!((1..=MAX_HEIGHT).contains(&ht));
+            counts[ht] += 1;
+        }
+        assert!(counts[1] > counts[3], "geometric decay expected");
+    }
+
+    #[test]
+    fn sequential_model_check_mp() {
+        use rand::RngExt;
+        let smr = Mp::new(cfg());
+        let sl: SkipList<Mp> = SkipList::new(&smr);
+        let mut h = smr.register();
+        let mut model = std::collections::BTreeSet::new();
+        let mut rng = rand::rng();
+        for _ in 0..4000 {
+            let key = rng.random_range(0..128u64);
+            match rng.random_range(0..3) {
+                0 => assert_eq!(sl.insert(&mut h, key), model.insert(key), "insert {key}"),
+                1 => assert_eq!(sl.remove(&mut h, key), model.remove(&key), "remove {key}"),
+                _ => {
+                    assert_eq!(sl.contains(&mut h, key), model.contains(&key), "contains {key}")
+                }
+            }
+        }
+        assert_eq!(sl.collect(&mut h), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_stress_mp() {
+        concurrent_stress::<Mp>();
+    }
+
+    #[test]
+    fn concurrent_stress_hp() {
+        concurrent_stress::<Hp>();
+    }
+
+    #[test]
+    fn concurrent_stress_ibr() {
+        concurrent_stress::<Ibr>();
+    }
+
+    fn concurrent_stress<S: Smr>() {
+        use rand::RngExt;
+        let smr = S::new(cfg());
+        let sl = Arc::new(SkipList::<S>::new(&smr));
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let sl = sl.clone();
+                let smr = smr.clone();
+                s.spawn(move || {
+                    let mut h = smr.register();
+                    let mut rng = rand::rng();
+                    for i in 0..2500usize {
+                        let key = rng.random_range(0..64u64);
+                        match (i + t) % 3 {
+                            0 => {
+                                sl.insert(&mut h, key);
+                            }
+                            1 => {
+                                sl.remove(&mut h, key);
+                            }
+                            _ => {
+                                sl.contains(&mut h, key);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut h = smr.register();
+        let keys = sl.collect(&mut h);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free");
+    }
+
+    #[test]
+    fn tall_and_short_towers_coexist() {
+        let smr = Mp::new(cfg());
+        let sl: SkipList<Mp> = SkipList::new(&smr);
+        let mut h = smr.register();
+        for k in 0..200u64 {
+            assert!(sl.insert(&mut h, k));
+        }
+        for k in (0..200u64).step_by(2) {
+            assert!(sl.remove(&mut h, k));
+        }
+        let expect: Vec<u64> = (1..200).step_by(2).collect();
+        assert_eq!(sl.collect(&mut h), expect);
+    }
+}

@@ -1,0 +1,284 @@
+//! The SMR scheme interface (paper §2, Listing 1).
+//!
+//! A scheme is split into shared state ([`Smr`]) and a per-thread handle
+//! ([`SmrHandle`]). The handle carries the thread's retired list, protection
+//! slots cursor, and statistics; it is `Send` (movable to the thread that
+//! will use it) but not shared between threads, matching the paper's model
+//! of per-thread SMR state.
+
+use std::sync::Arc;
+
+use crate::packed::{Atomic, Shared};
+use crate::stats::OpStats;
+
+/// Tunable SMR parameters (paper §4.3 Listing 2 constants + §6 defaults).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Capacity of per-thread slot arrays; at most this many handles may be
+    /// registered concurrently (`thread_cnt`).
+    pub max_threads: usize,
+    /// Protection slots per thread (`MPs_per_thread`); each `refno` passed
+    /// to [`SmrHandle::read`] must be `< slots_per_thread`.
+    pub slots_per_thread: usize,
+    /// Retire calls between reclamation attempts (`empty_freq`; §6 uses 30).
+    pub empty_freq: usize,
+    /// Events (allocations for HE/IBR/EBR, unlinks for MP) a thread performs
+    /// between increments of the global epoch (`epoch_freq`; §6 uses 150·T).
+    pub epoch_freq: usize,
+    /// MP protection interval size (`margin`; §6 picks 2^20). Must exceed
+    /// 2^16 or the pointer-precision check can never pass (§4.3.1).
+    pub margin: u32,
+    /// Maximal assignable index (`max_index`).
+    pub max_index: u32,
+    /// DTA: node traversals between anchor updates (the paper uses 100).
+    pub anchor_hops: usize,
+    /// DTA: reclamation attempts tolerated before a non-advancing thread is
+    /// declared stalled and its anchored segment is frozen.
+    pub stall_patience: usize,
+    /// Ablation switch: disable the §6 snapshot optimization in `empty()`
+    /// (rescan the live slot arrays for every retired node, as the
+    /// unoptimized IBR-framework baselines did).
+    pub ablation_naive_scan: bool,
+    /// Ablation switch: fence after clearing each slot in `end_op` instead
+    /// of once after clearing them all (undoes the other §6 optimization).
+    pub ablation_per_slot_fence: bool,
+    /// Ablation switch: MP index assignment policy (default midpoint).
+    pub index_policy: IndexPolicy,
+}
+
+/// MP's new-node index assignment policy (§4.1 mentions the midpoint as one
+/// of several possible policies; this knob enables the ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexPolicy {
+    /// `(pred.index + succ.index) / 2` — the paper's choice.
+    #[default]
+    Midpoint,
+    /// `pred.index + 1` — clusters indices toward the predecessor; collides
+    /// as soon as a gap fills from the left.
+    AfterPred,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_threads: 32,
+            slots_per_thread: 8,
+            empty_freq: 30,
+            epoch_freq: 150,
+            margin: 1 << 20,
+            max_index: u32::MAX - 1,
+            anchor_hops: 100,
+            stall_patience: 8,
+            ablation_naive_scan: false,
+            ablation_per_slot_fence: false,
+            index_policy: IndexPolicy::Midpoint,
+        }
+    }
+}
+
+impl Config {
+    /// Sets the maximum number of concurrently registered handles.
+    pub fn with_max_threads(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.max_threads = n;
+        self
+    }
+
+    /// Sets the number of protection slots per thread.
+    pub fn with_slots_per_thread(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.slots_per_thread = n;
+        self
+    }
+
+    /// Sets how many retires elapse between reclamation attempts.
+    pub fn with_empty_freq(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.empty_freq = n;
+        self
+    }
+
+    /// Sets how many allocations/unlinks elapse between epoch increments.
+    pub fn with_epoch_freq(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.epoch_freq = n;
+        self
+    }
+
+    /// Sets MP's margin (protected interval size). Must be > 2^16.
+    pub fn with_margin(mut self, margin: u32) -> Self {
+        assert!(margin > 1 << 16, "margin must exceed pointer precision (2^16)");
+        self.margin = margin;
+        self
+    }
+
+    /// Sets DTA's anchor distance (node hops between anchor updates).
+    pub fn with_anchor_hops(mut self, k: usize) -> Self {
+        assert!(k > 0);
+        self.anchor_hops = k;
+        self
+    }
+
+    /// Sets DTA's stall-detection patience.
+    pub fn with_stall_patience(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.stall_patience = n;
+        self
+    }
+
+    /// Disables the snapshot optimization in reclamation scans (ablation).
+    pub fn with_naive_scan(mut self, on: bool) -> Self {
+        self.ablation_naive_scan = on;
+        self
+    }
+
+    /// Fences per cleared slot in `end_op` (ablation).
+    pub fn with_per_slot_fence(mut self, on: bool) -> Self {
+        self.ablation_per_slot_fence = on;
+        self
+    }
+
+    /// Selects MP's index assignment policy (ablation).
+    pub fn with_index_policy(mut self, p: IndexPolicy) -> Self {
+        self.index_policy = p;
+        self
+    }
+}
+
+/// Shared state of an SMR scheme.
+pub trait Smr: Send + Sync + Sized + 'static {
+    /// The per-thread handle type.
+    type Handle: SmrHandle;
+
+    /// Constructs the scheme with the given configuration.
+    fn new(cfg: Config) -> Arc<Self>;
+
+    /// Registers the calling context as a participating thread and returns
+    /// its handle. Panics if `Config::max_threads` handles are already live.
+    fn register(self: &Arc<Self>) -> Self::Handle;
+
+    /// Human-readable scheme name (used by the benchmark harness).
+    fn name() -> &'static str;
+
+    /// Global gauge: retired nodes not yet reclaimed, across all handles
+    /// (the paper's *wasted memory*). Includes orphaned retired nodes.
+    fn retired_pending(&self) -> usize;
+}
+
+/// Per-thread SMR operations (paper Listing 1).
+///
+/// # Protocol
+///
+/// * Bracket every data-structure operation with [`start_op`]/[`end_op`].
+/// * Load shared node pointers only through [`read`], passing a `refno`
+///   identifying which local reference is being refreshed (`prev`, `curr`,
+///   …). The returned [`Shared`] may be dereferenced until `end_op` (or
+///   until the same `refno` is reused, for address-protecting schemes).
+/// * `read(src, refno)` is only sound when `src` is a field of a node that
+///   is itself protected by this handle (or a structure root), and the
+///   client follows the usual hazard-pointer validation discipline — the
+///   schemes revalidate `*src` after announcing protection, which proves
+///   the target was linked at announcement time (§3.1).
+/// * Do not hold references across operations (§2 model assumption).
+///
+/// [`start_op`]: SmrHandle::start_op
+/// [`end_op`]: SmrHandle::end_op
+/// [`read`]: SmrHandle::read
+pub trait SmrHandle: Send + 'static {
+    /// Begins a data-structure operation (announces epoch/activity).
+    fn start_op(&mut self);
+
+    /// Ends the operation and releases all protections (one fence).
+    fn end_op(&mut self);
+
+    /// Protected pointer load: dereferencing the returned pointer is safe
+    /// until `end_op`, provided the caller respects the trait-level
+    /// protocol. Loops internally until protection is validated, so it is
+    /// lock-free rather than wait-free (paper Thm 4.4).
+    fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T>;
+
+    /// Declares that the local reference `refno` is dropped. A no-op in MP
+    /// (margins keep protecting future accesses, §4.3) and in epoch-based
+    /// schemes; clears the slot in HP.
+    fn unprotect(&mut self, _refno: usize) {}
+
+    /// Allocates a node for `data`. For MP the index is the midpoint of the
+    /// current search interval maintained via [`update_lower_bound`] /
+    /// [`update_upper_bound`] (Listing 5); other schemes ignore indices.
+    ///
+    /// [`update_lower_bound`]: SmrHandle::update_lower_bound
+    /// [`update_upper_bound`]: SmrHandle::update_upper_bound
+    fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T>;
+
+    /// Allocates a node with an explicit index — for sentinel nodes whose
+    /// position in the key space is fixed (paper §5.1 step 3).
+    fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T>;
+
+    /// Retires a removed node: buffers it and reclaims it once unprotected.
+    ///
+    /// # Safety
+    /// `node` must be *removed* (no shared pointer leads to it), non-null,
+    /// and retired at most once (§2 model).
+    unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>);
+
+    /// MP extension: the search interval's lower endpoint moved to `node`
+    /// (Listing 5). Default no-op; requires `node` to be protected.
+    fn update_lower_bound<T: Send + Sync>(&mut self, _node: Shared<T>) {}
+
+    /// MP extension: the search interval's upper endpoint moved to `node`.
+    fn update_upper_bound<T: Send + Sync>(&mut self, _node: Shared<T>) {}
+
+    /// Immutable view of this handle's counters.
+    fn stats(&self) -> &OpStats;
+
+    /// Mutable counters — used by client structures to bump
+    /// `nodes_traversed` (Figure 5's denominator).
+    fn stats_mut(&mut self) -> &mut OpStats;
+
+    /// Current length of this handle's retired list (wasted memory held by
+    /// this thread).
+    fn retired_len(&self) -> usize;
+
+    /// Forces a reclamation attempt regardless of `empty_freq` cadence.
+    fn force_empty(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_section6() {
+        let c = Config::default();
+        assert_eq!(c.empty_freq, 30);
+        assert_eq!(c.epoch_freq, 150);
+        assert_eq!(c.margin, 1 << 20);
+        assert_eq!(c.anchor_hops, 100);
+        assert!(c.margin > 1 << 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must exceed")]
+    fn margin_below_precision_rejected() {
+        let _ = Config::default().with_margin(1 << 16);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = Config::default()
+            .with_max_threads(4)
+            .with_slots_per_thread(3)
+            .with_empty_freq(10)
+            .with_epoch_freq(20)
+            .with_margin(1 << 18)
+            .with_anchor_hops(50)
+            .with_stall_patience(2);
+        assert_eq!(c.max_threads, 4);
+        assert_eq!(c.slots_per_thread, 3);
+        assert_eq!(c.empty_freq, 10);
+        assert_eq!(c.epoch_freq, 20);
+        assert_eq!(c.margin, 1 << 18);
+        assert_eq!(c.anchor_hops, 50);
+        assert_eq!(c.stall_patience, 2);
+    }
+}

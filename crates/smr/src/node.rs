@@ -1,0 +1,231 @@
+//! Node allocation: the per-node SMR header and type-erased reclamation.
+//!
+//! Every node managed by an SMR scheme is allocated as an [`SmrNode<T>`]:
+//! a fixed header (birth epoch, retire epoch, 32-bit index — the paper's
+//! per-node bookkeeping, ≤ 3 words as in Table 1) followed by the client
+//! payload. Retired nodes are stored type-erased (the crate-private `Retired` record) so one
+//! retired list can hold nodes of any client type.
+
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Reserved index meaning "protect this node with hazard pointers, not
+/// margin pointers" (paper §4.3.2). Assigned on index collision.
+pub const USE_HP: u32 = u32::MAX;
+
+/// Start of the *USE_HP class*: any index whose top 16 bits are all ones
+/// packs to the same 16-bit value as [`USE_HP`], so the `read` fast path
+/// cannot distinguish it from a collision marker. The whole class is
+/// therefore handled via hazard pointers (see DESIGN.md).
+pub const USE_HP_CLASS_START: u32 = 0xffff_0000;
+
+/// True if `index` must be protected via the hazard-pointer fallback.
+#[inline]
+pub fn is_use_hp_class(index: u32) -> bool {
+    index >= USE_HP_CLASS_START
+}
+
+/// The per-node SMR header (paper Listing 10's added `Node` fields).
+#[repr(C)]
+#[derive(Debug)]
+pub struct Header {
+    /// Global epoch at allocation time.
+    pub(crate) birth: u64,
+    /// Global epoch at retirement; `u64::MAX` while the node is live.
+    /// Written once by the retiring thread; only that thread's `empty()`
+    /// reads it afterwards, but it is atomic so concurrent scans of foreign
+    /// retired state (DTA recovery) stay well-defined.
+    pub(crate) retire: AtomicU64,
+    /// The node's immutable 32-bit MP index.
+    pub(crate) index: u32,
+}
+
+/// An SMR-managed node: header followed by the client payload.
+///
+/// `#[repr(C)]` guarantees the header is at offset 0, so a type-erased
+/// `*mut Header` can be recovered from any `*mut SmrNode<T>`.
+#[repr(C)]
+pub struct SmrNode<T> {
+    pub(crate) header: Header,
+    data: T,
+}
+
+impl<T> SmrNode<T> {
+    /// The client payload.
+    #[inline]
+    pub fn data(&self) -> &T {
+        &self.data
+    }
+
+    /// The node's immutable MP index.
+    #[inline]
+    pub fn index(&self) -> u32 {
+        self.header.index
+    }
+
+    /// The node's birth epoch.
+    #[inline]
+    pub fn birth(&self) -> u64 {
+        self.header.birth
+    }
+}
+
+/// Live-allocation gauge: incremented on every SMR node allocation and
+/// decremented on every reclamation. Lets tests assert leak-freedom and
+/// benchmarks report resident nodes.
+pub mod gauge {
+    use super::*;
+
+    pub(crate) static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+    /// Number of SMR nodes currently allocated and not yet reclaimed
+    /// (linked + retired-pending), across all schemes in the process.
+    pub fn live_nodes() -> usize {
+        LIVE.load(Ordering::Acquire)
+    }
+}
+
+/// Allocates a node with the given payload, index, and birth epoch.
+pub(crate) fn alloc_node<T>(data: T, index: u32, birth: u64) -> *mut SmrNode<T> {
+    gauge::LIVE.fetch_add(1, Ordering::AcqRel);
+    Box::into_raw(Box::new(SmrNode {
+        header: Header { birth, retire: AtomicU64::new(u64::MAX), index },
+        data,
+    }))
+}
+
+/// Frees a node.
+///
+/// # Safety
+/// `ptr` must have come from [`alloc_node`] and must not be accessed again.
+pub(crate) unsafe fn dealloc_node<T>(ptr: *mut SmrNode<T>) {
+    gauge::LIVE.fetch_sub(1, Ordering::AcqRel);
+    drop(unsafe { Box::from_raw(ptr) });
+}
+
+/// Frees a node, returning its payload to the caller.
+///
+/// # Safety
+/// Same as [`dealloc_node`].
+pub(crate) unsafe fn take_node<T>(ptr: *mut SmrNode<T>) -> T {
+    gauge::LIVE.fetch_sub(1, Ordering::AcqRel);
+    unsafe { Box::from_raw(ptr) }.data
+}
+
+/// Allocates an SMR node outside any handle (index 0, birth 0). For
+/// scheme-internal machinery only — e.g. the replacement copies DTA's
+/// freezer splices into a list; ordinary clients allocate through
+/// [`crate::SmrHandle::alloc`].
+pub fn alloc_bare<T>(data: T) -> *mut SmrNode<T> {
+    alloc_node(data, 0, 0)
+}
+
+unsafe fn dealloc_erased<T>(ptr: *mut Header) {
+    unsafe { dealloc_node(ptr as *mut SmrNode<T>) }
+}
+
+/// A type-erased retired node, buffered until reclamation is safe.
+pub(crate) struct Retired {
+    pub(crate) ptr: *mut Header,
+    pub(crate) birth: u64,
+    pub(crate) retire: u64,
+    /// Start stamp of the *operation* that unlinked and retired the node.
+    /// `retire` can postdate the unlink arbitrarily (the remover may be
+    /// preempted between its splice and its `retire` call); `op_start` is
+    /// guaranteed ≤ the unlink time, which DTA's neutralization window
+    /// depends on. Defaults to `retire` for schemes that don't need it.
+    pub(crate) op_start: u64,
+    pub(crate) index: u32,
+    drop_fn: unsafe fn(*mut Header),
+}
+
+// Retired nodes are unreachable from the structure; ownership is transferred
+// to the retiring thread's list and possibly to the scheme's orphan list.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// Captures `ptr` for deferred reclamation, stamping `retire_epoch`.
+    ///
+    /// # Safety
+    /// `ptr` must be a removed (unreachable) node retired exactly once.
+    pub(crate) unsafe fn new<T>(ptr: *mut SmrNode<T>, retire_epoch: u64) -> Self {
+        let header = ptr as *mut Header;
+        let (birth, index) = unsafe { ((*header).birth, (*header).index) };
+        unsafe { (*header).retire.store(retire_epoch, Ordering::Release) };
+        Retired {
+            ptr: header,
+            birth,
+            retire: retire_epoch,
+            op_start: retire_epoch,
+            index,
+            drop_fn: dealloc_erased::<T>,
+        }
+    }
+
+    /// Reclaims the node's memory.
+    ///
+    /// # Safety
+    /// No thread may hold a protected reference to the node.
+    pub(crate) unsafe fn reclaim(self) {
+        unsafe { (self.drop_fn)(self.ptr) };
+    }
+
+    /// The node address as a u64 (for comparison against hazard slots).
+    #[inline]
+    pub(crate) fn addr(&self) -> u64 {
+        self.ptr as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_at_offset_zero_and_small() {
+        // Table 1: MP per-node overhead is 3 words.
+        assert!(core::mem::size_of::<Header>() <= 3 * core::mem::size_of::<u64>());
+        let node = alloc_node(0u128, 9, 4);
+        assert_eq!(node as usize, unsafe { &(*node).header } as *const _ as usize);
+        unsafe { dealloc_node(node) };
+    }
+
+    #[test]
+    fn gauge_tracks_alloc_and_free() {
+        // Tests run in parallel, so only lower bounds are reliable here; the
+        // exact end-to-end leak check lives in the `leak_check` integration
+        // test, which runs alone in its own process.
+        let a = alloc_node(vec![1u8, 2, 3], 1, 0);
+        let b = alloc_node("hello".to_string(), 2, 0);
+        assert!(gauge::live_nodes() >= 2, "our two live nodes must be counted");
+        unsafe {
+            dealloc_node(a);
+            dealloc_node(b);
+        }
+    }
+
+    #[test]
+    fn retired_reclaims_through_type_erasure() {
+        struct DropFlag(std::sync::Arc<AtomicUsize>);
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        let flag = std::sync::Arc::new(AtomicUsize::new(0));
+        let node = alloc_node(DropFlag(flag.clone()), 11, 3);
+        let retired = unsafe { Retired::new(node, 8) };
+        assert_eq!(retired.birth, 3);
+        assert_eq!(retired.retire, 8);
+        assert_eq!(retired.index, 11);
+        unsafe { retired.reclaim() };
+        assert_eq!(flag.load(Ordering::Acquire), 1, "payload Drop must run");
+    }
+
+    #[test]
+    fn use_hp_class_boundaries() {
+        assert!(is_use_hp_class(USE_HP));
+        assert!(is_use_hp_class(USE_HP_CLASS_START));
+        assert!(!is_use_hp_class(USE_HP_CLASS_START - 1));
+        assert!(!is_use_hp_class(0));
+    }
+}

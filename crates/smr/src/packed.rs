@@ -1,0 +1,378 @@
+//! Packed pointer representation (paper §4.3.1, Listing 6).
+//!
+//! MP must know a node's index *without dereferencing the node* (the
+//! "chicken and egg" problem of logical protection). A pointer is therefore
+//! a single 64-bit word packing:
+//!
+//! ```text
+//!   63            48 47                         2 1    0
+//!  +----------------+----------------------------+------+
+//!  |  index >> 16   |   virtual address bits      | mark |
+//!  +----------------+----------------------------+------+
+//! ```
+//!
+//! * bits 48..64 — the 16 most significant bits of the pointee's 32-bit MP
+//!   index (`PRECISION = 16`). Observing packed value `i` means the node's
+//!   index lies in `[i << 16, (i << 16) + 0xffff]`.
+//! * bits 2..48 — the node address. x86-64 and AArch64 user space use at
+//!   most 48 significant address bits, as the paper relies on.
+//! * bits 0..2 — untouched by the SMR layer; client data structures use them
+//!   as delete/flag/tag marks (Michael list: 1 bit; NM tree: 2 bits).
+//!
+//! A single-word CAS therefore updates pointer, index, and marks atomically.
+
+use core::fmt;
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::node::SmrNode;
+
+/// Number of index bits carried in a packed pointer.
+pub const PRECISION: u32 = 16;
+/// Number of significant virtual-address bits.
+pub const ADDR_BITS: u32 = 48;
+/// Mask extracting the address-plus-mark field.
+pub const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
+/// Low bits available to clients as marks.
+pub const MARK_MASK: u64 = 0b11;
+
+/// A snapshot of a packed pointer word: address + packed index + marks.
+///
+/// `Shared` is a plain `Copy` value — the moral equivalent of the paper's
+/// `MP_CAS_Ptr` read out of shared memory. Dereferencing requires `unsafe`
+/// and is sound only while the pointee is protected by the issuing thread's
+/// SMR handle (see [`crate::SmrHandle::read`]).
+pub struct Shared<T> {
+    word: u64,
+    _marker: PhantomData<*mut SmrNode<T>>,
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<T> {}
+
+impl<T> PartialEq for Shared<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.word == other.word
+    }
+}
+impl<T> Eq for Shared<T> {}
+
+impl<T> fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared")
+            .field("addr", &format_args!("{:#x}", self.word & ADDR_MASK & !MARK_MASK))
+            .field("packed_index", &self.packed_index())
+            .field("mark", &self.mark())
+            .finish()
+    }
+}
+
+impl<T> Shared<T> {
+    /// The null pointer (all bits zero; packed index 0, no marks).
+    #[inline]
+    pub const fn null() -> Self {
+        Shared { word: 0, _marker: PhantomData }
+    }
+
+    /// Reconstructs a `Shared` from a raw packed word.
+    #[inline]
+    pub const fn from_word(word: u64) -> Self {
+        Shared { word, _marker: PhantomData }
+    }
+
+    /// The raw packed word (address + index + marks).
+    #[inline]
+    pub const fn into_word(self) -> u64 {
+        self.word
+    }
+
+    /// Packs a freshly allocated node, reading its index from the header.
+    ///
+    /// # Safety
+    /// `ptr` must point to a live `SmrNode<T>` (typically just allocated and
+    /// exclusively owned by the caller).
+    #[inline]
+    pub unsafe fn from_owned(ptr: *mut SmrNode<T>) -> Self {
+        let index = unsafe { (*ptr).index() };
+        Self::pack(ptr, index)
+    }
+
+    /// Packs an address with an explicit 32-bit index.
+    #[inline]
+    pub fn pack(ptr: *mut SmrNode<T>, index: u32) -> Self {
+        let addr = ptr as u64;
+        debug_assert_eq!(addr & !ADDR_MASK, 0, "address exceeds 48 bits");
+        debug_assert_eq!(addr & MARK_MASK, 0, "allocation not 4-byte aligned");
+        let packed = (index >> PRECISION) as u64;
+        Shared { word: (packed << ADDR_BITS) | addr, _marker: PhantomData }
+    }
+
+    /// True if the address field (ignoring marks) is null.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.word & ADDR_MASK & !MARK_MASK == 0
+    }
+
+    /// The node address with index and mark bits stripped.
+    #[inline]
+    pub fn as_raw(self) -> *mut SmrNode<T> {
+        (self.word & ADDR_MASK & !MARK_MASK) as *mut SmrNode<T>
+    }
+
+    /// The 16 packed index bits (i.e. `index >> 16` of the pointee).
+    #[inline]
+    pub fn packed_index(self) -> u16 {
+        (self.word >> ADDR_BITS) as u16
+    }
+
+    /// Inclusive bounds `[lo, hi]` of the pointee's possible 32-bit index,
+    /// reconstructed from the packed 16 bits (Listing 10's
+    /// `idx_lower_bound` / `idx_upper_bound`).
+    #[inline]
+    pub fn index_bounds(self) -> (u32, u32) {
+        let lo = (self.packed_index() as u32) << PRECISION;
+        (lo, lo | ((1 << PRECISION) - 1))
+    }
+
+    /// The client mark bits (low 2 bits).
+    #[inline]
+    pub fn mark(self) -> u64 {
+        self.word & MARK_MASK
+    }
+
+    /// Copy of this pointer with the mark bits replaced by `mark`.
+    #[inline]
+    pub fn with_mark(self, mark: u64) -> Self {
+        debug_assert_eq!(mark & !MARK_MASK, 0);
+        Shared { word: (self.word & !MARK_MASK) | mark, _marker: PhantomData }
+    }
+
+    /// Copy of this pointer with all mark bits cleared.
+    #[inline]
+    pub fn unmarked(self) -> Self {
+        Shared { word: self.word & !MARK_MASK, _marker: PhantomData }
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    /// The pointee must be protected from reclamation for the duration of
+    /// `'a`: either returned by [`crate::SmrHandle::read`] during the current
+    /// operation, just allocated and not yet published, or owned exclusively
+    /// (e.g. during `Drop` of the whole structure). Must not be null.
+    #[inline]
+    pub unsafe fn deref<'a>(self) -> &'a SmrNode<T> {
+        debug_assert!(!self.is_null());
+        unsafe { &*self.as_raw() }
+    }
+
+    /// Frees a node the caller *exclusively owns*, bypassing the retire
+    /// path: a node whose publication CAS failed (it was never shared), or
+    /// a node reclaimed during teardown of the whole data structure.
+    ///
+    /// # Safety
+    /// No other thread can hold any reference to the node, and it must not
+    /// have been retired.
+    pub unsafe fn drop_owned(self) {
+        unsafe { crate::node::dealloc_node(self.as_raw()) };
+    }
+
+    /// Like [`drop_owned`](Shared::drop_owned), but returns the payload —
+    /// e.g. to recover the value of a failed insert for the retry.
+    ///
+    /// # Safety
+    /// Same contract as [`drop_owned`](Shared::drop_owned).
+    pub unsafe fn take_owned(self) -> T {
+        unsafe { crate::node::take_node(self.as_raw()) }
+    }
+}
+
+/// A shared atomic packed pointer — the paper's `MP_CAS_Ptr`.
+///
+/// Supports the usual load / store / CAS operations over the full packed
+/// word, so index and marks travel with the address under a single CAS.
+pub struct Atomic<T> {
+    word: AtomicU64,
+    _marker: PhantomData<*mut SmrNode<T>>,
+}
+
+// The packed word is just a number; thread safety of dereferencing is
+// governed by the SMR protocol, not by this cell.
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+unsafe impl<T: Send + Sync> Send for Shared<T> {}
+unsafe impl<T: Send + Sync> Sync for Shared<T> {}
+
+impl<T> Atomic<T> {
+    /// A null atomic pointer.
+    pub const fn null() -> Self {
+        Atomic { word: AtomicU64::new(0), _marker: PhantomData }
+    }
+
+    /// Creates an atomic pointer initialized to `s`.
+    pub fn new(s: Shared<T>) -> Self {
+        Atomic { word: AtomicU64::new(s.into_word()), _marker: PhantomData }
+    }
+
+    /// Atomically loads the packed word.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> Shared<T> {
+        Shared::from_word(self.word.load(order))
+    }
+
+    /// Atomically stores the packed word.
+    #[inline]
+    pub fn store(&self, s: Shared<T>, order: Ordering) {
+        self.word.store(s.into_word(), order);
+    }
+
+    /// Single-word compare-and-swap over the full packed word.
+    ///
+    /// On failure returns the current value.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: Shared<T>,
+        new: Shared<T>,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<Shared<T>, Shared<T>> {
+        self.word
+            .compare_exchange(current.into_word(), new.into_word(), success, failure)
+            .map(Shared::from_word)
+            .map_err(Shared::from_word)
+    }
+
+    /// Atomically sets mark bits (`mask ⊆ MARK_MASK`), returning the
+    /// previous value. Used by the NM tree to *tag* an edge whose current
+    /// target is unknown (Natarajan & Mittal's edge marking, paper §5.3).
+    #[inline]
+    pub fn fetch_or_mark(&self, mask: u64, order: Ordering) -> Shared<T> {
+        debug_assert_eq!(mask & !MARK_MASK, 0);
+        Shared::from_word(self.word.fetch_or(mask, order))
+    }
+
+    /// Weak CAS variant (may fail spuriously); use inside retry loops.
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: Shared<T>,
+        new: Shared<T>,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<Shared<T>, Shared<T>> {
+        self.word
+            .compare_exchange_weak(current.into_word(), new.into_word(), success, failure)
+            .map(Shared::from_word)
+            .map_err(Shared::from_word)
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.load(Ordering::Relaxed).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::alloc_node;
+
+    #[test]
+    fn null_roundtrip() {
+        let s: Shared<u32> = Shared::null();
+        assert!(s.is_null());
+        assert_eq!(s.packed_index(), 0);
+        assert_eq!(s.mark(), 0);
+        assert!(s.as_raw().is_null());
+    }
+
+    #[test]
+    fn pack_preserves_address_and_index() {
+        let ptr = alloc_node(123u64, 0xdead_beef, 0);
+        let s = unsafe { Shared::from_owned(ptr) };
+        assert_eq!(s.as_raw(), ptr);
+        assert_eq!(s.packed_index(), 0xdead);
+        let (lo, hi) = s.index_bounds();
+        assert_eq!(lo, 0xdead_0000);
+        assert_eq!(hi, 0xdead_ffff);
+        assert!(lo <= 0xdead_beef && 0xdead_beef <= hi);
+        unsafe { crate::node::dealloc_node(ptr) };
+    }
+
+    #[test]
+    fn marks_do_not_disturb_address_or_index() {
+        let ptr = alloc_node(7u8, 42 << PRECISION, 0);
+        let s = unsafe { Shared::from_owned(ptr) };
+        let m = s.with_mark(1);
+        assert_eq!(m.mark(), 1);
+        assert_eq!(m.as_raw(), ptr);
+        assert_eq!(m.packed_index(), 42);
+        assert_eq!(m.unmarked(), s);
+        let m3 = s.with_mark(3);
+        assert_eq!(m3.mark(), 3);
+        assert_eq!(m3.unmarked(), s);
+        assert!(!m3.is_null());
+        unsafe { crate::node::dealloc_node(ptr) };
+    }
+
+    #[test]
+    fn marked_null_is_still_null() {
+        let s: Shared<u32> = Shared::null().with_mark(1);
+        assert!(s.is_null());
+        assert_eq!(s.mark(), 1);
+    }
+
+    #[test]
+    fn atomic_cas_full_word() {
+        let a = alloc_node(1u32, 5 << PRECISION, 0);
+        let b = alloc_node(2u32, 9 << PRECISION, 0);
+        let sa = unsafe { Shared::from_owned(a) };
+        let sb = unsafe { Shared::from_owned(b) };
+        let cell = Atomic::new(sa);
+        // CAS with wrong expected fails and reports the live value.
+        assert_eq!(
+            cell.compare_exchange(sb, sa, Ordering::AcqRel, Ordering::Acquire),
+            Err(sa)
+        );
+        // Marked expected differs from unmarked stored value.
+        assert!(cell
+            .compare_exchange(sa.with_mark(1), sb, Ordering::AcqRel, Ordering::Acquire)
+            .is_err());
+        // On success, CAS returns the previous value (std semantics).
+        assert_eq!(
+            cell.compare_exchange(sa, sb.with_mark(1), Ordering::AcqRel, Ordering::Acquire),
+            Ok(sa)
+        );
+        let now = cell.load(Ordering::Acquire);
+        assert_eq!(now.mark(), 1);
+        assert_eq!(now.as_raw(), b);
+        assert_eq!(now.packed_index(), 9);
+        unsafe {
+            crate::node::dealloc_node(a);
+            crate::node::dealloc_node(b);
+        }
+    }
+
+    #[test]
+    fn index_bounds_top_of_range_is_use_hp_class() {
+        // A node whose index lies in the top 64K maps to packed 0xffff and
+        // reconstructs to an upper bound of u32::MAX — the USE_HP class.
+        let ptr = alloc_node((), u32::MAX - 5, 0);
+        let s = unsafe { Shared::from_owned(ptr) };
+        let (_, hi) = s.index_bounds();
+        assert_eq!(hi, u32::MAX);
+        unsafe { crate::node::dealloc_node(ptr) };
+    }
+}

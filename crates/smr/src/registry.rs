@@ -1,0 +1,204 @@
+//! Shared per-thread slot arrays and thread registration.
+//!
+//! Every scheme announces per-thread protection state in fixed-size shared
+//! arrays indexed by a thread id (tid): hazard-pointer slots, margin-pointer
+//! slots, epoch/era announcements. The arrays are allocated once at scheme
+//! construction ([`Config::max_threads`](crate::Config) rows), each row
+//! padded to a cache line so announcements by different threads never
+//! false-share.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crossbeam_utils::CachePadded;
+
+use crate::node::Retired;
+
+/// A `max_threads × slots_per_thread` matrix of atomic words, one
+/// cache-line-padded row per thread.
+pub struct SlotArray {
+    rows: Box<[CachePadded<Box<[AtomicU64]>>]>,
+    init: u64,
+}
+
+impl SlotArray {
+    /// Creates the matrix with every slot holding `init` (a scheme-specific
+    /// "no protection" sentinel).
+    pub fn new(threads: usize, slots: usize, init: u64) -> Self {
+        let rows = (0..threads)
+            .map(|_| {
+                CachePadded::new(
+                    (0..slots).map(|_| AtomicU64::new(init)).collect::<Box<[AtomicU64]>>(),
+                )
+            })
+            .collect();
+        SlotArray { rows, init }
+    }
+
+    /// Number of slots per thread.
+    #[inline]
+    pub fn slots_per_thread(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Number of thread rows.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The slot cell for `(tid, slot)`.
+    #[inline]
+    pub fn get(&self, tid: usize, slot: usize) -> &AtomicU64 {
+        &self.rows[tid][slot]
+    }
+
+    /// Iterates over one thread's slots.
+    #[inline]
+    pub fn row(&self, tid: usize) -> &[AtomicU64] {
+        &self.rows[tid]
+    }
+
+    /// Resets every slot of `tid` to the "no protection" sentinel.
+    pub fn clear_row(&self, tid: usize, order: Ordering) {
+        for s in self.rows[tid].iter() {
+            s.store(self.init, order);
+        }
+    }
+
+    /// The sentinel value this array was initialized with.
+    #[inline]
+    pub fn init_value(&self) -> u64 {
+        self.init
+    }
+}
+
+/// Thread-id allocator plus the orphan list of retired nodes abandoned by
+/// deregistered handles (freed when the scheme itself is dropped, at which
+/// point no handle can hold protected references).
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+    max_threads: usize,
+}
+
+struct RegistryInner {
+    free: Vec<usize>,
+    orphans: Vec<Retired>,
+}
+
+impl Registry {
+    /// Creates a registry handing out tids `0..max_threads`.
+    pub fn new(max_threads: usize) -> Self {
+        Registry {
+            inner: Mutex::new(RegistryInner {
+                free: (0..max_threads).rev().collect(),
+                orphans: Vec::new(),
+            }),
+            max_threads,
+        }
+    }
+
+    /// Maximum concurrent registrations.
+    pub fn max_threads(&self) -> usize {
+        self.max_threads
+    }
+
+    /// Locks the registry state, tolerating poisoning: the state is a plain
+    /// free-list + orphan vector, consistent after any panic, and `release`
+    /// runs from `Drop` during unwinding — it must never double-panic.
+    fn locked(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Claims a tid. Panics if more than `max_threads` handles are live —
+    /// the slot arrays are fixed-size, exactly as in the paper's C model.
+    pub(crate) fn acquire(&self) -> usize {
+        let tid = self.locked().free.pop(); // guard dropped before a panic
+        tid.expect("SMR: more handles registered than Config::max_threads")
+    }
+
+    /// Parks one retired node directly in the orphan list (reclaimed only
+    /// at scheme teardown).
+    pub(crate) fn park_orphan(&self, r: Retired) {
+        self.locked().orphans.push(r);
+    }
+
+    /// Returns a tid and parks the handle's unreclaimed retired nodes.
+    pub(crate) fn release(&self, tid: usize, leftovers: Vec<Retired>) {
+        let mut g = self.locked();
+        g.orphans.extend(leftovers);
+        g.free.push(tid);
+    }
+
+    /// Drains the orphan list. Called by scheme `Drop` implementations.
+    ///
+    /// # Safety
+    /// Caller must guarantee no thread can still dereference orphaned nodes
+    /// (true during scheme teardown: handles hold an `Arc` to the scheme, so
+    /// none remain).
+    pub(crate) unsafe fn reclaim_orphans(&self) {
+        let orphans = std::mem::take(&mut self.locked().orphans);
+        for r in orphans {
+            unsafe { r.reclaim() };
+        }
+    }
+
+    /// Number of orphaned retired nodes awaiting scheme teardown.
+    pub fn orphan_count(&self) -> usize {
+        self.locked().orphans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_array_layout_and_clear() {
+        let a = SlotArray::new(3, 4, u64::MAX);
+        assert_eq!(a.threads(), 3);
+        assert_eq!(a.slots_per_thread(), 4);
+        for t in 0..3 {
+            for s in 0..4 {
+                assert_eq!(a.get(t, s).load(Ordering::Relaxed), u64::MAX);
+            }
+        }
+        a.get(1, 2).store(7, Ordering::Relaxed);
+        assert_eq!(a.get(1, 2).load(Ordering::Relaxed), 7);
+        // Other rows untouched.
+        assert_eq!(a.get(0, 2).load(Ordering::Relaxed), u64::MAX);
+        a.clear_row(1, Ordering::Relaxed);
+        assert_eq!(a.get(1, 2).load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn registry_recycles_tids() {
+        let r = Registry::new(2);
+        let a = r.acquire();
+        let b = r.acquire();
+        assert_ne!(a, b);
+        r.release(a, Vec::new());
+        let c = r.acquire();
+        assert_eq!(c, a, "released tid must be reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "more handles registered")]
+    fn registry_exhaustion_panics() {
+        let r = Registry::new(1);
+        let _a = r.acquire();
+        let _b = r.acquire();
+    }
+
+    #[test]
+    fn orphans_counted() {
+        let r = Registry::new(1);
+        let tid = r.acquire();
+        let node = crate::node::alloc_node(5u32, 0, 0);
+        let retired = unsafe { Retired::new(node, 1) };
+        r.release(tid, vec![retired]);
+        assert_eq!(r.orphan_count(), 1);
+        unsafe { r.reclaim_orphans() };
+        assert_eq!(r.orphan_count(), 0);
+    }
+}

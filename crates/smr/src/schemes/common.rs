@@ -1,0 +1,101 @@
+//! Shared building blocks for scheme implementations.
+
+use core::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+
+use crate::stats::OpStats;
+
+/// Sentinel announced-epoch value meaning "thread not inside an operation".
+pub const INACTIVE: u64 = u64::MAX;
+
+/// Sentinel hazard-slot value meaning "no node protected".
+pub const NO_HAZARD: u64 = 0;
+
+/// Sentinel margin-slot value meaning "no interval protected"
+/// (Listing 10's `NO_MARGIN`, widened to the u64 slot width).
+pub const NO_MARGIN: u64 = u64::MAX;
+
+/// Issues a full sequentially consistent fence and counts it (Figure 5).
+#[inline]
+pub fn counted_fence(stats: &mut OpStats) {
+    fence(Ordering::SeqCst);
+    stats.fences += 1;
+}
+
+/// Global gauge shared by every scheme instance: retired-but-unreclaimed
+/// node count (the paper's wasted memory).
+#[derive(Default)]
+pub struct PendingGauge(AtomicUsize);
+
+impl PendingGauge {
+    /// Records `n` newly retired nodes.
+    #[inline]
+    pub fn add(&self, n: usize) {
+        self.0.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Records `n` reclaimed nodes.
+    #[inline]
+    pub fn sub(&self, n: usize) {
+        self.0.fetch_sub(n, Ordering::AcqRel);
+    }
+
+    /// Current wasted-memory count.
+    #[inline]
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A monotone global epoch/era clock.
+#[derive(Default)]
+pub struct EpochClock(AtomicU64);
+
+impl EpochClock {
+    /// Creates a clock starting at 1 (0 is reserved so that "birth 0" can
+    /// never equal a post-increment retire stamp in edge cases).
+    pub fn new() -> Self {
+        EpochClock(AtomicU64::new(1))
+    }
+
+    /// Reads the current epoch.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Advances the clock by one.
+    #[inline]
+    pub fn advance(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_monotone() {
+        let c = EpochClock::new();
+        let a = c.now();
+        let b = c.advance();
+        assert!(b > a);
+        assert_eq!(c.now(), b);
+    }
+
+    #[test]
+    fn gauge_add_sub() {
+        let g = PendingGauge::default();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn fence_counted() {
+        let mut s = OpStats::default();
+        counted_fence(&mut s);
+        counted_fence(&mut s);
+        assert_eq!(s.fences, 2);
+    }
+}

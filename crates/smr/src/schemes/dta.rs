@@ -1,0 +1,533 @@
+//! Drop the Anchor (Braginsky, Kogan & Petrank, SPAA 2013; paper §3.1).
+//!
+//! DTA reduces HP's overhead by announcing an *anchor* once every `k` node
+//! traversals instead of a hazard pointer per dereference: the anchor
+//! protects every node reachable from it within `k` hops. Reclamation runs
+//! an EBR-like fast path; if a thread stalls mid-operation (its announced
+//! operation stamp stops changing), the reclaimer *freezes* the `k` nodes
+//! protected by the stalled thread's anchor — making them immutable and
+//! splicing fresh copies into the structure — after which every non-frozen
+//! node can be reclaimed despite the stall.
+//!
+//! Freezing is data-structure-specific (§3.1: "only a list freezing
+//! technique is known"), so the scheme exposes a [`Freezer`] hook that the
+//! DTA-enabled linked list registers (`mp-ds::dta_list`). Without a
+//! registered freezer the scheme behaves exactly like EBR — which is also
+//! its behavior on data structures DTA has never been applied to.
+//!
+//! Frozen nodes are never reclaimed while the scheme lives, reproducing
+//! DTA's documented weakness (Table 1 footnote: frozen memory can grow
+//! arbitrarily large).
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, RwLock};
+
+use core::sync::atomic::Ordering;
+
+use crate::api::{Config, Smr, SmrHandle};
+use crate::node::Retired;
+use crate::packed::{Atomic, Shared};
+use crate::registry::{Registry, SlotArray};
+use crate::schemes::common::{counted_fence, EpochClock, PendingGauge, INACTIVE};
+use crate::stats::OpStats;
+
+/// Data-structure-specific freezing callback (see module docs).
+///
+/// `freeze_from` must render the anchored neighborhood of the node at
+/// `anchor_addr` immutable and unlinked from the live structure (replaced by
+/// copies), then return the addresses of the frozen nodes. The neighborhood
+/// extends until `old_quota` nodes **born before `older_than`** (i.e.
+/// pre-existing when the stalled operation started) have been frozen —
+/// newly inserted nodes are frozen too but do not count, which is how DTA
+/// guarantees coverage of the stalled thread's position even when
+/// arbitrarily many nodes were inserted behind it (§3.1's footnote: the
+/// insertion-time field). Returning an empty set means freezing could not
+/// be performed; the stalled thread then keeps blocking reclamation.
+pub trait Freezer: Send + Sync {
+    /// Freezes the anchored neighborhood; returns frozen node addresses.
+    fn freeze_from(&self, anchor_addr: u64, old_quota: usize, older_than: u64) -> Vec<u64>;
+}
+
+/// Drop-the-Anchor SMR scheme (shared state).
+pub struct Dta {
+    clock: EpochClock,
+    /// Operation stamps: the epoch announced at `start_op` (`INACTIVE` idle).
+    announce: SlotArray,
+    /// One anchor address slot per thread (0 = none).
+    anchors: SlotArray,
+    registry: Registry,
+    cfg: Config,
+    pending: PendingGauge,
+    /// Client-registered freezing procedure.
+    freezer: RwLock<Option<Arc<dyn Freezer>>>,
+    /// Stall bookkeeping: per-tid (last observed stamp, misses) plus the
+    /// global set of frozen node addresses.
+    recovery: Mutex<RecoveryState>,
+}
+
+struct RecoveryState {
+    last_stamp: Vec<u64>,
+    misses: Vec<usize>,
+    /// Per tid: `Some((stamp, freeze_clock))` while the thread is
+    /// neutralized — its old stamp pins only nodes retired inside
+    /// `[stamp, freeze_clock)`, a fixed window (see `classify_threads`).
+    neutralized: Vec<Option<(u64, u64)>>,
+    frozen: HashSet<u64>,
+}
+
+/// How `empty()` must treat one thread (computed by `classify_threads`).
+#[derive(Clone, Copy)]
+enum ThreadClass {
+    /// Not inside an operation: pins nothing.
+    Idle,
+    /// Active: pins every node retired at or after its stamp (EBR rule).
+    Respected(u64),
+    /// Stalled and successfully frozen: its references are confined to the
+    /// frozen zone plus nodes retired inside the window `[stamp, fclock)` —
+    /// nodes retired at ≥ `fclock` were still linked (hence in the frozen
+    /// zone, or unreachable to it) when freezing completed.
+    Neutralized { stamp: u64, fclock: u64 },
+}
+
+/// Per-thread handle for [`Dta`].
+pub struct DtaHandle {
+    scheme: Arc<Dta>,
+    tid: usize,
+    /// Stamp announced by the current operation (`start_op`/`refresh_op`).
+    stamp: u64,
+    retired: Vec<Retired>,
+    retire_counter: usize,
+    alloc_counter: usize,
+    stats: OpStats,
+}
+
+impl Smr for Dta {
+    type Handle = DtaHandle;
+
+    fn new(cfg: Config) -> Arc<Self> {
+        Arc::new(Dta {
+            clock: EpochClock::new(),
+            announce: SlotArray::new(cfg.max_threads, 1, INACTIVE),
+            anchors: SlotArray::new(cfg.max_threads, 1, 0),
+            registry: Registry::new(cfg.max_threads),
+            recovery: Mutex::new(RecoveryState {
+                last_stamp: vec![INACTIVE; cfg.max_threads],
+                misses: vec![0; cfg.max_threads],
+                neutralized: vec![None; cfg.max_threads],
+                frozen: HashSet::new(),
+            }),
+            cfg,
+            pending: PendingGauge::default(),
+            freezer: RwLock::new(None),
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> DtaHandle {
+        DtaHandle {
+            scheme: self.clone(),
+            tid: self.registry.acquire(),
+            stamp: 0,
+            retired: Vec::new(),
+            retire_counter: 0,
+            alloc_counter: 0,
+            stats: OpStats::default(),
+        }
+    }
+
+    fn name() -> &'static str {
+        "DTA"
+    }
+
+    fn retired_pending(&self) -> usize {
+        self.pending.get()
+    }
+}
+
+impl Drop for Dta {
+    fn drop(&mut self) {
+        // Safety: no handle outlives the scheme. Frozen nodes were retired
+        // by the freezer and sit in some retired/orphan list like any other.
+        unsafe { self.registry.reclaim_orphans() };
+    }
+}
+
+impl Dta {
+    /// Registers the data-structure-specific freezing procedure.
+    pub fn set_freezer(&self, f: Arc<dyn Freezer>) {
+        *self.freezer.write().unwrap() = Some(f);
+    }
+
+    /// Unregisters the freezer (called by the client structure's `Drop`,
+    /// whose nodes the freezer walks).
+    pub fn clear_freezer(&self) {
+        *self.freezer.write().unwrap() = None;
+    }
+
+    /// Parks a node unlinked by the *freezer* (a frozen original replaced by
+    /// a copy) for reclamation at scheme teardown. Frozen nodes are pinned
+    /// forever while the scheme lives (Table 1 footnote), so they bypass
+    /// the ordinary retire path.
+    ///
+    /// # Safety
+    /// `node` must be removed (unreachable), never retired before, and
+    /// present in the frozen set so concurrent `empty()` runs keep pinning
+    /// any aliases of it.
+    pub unsafe fn park_frozen<T: Send + Sync>(&self, node: Shared<T>) {
+        self.pending.add(1);
+        let retired = unsafe { Retired::new(node.as_raw(), u64::MAX) };
+        self.registry.park_orphan(retired);
+    }
+
+    /// Number of nodes currently frozen (for tests and Table 1).
+    pub fn frozen_count(&self) -> usize {
+        self.recovery.lock().unwrap().frozen.len()
+    }
+
+    /// Updates stall bookkeeping and classifies every thread for the
+    /// reclamation rule. Runs under the recovery lock, which also guards
+    /// every `empty()`'s reclaim loop — so no node is freed while a freeze
+    /// walk dereferences the (pinned) anchor chain.
+    #[allow(clippy::needless_range_loop)] // tid indexes three parallel arrays
+    fn classify_threads(&self) -> Vec<ThreadClass> {
+        let mut out = vec![ThreadClass::Idle; self.cfg.max_threads];
+        let freezer = self.freezer.read().unwrap().clone();
+        let mut rec = self.recovery.lock().unwrap();
+        for tid in 0..self.cfg.max_threads {
+            let stamp = self.announce.get(tid, 0).load(Ordering::Acquire);
+            if stamp == INACTIVE {
+                rec.last_stamp[tid] = INACTIVE;
+                rec.misses[tid] = 0;
+                rec.neutralized[tid] = None;
+                continue;
+            }
+            if rec.last_stamp[tid] == stamp {
+                rec.misses[tid] += 1;
+            } else {
+                // The thread progressed to a new operation (stamps are
+                // unique and increasing): any previous neutralization ends —
+                // its fresh stamp is respected again.
+                rec.last_stamp[tid] = stamp;
+                rec.misses[tid] = 0;
+                rec.neutralized[tid] = None;
+            }
+            if let Some((s, fclock)) = rec.neutralized[tid] {
+                debug_assert_eq!(s, stamp);
+                out[tid] = ThreadClass::Neutralized { stamp: s, fclock };
+                continue;
+            }
+            let stalled = rec.misses[tid] >= self.cfg.stall_patience;
+            if stalled {
+                if let Some(f) = &freezer {
+                    let anchor = self.anchors.get(tid, 0).load(Ordering::Acquire);
+                    if anchor != 0 {
+                        // Freeze the anchored neighborhood: enough nodes
+                        // *born before the stalled op* to cover a full
+                        // anchor cadence (+2 slack: anchors are posted on
+                        // the predecessor, and the thread may stand one hop
+                        // past its cadence point).
+                        let frozen =
+                            f.freeze_from(anchor, self.cfg.anchor_hops + 2, stamp);
+                        if !frozen.is_empty() {
+                            rec.frozen.extend(frozen.iter().copied());
+                            // Revalidate before neutralizing: if the thread
+                            // re-anchored or finished meanwhile, it was not
+                            // stalled — its references may lie outside the
+                            // zone we just froze, so keep respecting it.
+                            core::sync::atomic::fence(Ordering::SeqCst);
+                            let stamp_now =
+                                self.announce.get(tid, 0).load(Ordering::Acquire);
+                            let anchor_now =
+                                self.anchors.get(tid, 0).load(Ordering::Acquire);
+                            if stamp_now == stamp && anchor_now == anchor {
+                                // Safe: the thread's references are confined
+                                // to the frozen zone (anchor unchanged ⇒ it
+                                // is within one cadence of the anchor) plus
+                                // nodes retired before this instant.
+                                let fclock = self.clock.now();
+                                rec.neutralized[tid] = Some((stamp, fclock));
+                                out[tid] =
+                                    ThreadClass::Neutralized { stamp, fclock };
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+            out[tid] = ThreadClass::Respected(stamp);
+        }
+        out
+    }
+}
+
+impl DtaHandle {
+    fn empty(&mut self) {
+        self.stats.empties += 1;
+        core::sync::atomic::fence(Ordering::SeqCst);
+        let classes = self.scheme.classify_threads();
+        // Frees must hold the recovery lock: freeze walks dereference
+        // pinned retired nodes and rely on no concurrent reclamation.
+        let rec = self.scheme.recovery.lock().unwrap();
+        let before = self.retired.len();
+        let mut kept = Vec::with_capacity(before);
+        'next: for r in self.retired.drain(..) {
+            if rec.frozen.contains(&r.addr()) {
+                kept.push(r);
+                continue;
+            }
+            for class in &classes {
+                let pins = match *class {
+                    ThreadClass::Idle => false,
+                    // EBR rule: an active thread may reference anything
+                    // retired at or after its announced stamp.
+                    ThreadClass::Respected(m) => r.retire >= m,
+                    // A neutralized thread pins only the fixed window of
+                    // nodes retired during its stall, up to the freeze;
+                    // later retirees were linked when freezing completed,
+                    // so the thread can reach them only inside the frozen
+                    // zone (kept above) or not at all.
+                    // Keyed on the *retiring operation's start* rather than
+                    // the retire stamp: the remover may be preempted between
+                    // its unlink CAS and its retire() call, so only
+                    // op_start ≤ unlink-time is guaranteed.
+                    ThreadClass::Neutralized { stamp, fclock } => {
+                        r.retire >= stamp && r.op_start < fclock
+                    }
+                };
+                if pins {
+                    kept.push(r);
+                    continue 'next;
+                }
+            }
+            // Safety: no thread class admits a reference to this node.
+            unsafe { r.reclaim() };
+        }
+        drop(rec);
+        let freed = before - kept.len();
+        self.stats.frees += freed as u64;
+        self.scheme.pending.sub(freed);
+        self.retired = kept;
+    }
+
+    /// The scheme this handle belongs to (used by the DTA list to register
+    /// its freezer and to inspect frozen state).
+    pub fn scheme(&self) -> &Arc<Dta> {
+        &self.scheme
+    }
+
+    /// Drops this thread's anchor on `node_addr` — announcing that every
+    /// local reference the thread will hold until the next post lies within
+    /// `Config::anchor_hops` pointer hops of that node. The client calls
+    /// this on its current *predecessor* node, which it knows to be linked
+    /// (reached via validated unmarked reads), every `anchor_hops`
+    /// traversal steps — DTA's replacement for a hazard fence per read.
+    pub fn post_anchor(&mut self, node_addr: u64) {
+        self.scheme.anchors.get(self.tid, 0).store(node_addr, Ordering::Release);
+        counted_fence(&mut self.stats);
+    }
+
+    /// The configured anchor cadence (hops between posts).
+    pub fn anchor_hops(&self) -> usize {
+        self.scheme.cfg.anchor_hops
+    }
+
+    /// Re-announces a *fresh* operation stamp mid-operation. The client
+    /// structure calls this whenever a traversal restarts after reading a
+    /// frozen pointer: the thread may have been neutralized (deemed
+    /// stalled), in which case its old stamp no longer protects a fresh
+    /// traversal — the new, never-seen stamp is respected again by every
+    /// reclaimer, and the restart drops all old local references.
+    pub fn refresh_op(&mut self) {
+        let e = self.scheme.clock.advance();
+        self.stamp = e;
+        self.scheme.announce.get(self.tid, 0).store(e, Ordering::Release);
+        self.scheme.anchors.get(self.tid, 0).store(0, Ordering::Release);
+        counted_fence(&mut self.stats);
+    }
+
+}
+
+impl SmrHandle for DtaHandle {
+    fn start_op(&mut self) {
+        self.stats.ops += 1;
+        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        let e = self.scheme.clock.advance(); // fresh stamp ⇒ visible progress
+        self.stamp = e;
+        self.scheme.announce.get(self.tid, 0).store(e, Ordering::Release);
+        counted_fence(&mut self.stats);
+    }
+
+    fn end_op(&mut self) {
+        self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+        self.scheme.anchors.get(self.tid, 0).store(0, Ordering::Release);
+    }
+
+    fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, _refno: usize) -> Shared<T> {
+        // Plain load: DTA's protection comes from the EBR stamp plus the
+        // anchors the client structure posts via [`DtaHandle::post_anchor`].
+        src.load(Ordering::Acquire)
+    }
+
+    fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T> {
+        self.alloc_with_index(data, 0)
+    }
+
+    fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        self.stats.allocs += 1;
+        self.alloc_counter += 1;
+        if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
+            self.scheme.clock.advance();
+        }
+        let ptr = crate::node::alloc_node(data, index, self.scheme.clock.now());
+        unsafe { Shared::from_owned(ptr) }
+    }
+
+    unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
+        self.stats.retires += 1;
+        self.scheme.pending.add(1);
+        let stamp = self.scheme.clock.now();
+        let mut r = unsafe { Retired::new(node.as_raw(), stamp) };
+        // Record when the unlinking operation began (≤ the unlink itself);
+        // the neutralization window is keyed on this (see `empty`).
+        r.op_start = self.stamp;
+        self.retired.push(r);
+        self.retire_counter += 1;
+        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
+            self.empty();
+        }
+    }
+
+    fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn retired_len(&self) -> usize {
+        self.retired.len()
+    }
+
+    fn force_empty(&mut self) {
+        self.empty();
+    }
+}
+
+impl Drop for DtaHandle {
+    fn drop(&mut self) {
+        self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+        self.scheme.anchors.get(self.tid, 0).store(0, Ordering::Release);
+        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(threads: usize) -> Arc<Dta> {
+        Dta::new(
+            Config::default()
+                .with_max_threads(threads)
+                .with_empty_freq(1)
+                .with_epoch_freq(1)
+                .with_anchor_hops(3)
+                .with_stall_patience(2),
+        )
+    }
+
+    #[test]
+    fn behaves_like_ebr_without_freezer() {
+        let smr = setup(2);
+        let mut stalled = smr.register();
+        let mut worker = smr.register();
+        stalled.start_op();
+        for i in 0..100u32 {
+            // Worker runs short, well-behaved operations; only the stalled
+            // thread's stale stamp can pin memory.
+            worker.start_op();
+            let n = worker.alloc(i);
+            unsafe { worker.retire(n) };
+            worker.end_op();
+        }
+        assert!(worker.retired_len() >= 100, "no freezer ⇒ stall pins everything (EBR)");
+        stalled.end_op();
+        worker.end_op();
+        worker.force_empty();
+        assert_eq!(worker.retired_len(), 0);
+    }
+
+    #[test]
+    fn reads_are_free_and_anchor_posts_fence() {
+        let smr = setup(1);
+        let mut h = smr.register();
+        h.start_op();
+        let n = h.alloc(0u32);
+        let cell = Atomic::new(n);
+        let f0 = h.stats().fences;
+        // Reads are plain loads — DTA's whole point.
+        for _ in 0..10 {
+            let _ = h.read(&cell, 0);
+        }
+        assert_eq!(h.stats().fences, f0, "reads must not fence");
+        assert_eq!(h.anchor_hops(), 3);
+        h.post_anchor(n.as_raw() as u64);
+        assert_eq!(h.stats().fences, f0 + 1, "anchor post costs one fence");
+        assert_eq!(smr.anchors.get(0, 0).load(Ordering::Relaxed), n.as_raw() as u64);
+        h.end_op();
+        unsafe { h.retire(n) };
+        h.force_empty();
+    }
+
+    struct FakeFreezer {
+        to_freeze: Vec<u64>,
+    }
+    impl Freezer for FakeFreezer {
+        fn freeze_from(&self, _anchor: u64, _quota: usize, _older_than: u64) -> Vec<u64> {
+            self.to_freeze.clone()
+        }
+    }
+
+    #[test]
+    fn stalled_thread_neutralized_by_freezing() {
+        let smr = setup(2);
+        let mut stalled = smr.register();
+        let mut worker = smr.register();
+
+        // The stalled thread posts an anchor, then stops taking steps.
+        stalled.start_op();
+        worker.start_op();
+        let anchor_node = worker.alloc(0u32);
+        let cell = Atomic::new(anchor_node);
+        let _ = stalled.read(&cell, 0);
+        stalled.post_anchor(anchor_node.as_raw() as u64);
+        assert_ne!(smr.anchors.get(0, 0).load(Ordering::Relaxed), 0);
+
+        // Freezer will claim the anchor node as frozen.
+        smr.set_freezer(Arc::new(FakeFreezer { to_freeze: vec![anchor_node.as_raw() as u64] }));
+
+        // Churn with short operations until stall detection (patience=2)
+        // kicks in; the worker's own fresh stamps never pin old nodes.
+        for i in 0..50u32 {
+            worker.end_op();
+            worker.start_op();
+            let n = worker.alloc(i);
+            unsafe { worker.retire(n) };
+        }
+        assert!(
+            worker.retired_len() < 50,
+            "freezing must unblock reclamation, kept {}",
+            worker.retired_len()
+        );
+        assert_eq!(smr.frozen_count(), 1);
+
+        // The frozen node itself must never be reclaimed while the scheme
+        // lives, even when retired.
+        cell.store(Shared::null(), Ordering::Release);
+        unsafe { worker.retire(anchor_node) };
+        stalled.end_op();
+        worker.end_op();
+        worker.force_empty();
+        assert_eq!(worker.retired_len(), 1, "frozen node pinned forever");
+    }
+}

@@ -1,0 +1,292 @@
+//! Epoch-based reclamation (Fraser 2004, McKenney & Slingwine 1998; §3.2).
+//!
+//! Each thread announces, at operation start, the global epoch it observed.
+//! A node retired at epoch `r` can be freed once every *active* thread has
+//! announced an epoch `> r`: such threads began their operation after the
+//! node was already unlinked, so they cannot hold a reference (threads do
+//! not keep references across operations). Reads are plain loads — EBR's
+//! per-operation overhead is a single announcement fence.
+//!
+//! EBR is **not robust**: a thread stalled mid-operation pins its announced
+//! epoch forever, so no node retired at or after that epoch is ever freed
+//! and wasted memory grows without bound — the failure mode motivating MP.
+
+use std::sync::Arc;
+
+use core::sync::atomic::Ordering;
+
+use crate::api::{Config, Smr, SmrHandle};
+use crate::node::Retired;
+use crate::packed::{Atomic, Shared};
+use crate::registry::{Registry, SlotArray};
+use crate::schemes::common::{counted_fence, EpochClock, PendingGauge, INACTIVE};
+use crate::stats::OpStats;
+
+/// Epoch-based reclamation scheme (shared state).
+pub struct Ebr {
+    clock: EpochClock,
+    /// One announcement slot per thread: observed epoch, or `INACTIVE`.
+    announce: SlotArray,
+    registry: Registry,
+    cfg: Config,
+    pending: PendingGauge,
+}
+
+/// Per-thread handle for [`Ebr`].
+pub struct EbrHandle {
+    scheme: Arc<Ebr>,
+    tid: usize,
+    retired: Vec<Retired>,
+    retire_counter: usize,
+    alloc_counter: usize,
+    stats: OpStats,
+}
+
+impl Smr for Ebr {
+    type Handle = EbrHandle;
+
+    fn new(cfg: Config) -> Arc<Self> {
+        Arc::new(Ebr {
+            clock: EpochClock::new(),
+            announce: SlotArray::new(cfg.max_threads, 1, INACTIVE),
+            registry: Registry::new(cfg.max_threads),
+            cfg,
+            pending: PendingGauge::default(),
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> EbrHandle {
+        EbrHandle {
+            scheme: self.clone(),
+            tid: self.registry.acquire(),
+            retired: Vec::new(),
+            retire_counter: 0,
+            alloc_counter: 0,
+            stats: OpStats::default(),
+        }
+    }
+
+    fn name() -> &'static str {
+        "EBR"
+    }
+
+    fn retired_pending(&self) -> usize {
+        self.pending.get()
+    }
+}
+
+impl Drop for Ebr {
+    fn drop(&mut self) {
+        // Safety: no handle outlives the scheme.
+        unsafe { self.registry.reclaim_orphans() };
+    }
+}
+
+impl Ebr {
+    /// Smallest epoch announced by any active thread, or `None` if no thread
+    /// is inside an operation.
+    fn min_active_epoch(&self) -> Option<u64> {
+        let mut min = None;
+        for tid in 0..self.announce.threads() {
+            let e = self.announce.get(tid, 0).load(Ordering::Acquire);
+            if e != INACTIVE {
+                min = Some(min.map_or(e, |m: u64| m.min(e)));
+            }
+        }
+        min
+    }
+}
+
+impl EbrHandle {
+    fn empty(&mut self) {
+        self.stats.empties += 1;
+        core::sync::atomic::fence(Ordering::SeqCst);
+        let min = self.scheme.min_active_epoch();
+        let before = self.retired.len();
+        let mut kept = Vec::with_capacity(before);
+        for r in self.retired.drain(..) {
+            // Free if every active thread announced strictly after the
+            // retirement epoch (see module docs). No active thread: free.
+            let safe = match min {
+                None => true,
+                Some(m) => r.retire < m,
+            };
+            if safe {
+                // Safety: unreachable since retirement and, by the epoch
+                // argument, referenced by no active thread.
+                unsafe { r.reclaim() };
+            } else {
+                kept.push(r);
+            }
+        }
+        let freed = before - kept.len();
+        self.stats.frees += freed as u64;
+        self.scheme.pending.sub(freed);
+        self.retired = kept;
+    }
+}
+
+impl SmrHandle for EbrHandle {
+    fn start_op(&mut self) {
+        self.stats.ops += 1;
+        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        let e = self.scheme.clock.now();
+        self.scheme.announce.get(self.tid, 0).store(e, Ordering::Release);
+        // The announcement must be visible before any data-structure read.
+        counted_fence(&mut self.stats);
+    }
+
+    fn end_op(&mut self) {
+        self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+    }
+
+    #[inline]
+    fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, _refno: usize) -> Shared<T> {
+        src.load(Ordering::Acquire)
+    }
+
+    fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T> {
+        self.alloc_with_index(data, 0)
+    }
+
+    fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        self.stats.allocs += 1;
+        self.alloc_counter += 1;
+        if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
+            self.scheme.clock.advance();
+        }
+        let ptr = crate::node::alloc_node(data, index, self.scheme.clock.now());
+        unsafe { Shared::from_owned(ptr) }
+    }
+
+    unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
+        self.stats.retires += 1;
+        self.scheme.pending.add(1);
+        let stamp = self.scheme.clock.now();
+        self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
+        self.retire_counter += 1;
+        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
+            self.empty();
+        }
+    }
+
+    fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn retired_len(&self) -> usize {
+        self.retired.len()
+    }
+
+    fn force_empty(&mut self) {
+        self.empty();
+    }
+}
+
+impl Drop for EbrHandle {
+    fn drop(&mut self) {
+        self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(threads: usize) -> Arc<Ebr> {
+        Ebr::new(Config::default().with_max_threads(threads).with_empty_freq(1).with_epoch_freq(1))
+    }
+
+    #[test]
+    fn idle_system_reclaims_immediately() {
+        let smr = setup(1);
+        let mut h = smr.register();
+        h.start_op();
+        let n = h.alloc(1u32);
+        h.end_op(); // no active threads now
+        unsafe { h.retire(n) };
+        assert_eq!(h.retired_len(), 0);
+    }
+
+    #[test]
+    fn active_thread_with_older_epoch_blocks_reclamation() {
+        let smr = setup(2);
+        let mut stalled = smr.register();
+        let mut worker = smr.register();
+
+        stalled.start_op(); // announces current epoch and "stalls"
+
+        worker.start_op();
+        let n = worker.alloc(5u64); // advances epoch (epoch_freq=1)
+        unsafe { worker.retire(n) };
+        worker.end_op();
+        assert!(
+            worker.retired_len() >= 1,
+            "node retired at >= stalled thread's epoch must be pinned"
+        );
+
+        stalled.end_op();
+        worker.end_op();
+        worker.force_empty();
+        assert_eq!(worker.retired_len(), 0, "reclaims once the straggler finishes");
+    }
+
+    #[test]
+    fn stalled_thread_pins_unbounded_waste() {
+        // EBR's non-robustness (§3.2): waste grows with churn while a thread
+        // is parked mid-operation.
+        let smr = setup(2);
+        let mut stalled = smr.register();
+        let mut worker = smr.register();
+        stalled.start_op();
+        worker.start_op();
+        for i in 0..500u32 {
+            let n = worker.alloc(i);
+            unsafe { worker.retire(n) };
+        }
+        assert!(
+            worker.retired_len() >= 500,
+            "waste {} should grow without bound under a stall",
+            worker.retired_len()
+        );
+        stalled.end_op();
+        worker.end_op();
+        worker.force_empty();
+        assert_eq!(worker.retired_len(), 0);
+    }
+
+    #[test]
+    fn later_epoch_nodes_freed_even_with_active_threads() {
+        let smr = setup(2);
+        let mut a = smr.register();
+        let mut b = smr.register();
+        // b retires a node at an old epoch while a is inactive.
+        b.start_op();
+        let old = b.alloc(1u32);
+        unsafe { b.retire(old) };
+        // Advance epochs past the retirement stamp (epoch_freq = 1).
+        let fillers: Vec<_> = (0..4).map(|_| b.alloc(0u8)).collect();
+        b.end_op();
+        // Both threads start ops AFTER the retirement epoch advanced; their
+        // fresh announcements cannot pin `old`.
+        a.start_op();
+        b.start_op();
+        b.force_empty();
+        assert!(
+            !b.retired.iter().any(|r| r.addr() == old.as_raw() as u64),
+            "old node freed despite active thread"
+        );
+        a.end_op();
+        b.end_op();
+        for f in fillers {
+            unsafe { b.retire(f) };
+        }
+        b.force_empty();
+        assert_eq!(b.retired_len(), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Hazard eras (Ramalhete & Correia 2017; paper §3.3).
+//!
+//! HE keeps HP's per-reference protection slots but stores *eras* (epoch
+//! values) instead of addresses. Nodes carry a birth era and a retire era;
+//! a retired node may be freed when no announced era lies inside its
+//! birth–death interval. Because the global era advances only every
+//! `epoch_freq` deletions, consecutive reads usually see an unchanged era
+//! and skip the announcement fence — this is how HE undercuts HP's
+//! overhead while keeping HP's deployment effort.
+//!
+//! HE is robust (a stalled thread cannot pin nodes born after its announced
+//! eras) but its wasted memory is not bounded by a predetermined value: all
+//! nodes alive at the moment a thread stalls stay pinned, which can be the
+//! entire data structure (§1).
+
+use std::sync::Arc;
+
+use core::sync::atomic::Ordering;
+
+use crate::api::{Config, Smr, SmrHandle};
+use crate::node::Retired;
+use crate::packed::{Atomic, Shared};
+use crate::registry::{Registry, SlotArray};
+use crate::schemes::common::{counted_fence, EpochClock, PendingGauge, INACTIVE};
+use crate::stats::OpStats;
+
+/// Hazard-eras SMR scheme (shared state).
+pub struct He {
+    clock: EpochClock,
+    /// Era announcement slots (`INACTIVE` = no era announced).
+    era_slots: SlotArray,
+    registry: Registry,
+    cfg: Config,
+    pending: PendingGauge,
+}
+
+/// Per-thread handle for [`He`].
+pub struct HeHandle {
+    scheme: Arc<He>,
+    tid: usize,
+    /// Local mirror of this thread's announced eras.
+    local: Vec<u64>,
+    retired: Vec<Retired>,
+    retire_counter: usize,
+    stats: OpStats,
+}
+
+impl Smr for He {
+    type Handle = HeHandle;
+
+    fn new(cfg: Config) -> Arc<Self> {
+        Arc::new(He {
+            clock: EpochClock::new(),
+            era_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, INACTIVE),
+            registry: Registry::new(cfg.max_threads),
+            cfg,
+            pending: PendingGauge::default(),
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> HeHandle {
+        HeHandle {
+            scheme: self.clone(),
+            tid: self.registry.acquire(),
+            local: vec![INACTIVE; self.cfg.slots_per_thread],
+            retired: Vec::new(),
+            retire_counter: 0,
+            stats: OpStats::default(),
+        }
+    }
+
+    fn name() -> &'static str {
+        "HE"
+    }
+
+    fn retired_pending(&self) -> usize {
+        self.pending.get()
+    }
+}
+
+impl Drop for He {
+    fn drop(&mut self) {
+        // Safety: no handle outlives the scheme.
+        unsafe { self.registry.reclaim_orphans() };
+    }
+}
+
+impl He {
+    /// Snapshots every announced era, sorted, for interval queries.
+    fn snapshot_eras(&self) -> Vec<u64> {
+        let mut snap =
+            Vec::with_capacity(self.era_slots.threads() * self.era_slots.slots_per_thread());
+        for tid in 0..self.era_slots.threads() {
+            for slot in self.era_slots.row(tid) {
+                let v = slot.load(Ordering::Acquire);
+                if v != INACTIVE {
+                    snap.push(v);
+                }
+            }
+        }
+        snap.sort_unstable();
+        snap
+    }
+}
+
+/// True if some announced era in sorted `eras` lies in `[birth, retire]`.
+fn interval_hit(eras: &[u64], birth: u64, retire: u64) -> bool {
+    let i = eras.partition_point(|&e| e < birth);
+    i < eras.len() && eras[i] <= retire
+}
+
+impl HeHandle {
+    fn empty(&mut self) {
+        self.stats.empties += 1;
+        core::sync::atomic::fence(Ordering::SeqCst);
+        let eras = self.scheme.snapshot_eras();
+        let before = self.retired.len();
+        let mut kept = Vec::with_capacity(before);
+        for r in self.retired.drain(..) {
+            if interval_hit(&eras, r.birth, r.retire) {
+                kept.push(r);
+            } else {
+                // Safety: no announced era overlaps the node's lifetime, so
+                // no thread can have validated a protection for it (§3.3).
+                unsafe { r.reclaim() };
+            }
+        }
+        let freed = before - kept.len();
+        self.stats.frees += freed as u64;
+        self.scheme.pending.sub(freed);
+        self.retired = kept;
+    }
+}
+
+impl SmrHandle for HeHandle {
+    fn start_op(&mut self) {
+        self.stats.ops += 1;
+        self.stats.retired_sampled_sum += self.retired.len() as u64;
+    }
+
+    fn end_op(&mut self) {
+        // Era slots are *not* cleared between operations (lazy eras): a
+        // stale era only pins nodes whose lifetime contains it — a
+        // shrinking, finite set — so robustness is unaffected, while the
+        // next operation that sees an unchanged global era pays no fence at
+        // all. This matches the paper's characterization of HE's per-read
+        // cost as "only reading the global epoch" (§6).
+    }
+
+    fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
+        // Published HE get_protected loop: (re)announce the era until it is
+        // stable across the pointer load. A stable era proves any node seen
+        // by the load has birth ≤ era ≤ retire w.r.t. our announcement.
+        let mut prev = self.local[refno];
+        loop {
+            let w = src.load(Ordering::Acquire);
+            let era = self.scheme.clock.now();
+            if era == prev {
+                return w;
+            }
+            self.scheme.era_slots.get(self.tid, refno).store(era, Ordering::Release);
+            self.local[refno] = era;
+            counted_fence(&mut self.stats);
+            prev = era;
+        }
+    }
+
+    fn unprotect(&mut self, refno: usize) {
+        self.scheme.era_slots.get(self.tid, refno).store(INACTIVE, Ordering::Release);
+        self.local[refno] = INACTIVE;
+    }
+
+    fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T> {
+        self.alloc_with_index(data, 0)
+    }
+
+    fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        self.stats.allocs += 1;
+        let ptr = crate::node::alloc_node(data, index, self.scheme.clock.now());
+        unsafe { Shared::from_owned(ptr) }
+    }
+
+    unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
+        self.stats.retires += 1;
+        self.scheme.pending.add(1);
+        let stamp = self.scheme.clock.now();
+        self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
+        self.retire_counter += 1;
+        // HE advances the era every constant number of deletions (§3.3).
+        if self.retire_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
+            self.scheme.clock.advance();
+        }
+        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
+            self.empty();
+        }
+    }
+
+    fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn retired_len(&self) -> usize {
+        self.retired.len()
+    }
+
+    fn force_empty(&mut self) {
+        self.empty();
+    }
+}
+
+impl Drop for HeHandle {
+    fn drop(&mut self) {
+        self.scheme.era_slots.clear_row(self.tid, Ordering::Release);
+        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(threads: usize) -> Arc<He> {
+        He::new(Config::default().with_max_threads(threads).with_empty_freq(1).with_epoch_freq(1))
+    }
+
+    #[test]
+    fn interval_hit_logic() {
+        assert!(interval_hit(&[5], 5, 5));
+        assert!(interval_hit(&[3, 9], 4, 9));
+        assert!(!interval_hit(&[3, 9], 4, 8));
+        assert!(!interval_hit(&[], 0, u64::MAX));
+        assert!(interval_hit(&[0], 0, 0));
+        assert!(!interval_hit(&[10], 0, 9));
+        assert!(!interval_hit(&[10], 11, 20));
+    }
+
+    #[test]
+    fn era_inside_lifetime_blocks_reclamation() {
+        let smr = setup(2);
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+
+        writer.start_op();
+        let n = writer.alloc(1u32);
+        let cell = Atomic::new(n);
+
+        reader.start_op();
+        let got = reader.read(&cell, 0); // announces current era
+        assert_eq!(got, n);
+
+        cell.store(Shared::null(), Ordering::Release);
+        unsafe { writer.retire(n) };
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 1, "announced era within [birth,retire] pins node");
+        assert_eq!(unsafe { *got.deref().data() }, 1);
+
+        // Lazy eras: ending the operation keeps the era announced; only
+        // deregistering (or a later refresh) releases it.
+        reader.end_op();
+        drop(reader);
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 0);
+        writer.end_op();
+    }
+
+    #[test]
+    fn nodes_born_after_stall_are_reclaimed() {
+        // Robustness: the stalled reader's eras predate new nodes' births.
+        let smr = setup(2);
+        let mut stalled = smr.register();
+        let mut worker = smr.register();
+
+        stalled.start_op();
+        worker.start_op();
+        let pin = worker.alloc(0u32);
+        let cell = Atomic::new(pin);
+        let _ = stalled.read(&cell, 0); // stalled announces era, then stops
+        // Churn: every alloc is born after the era advanced (epoch_freq=1).
+        for i in 0..100u32 {
+            let churn = worker.alloc(i);
+            unsafe { worker.retire(churn) };
+        }
+        worker.force_empty();
+        assert!(
+            worker.retired_len() <= 2,
+            "younger nodes must be reclaimed despite stall, kept {}",
+            worker.retired_len()
+        );
+        stalled.end_op();
+        drop(stalled); // lazy eras: deregistration releases the stale era
+        worker.end_op();
+        cell.store(Shared::null(), Ordering::Release);
+        unsafe { worker.retire(pin) };
+        worker.force_empty();
+        assert_eq!(worker.retired_len(), 0);
+    }
+
+    #[test]
+    fn stable_era_reads_do_not_fence() {
+        let cfg = Config::default().with_max_threads(1).with_empty_freq(100).with_epoch_freq(1000);
+        let smr = He::new(cfg);
+        let mut h = smr.register();
+        h.start_op();
+        let n = h.alloc(9u8);
+        let cell = Atomic::new(n);
+        let _ = h.read(&cell, 0);
+        let after_first = h.stats().fences;
+        for _ in 0..50 {
+            let _ = h.read(&cell, 0);
+        }
+        assert_eq!(h.stats().fences, after_first, "unchanged era ⇒ no fence");
+        h.end_op();
+        unsafe { h.retire(n) };
+        h.force_empty();
+    }
+}

@@ -1,0 +1,153 @@
+//! No reclamation: retired nodes are never freed while the scheme lives.
+//!
+//! `Leaky` is the zero-overhead upper bound used to isolate SMR cost in
+//! benchmarks (reads are plain loads; no fences, no scans). Retired nodes
+//! are buffered and released only when the scheme itself is dropped, so the
+//! process does not actually leak in tests.
+
+use std::sync::Arc;
+
+use core::sync::atomic::Ordering;
+
+use crate::api::{Config, Smr, SmrHandle};
+use crate::node::Retired;
+use crate::packed::{Atomic, Shared};
+use crate::registry::Registry;
+use crate::schemes::common::PendingGauge;
+use crate::stats::OpStats;
+
+/// The leaky "scheme": never reclaims (see module docs).
+pub struct Leaky {
+    registry: Registry,
+    pending: PendingGauge,
+}
+
+/// Per-thread handle for [`Leaky`].
+pub struct LeakyHandle {
+    scheme: Arc<Leaky>,
+    tid: usize,
+    retired: Vec<Retired>,
+    stats: OpStats,
+}
+
+impl Smr for Leaky {
+    type Handle = LeakyHandle;
+
+    fn new(cfg: Config) -> Arc<Self> {
+        Arc::new(Leaky { registry: Registry::new(cfg.max_threads), pending: PendingGauge::default() })
+    }
+
+    fn register(self: &Arc<Self>) -> LeakyHandle {
+        LeakyHandle {
+            scheme: self.clone(),
+            tid: self.registry.acquire(),
+            retired: Vec::new(),
+            stats: OpStats::default(),
+        }
+    }
+
+    fn name() -> &'static str {
+        "Leaky"
+    }
+
+    fn retired_pending(&self) -> usize {
+        self.pending.get()
+    }
+}
+
+impl Drop for Leaky {
+    fn drop(&mut self) {
+        // Safety: no handle outlives the scheme (handles hold an Arc).
+        unsafe { self.registry.reclaim_orphans() };
+    }
+}
+
+impl SmrHandle for LeakyHandle {
+    fn start_op(&mut self) {
+        self.stats.ops += 1;
+        self.stats.retired_sampled_sum += self.retired.len() as u64;
+    }
+
+    fn end_op(&mut self) {}
+
+    #[inline]
+    fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, _refno: usize) -> Shared<T> {
+        src.load(Ordering::Acquire)
+    }
+
+    fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T> {
+        self.alloc_with_index(data, 0)
+    }
+
+    fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        self.stats.allocs += 1;
+        let ptr = crate::node::alloc_node(data, index, 0);
+        unsafe { Shared::from_owned(ptr) }
+    }
+
+    unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
+        self.stats.retires += 1;
+        self.scheme.pending.add(1);
+        self.retired.push(unsafe { Retired::new(node.as_raw(), 0) });
+    }
+
+    fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn retired_len(&self) -> usize {
+        self.retired.len()
+    }
+
+    fn force_empty(&mut self) {
+        // Leaky never reclaims.
+        self.stats.empties += 1;
+    }
+}
+
+impl Drop for LeakyHandle {
+    fn drop(&mut self) {
+        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaky_never_reclaims_until_scheme_drop() {
+        let smr = Leaky::new(Config::default().with_max_threads(1));
+        let mut h = smr.register();
+        h.start_op();
+        let n = h.alloc(7u32);
+        unsafe { h.retire(n) };
+        h.force_empty();
+        h.end_op();
+        assert_eq!(h.retired_len(), 1, "leaky keeps everything");
+        assert_eq!(smr.retired_pending(), 1);
+        drop(h);
+        assert_eq!(smr.registry.orphan_count(), 1, "node parked as orphan on handle drop");
+        // Scheme drop reclaims orphans; exact gauge equality is asserted by
+        // the single-process `leak_check` integration test.
+    }
+
+    #[test]
+    fn read_is_plain_load() {
+        let smr = Leaky::new(Config::default().with_max_threads(1));
+        let mut h = smr.register();
+        h.start_op();
+        let n = h.alloc(99u64);
+        let cell = Atomic::new(n);
+        let r = h.read(&cell, 0);
+        assert_eq!(r, n);
+        assert_eq!(h.stats().fences, 0, "no protection fences");
+        assert_eq!(unsafe { *r.deref().data() }, 99);
+        h.end_op();
+        unsafe { h.retire(n) };
+    }
+}

@@ -1,0 +1,31 @@
+//! The SMR schemes evaluated in the paper.
+//!
+//! | Scheme | Paper §| Wasted memory | Protection granularity |
+//! |--------|--------|---------------|------------------------|
+//! | [`Mp`] | §4 | **Predetermined bound** | logical key intervals (margins) |
+//! | [`Hp`] | §3.1 | Predetermined bound | physical node per dereference |
+//! | [`Ebr`] | §3.2 | Unbounded (not robust) | whole operations |
+//! | [`He`] | §3.3 | Robust, unbounded | era per dereference |
+//! | [`Ibr`] | §3.3 | Robust, unbounded | epoch interval per operation |
+//! | [`Dta`] | §3.1 | Robust† | anchor every k hops (lists only) |
+//! | [`Leaky`] | — | Everything | none (never reclaims) |
+//!
+//! † frozen-node memory can grow arbitrarily; see §3.1.
+
+pub(crate) mod common;
+
+mod dta;
+mod ebr;
+mod he;
+mod hp;
+mod ibr;
+mod leaky;
+mod mp;
+
+pub use dta::{Dta, DtaHandle, Freezer};
+pub use ebr::{Ebr, EbrHandle};
+pub use he::{He, HeHandle};
+pub use hp::{Hp, HpHandle};
+pub use ibr::{Ibr, IbrHandle};
+pub use leaky::{Leaky, LeakyHandle};
+pub use mp::{Mp, MpHandle};

@@ -1,0 +1,740 @@
+//! Margin pointers — the paper's contribution (§4, Listing 10).
+//!
+//! MP is pointer-based reclamation where each protection slot announces a
+//! *logical key interval* instead of a physical node: a margin pointer with
+//! value `i` protects every node whose 32-bit index lies within
+//! `margin / 2` of `i`. Because node indices approximate physical proximity
+//! (they are assigned as midpoints of the insertion-time search interval,
+//! §4.1), one announcement + one fence typically covers a long stretch of a
+//! traversal — HP's safety at a fraction of its fence cost.
+//!
+//! Three mechanisms make the scheme practical (§4.3):
+//!
+//! 1. **Pointer packing** — pointers carry the pointee's index high bits, so
+//!    protection can be checked without dereferencing ([`crate::packed`]).
+//! 2. **`USE_HP` fallback** — when a new node's search interval leaves no
+//!    room for a fresh index ( |upper − lower| ≤ 1 ), the node is stamped
+//!    `USE_HP` and protected with an ordinary hazard pointer. This keeps the
+//!    indices of all MP-protected *linked* nodes unique.
+//! 3. **Epoch filter** — retired nodes may still collide (same position
+//!    re-inserted/re-deleted repeatedly). An HE-style birth/retire epoch
+//!    filter, with the epoch advanced every `epoch_freq` unlinks, caps how
+//!    many same-index retired nodes one margin can pin (Theorem 4.2).
+//!
+//! The resulting wasted-memory bound per thread is
+//! `#HP + #MP·margin + #MP·margin·epoch_freq·T` — *predetermined*, unlike
+//! the robust-but-unbounded HE/IBR.
+//!
+//! ## Deviations from Listing 10 (documented in DESIGN.md)
+//!
+//! * The margin-hit fast path re-checks the global epoch (one shared load,
+//!   no fence). Without it, a node born *after* the thread's announced
+//!   epoch could be returned under margin protection yet be invisible to
+//!   the reclaimer's epoch filter — a use-after-free window. With the
+//!   check, observing an epoch change switches the operation to hazard
+//!   pointers, exactly the fallback §4.3.2 prescribes for the slow path.
+//! * `empty()` treats the entire top-64K index range as the `USE_HP` class
+//!   (the packed 16 bits cannot distinguish it) and checks *both* HP and MP
+//!   slots for every candidate, which is strictly conservative.
+
+use std::sync::Arc;
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::api::{Config, Smr, SmrHandle};
+use crate::node::{is_use_hp_class, Retired, USE_HP};
+use crate::packed::{Atomic, Shared};
+use crate::registry::{Registry, SlotArray};
+use crate::schemes::common::{counted_fence, PendingGauge, INACTIVE, NO_HAZARD, NO_MARGIN};
+use crate::stats::OpStats;
+
+/// Margin-pointers SMR scheme (shared state).
+pub struct Mp {
+    /// Global epoch, advanced every `epoch_freq` unlinks per thread (§4.3.2).
+    global_epoch: AtomicU64,
+    /// Margin announcement slots (32-bit index midpoints; `NO_MARGIN` idle).
+    mp_slots: SlotArray,
+    /// Hazard fallback slots (node addresses; `NO_HAZARD` idle).
+    hp_slots: SlotArray,
+    /// Per-thread announced start-of-operation epochs (`INACTIVE` idle).
+    local_epochs: SlotArray,
+    registry: Registry,
+    cfg: Config,
+    pending: PendingGauge,
+}
+
+/// Per-thread handle for [`Mp`].
+pub struct MpHandle {
+    scheme: Arc<Mp>,
+    tid: usize,
+    /// Local mirrors of this thread's announced slots.
+    local_mps: Vec<u64>,
+    local_hps: Vec<u64>,
+    /// Search-interval endpoints maintained by the client's insert
+    /// (Listing 5); consumed by [`SmrHandle::alloc`].
+    lower_bound: u32,
+    upper_bound: u32,
+    /// Epoch announced at `start_op`.
+    epoch: u64,
+    /// Cached `margin / 2` (avoids chasing the config on every read).
+    margin_half: i64,
+    /// Set when the thread observes the epoch advancing mid-operation;
+    /// all subsequent reads protect with HPs (old margins remain valid).
+    use_hp_mode: bool,
+    retired: Vec<Retired>,
+    retire_counter: usize,
+    unlink_counter: usize,
+    stats: OpStats,
+}
+
+impl Smr for Mp {
+    type Handle = MpHandle;
+
+    fn new(cfg: Config) -> Arc<Self> {
+        assert!(cfg.margin > 1 << 16, "margin must exceed pointer precision (2^16), §4.3.1");
+        Arc::new(Mp {
+            global_epoch: AtomicU64::new(1),
+            mp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_MARGIN),
+            hp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_HAZARD),
+            local_epochs: SlotArray::new(cfg.max_threads, 1, INACTIVE),
+            registry: Registry::new(cfg.max_threads),
+            cfg,
+            pending: PendingGauge::default(),
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> MpHandle {
+        MpHandle {
+            scheme: self.clone(),
+            tid: self.registry.acquire(),
+            local_mps: vec![NO_MARGIN; self.cfg.slots_per_thread],
+            local_hps: vec![NO_HAZARD; self.cfg.slots_per_thread],
+            lower_bound: 0,
+            upper_bound: 0,
+            epoch: 0,
+            margin_half: (self.cfg.margin / 2) as i64,
+            use_hp_mode: false,
+            retired: Vec::new(),
+            retire_counter: 0,
+            unlink_counter: 0,
+            stats: OpStats::default(),
+        }
+    }
+
+    fn name() -> &'static str {
+        "MP"
+    }
+
+    fn retired_pending(&self) -> usize {
+        self.pending.get()
+    }
+}
+
+impl Drop for Mp {
+    fn drop(&mut self) {
+        // Safety: no handle outlives the scheme.
+        unsafe { self.registry.reclaim_orphans() };
+    }
+}
+
+/// One thread's protection state, snapshotted by `empty()` (the paper's
+/// snapshot optimization, §6), with the margins preprocessed into a
+/// stabbing structure (the "interval tree" optimization §4.3 suggests):
+/// intervals sorted by start with a running maximum of ends, so an
+/// intersection query is one binary search instead of a slot scan.
+struct ThreadSnap {
+    epoch: u64,
+    /// Margin intervals `(lo, hi)` sorted by `lo`.
+    intervals: Vec<(i64, i64)>,
+    /// `prefix_max_hi[i] = max(intervals[..=i].hi)`.
+    prefix_max_hi: Vec<i64>,
+    /// Announced hazard addresses, sorted.
+    hps: Vec<u64>,
+}
+
+impl ThreadSnap {
+    /// True if some margin interval of this thread intersects `[lo, hi]`.
+    fn covers(&self, lo: i64, hi: i64) -> bool {
+        // Candidates: intervals starting at or before `hi`; among them the
+        // largest end decides.
+        let n = self.intervals.partition_point(|&(s, _)| s <= hi);
+        n > 0 && self.prefix_max_hi[n - 1] >= lo
+    }
+
+    /// True if `addr` is hazard-announced by this thread.
+    fn hazards(&self, addr: u64) -> bool {
+        self.hps.binary_search(&addr).is_ok()
+    }
+}
+
+impl Mp {
+    fn snapshot(&self) -> Vec<ThreadSnap> {
+        let half = (self.cfg.margin / 2) as i64;
+        (0..self.cfg.max_threads)
+            .map(|tid| {
+                let mut intervals: Vec<(i64, i64)> = self
+                    .mp_slots
+                    .row(tid)
+                    .iter()
+                    .map(|s| s.load(Ordering::Acquire))
+                    .filter(|&v| v != NO_MARGIN)
+                    .map(|mp| (mp as i64 - half, mp as i64 + half))
+                    .collect();
+                intervals.sort_unstable();
+                let mut prefix_max_hi = Vec::with_capacity(intervals.len());
+                let mut running = i64::MIN;
+                for &(_, hi) in &intervals {
+                    running = running.max(hi);
+                    prefix_max_hi.push(running);
+                }
+                let mut hps: Vec<u64> = self
+                    .hp_slots
+                    .row(tid)
+                    .iter()
+                    .map(|s| s.load(Ordering::Acquire))
+                    .filter(|&v| v != NO_HAZARD)
+                    .collect();
+                hps.sort_unstable();
+                ThreadSnap {
+                    epoch: self.local_epochs.get(tid, 0).load(Ordering::Acquire),
+                    intervals,
+                    prefix_max_hi,
+                    hps,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The *pointer-precision range* of `index`: due to the 16-bit packing
+/// loss, protection must be judged against the full
+/// `[index & !0xffff, index | 0xffff]` block (Listing 10, note 7).
+fn precision_range(index: u32) -> (i64, i64) {
+    ((index & 0xffff_0000) as i64, (index | 0xffff) as i64)
+}
+
+impl MpHandle {
+    /// Reclamation pass (Listing 10 `empty`), with the slot-snapshot
+    /// optimization.
+    fn empty(&mut self) {
+        self.stats.empties += 1;
+        core::sync::atomic::fence(Ordering::SeqCst);
+        let naive = self.scheme.cfg.ablation_naive_scan;
+        let shared_snaps = if naive { None } else { Some(self.scheme.snapshot()) };
+        let before = self.retired.len();
+        let mut kept = Vec::with_capacity(before);
+        'next_node: for r in self.retired.drain(..) {
+            // Ablation: without the snapshot optimization, the live slot
+            // arrays are re-read for every retired node.
+            let per_node_snaps;
+            let snaps = match &shared_snaps {
+                Some(s) => s,
+                None => {
+                    per_node_snaps = self.scheme.snapshot();
+                    &per_node_snaps
+                }
+            };
+            let (range_lo, range_hi) = precision_range(r.index);
+            for snap in snaps {
+                // Hazard check: UNCONDITIONAL. Listing 10 epoch-filters the
+                // hazard slots too, but a thread that observed the epoch
+                // advancing protects *newer-born* nodes with HPs (the
+                // §4.3.2 fallback) precisely while its announced epoch
+                // predates their birth — epoch-filtering hazards would
+                // reclaim under those protections (caught by
+                // tests/mp_depth.rs). Address protection is epoch-free and
+                // the waste bound's #HP term is unaffected.
+                if snap.hazards(r.addr()) {
+                    kept.push(r);
+                    continue 'next_node;
+                }
+                // Epoch filter applies to margins only: a thread whose
+                // announced epoch lies outside the node's lifetime cannot
+                // have (validly) margin-protected it — Theorem 4.2's key
+                // step, bounding same-index retiree pileups.
+                if snap.epoch < r.birth || snap.epoch > r.retire {
+                    continue;
+                }
+                if !is_use_hp_class(r.index) && snap.covers(range_lo, range_hi) {
+                    kept.push(r);
+                    continue 'next_node;
+                }
+            }
+            // Safety: no HP holds the address and no margin (of a thread
+            // whose epoch admits the node's lifetime) covers its index, so
+            // no thread can have validated protection for it (Theorem 4.3).
+            unsafe { r.reclaim() };
+        }
+        let freed = before - kept.len();
+        self.stats.frees += freed as u64;
+        self.scheme.pending.sub(freed);
+        self.retired = kept;
+    }
+
+    /// Hazard-pointer protection of `w`'s target, with validation.
+    /// Returns the validated word or `None` if `src` changed.
+    fn hp_protect<T: Send + Sync>(
+        &mut self,
+        src: &Atomic<T>,
+        refno: usize,
+        w: Shared<T>,
+    ) -> Option<Shared<T>> {
+        let addr = w.as_raw() as u64;
+        if self.local_hps[refno] == addr {
+            return Some(w); // already protected by this slot
+        }
+        self.scheme.hp_slots.get(self.tid, refno).store(addr, Ordering::Release);
+        self.local_hps[refno] = addr;
+        counted_fence(&mut self.stats);
+        if src.load(Ordering::Acquire) == w {
+            Some(w)
+        } else {
+            None
+        }
+    }
+}
+
+impl SmrHandle for MpHandle {
+    fn start_op(&mut self) {
+        self.stats.ops += 1;
+        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        self.epoch = self.scheme.global_epoch.load(Ordering::SeqCst);
+        self.scheme.local_epochs.get(self.tid, 0).store(self.epoch, Ordering::Release);
+        self.lower_bound = 0;
+        self.upper_bound = 0;
+        self.use_hp_mode = false;
+        // Announcement must be visible before any data-structure read
+        // (Listing 10 start_op's memory_fence).
+        counted_fence(&mut self.stats);
+    }
+
+    fn end_op(&mut self) {
+        if self.scheme.cfg.ablation_per_slot_fence {
+            // Unoptimized baseline: fence after clearing each slot.
+            for i in 0..self.local_mps.len() {
+                self.scheme.mp_slots.get(self.tid, i).store(NO_MARGIN, Ordering::Release);
+                counted_fence(&mut self.stats);
+                self.scheme.hp_slots.get(self.tid, i).store(NO_HAZARD, Ordering::Release);
+                counted_fence(&mut self.stats);
+            }
+            self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+            self.local_mps.fill(NO_MARGIN);
+            self.local_hps.fill(NO_HAZARD);
+            counted_fence(&mut self.stats);
+            return;
+        }
+        // Clear margins + hazards + epoch, then a single fence (§6 opt).
+        self.scheme.mp_slots.clear_row(self.tid, Ordering::Release);
+        self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
+        self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+        self.local_mps.fill(NO_MARGIN);
+        self.local_hps.fill(NO_HAZARD);
+        counted_fence(&mut self.stats);
+    }
+
+    fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
+        loop {
+            let w = src.load(Ordering::Acquire);
+            if w.is_null() {
+                return w;
+            }
+            let (idx_lo, idx_hi) = w.index_bounds();
+
+            // Collision / USE_HP-class / fallback-mode reads go through HP
+            // (§4.3.2).
+            if idx_hi == USE_HP || self.use_hp_mode {
+                self.stats.hp_fallback_reads += 1;
+                match self.hp_protect(src, refno, w) {
+                    Some(w) => return w,
+                    None => continue,
+                }
+            }
+
+            // Margin fast path: index range already covered by this refno's
+            // announced margin?
+            let mp = self.local_mps[refno];
+            if mp != NO_MARGIN {
+                let half = self.margin_half;
+                if mp as i64 - half <= idx_lo as i64 && (idx_hi as i64) <= mp as i64 + half {
+                    // Deviation from Listing 10 (see module docs): ensure the
+                    // epoch did not advance, else a node born after our
+                    // announced epoch could slip past the reclaimer's filter.
+                    if self.scheme.global_epoch.load(Ordering::SeqCst) == self.epoch {
+                        return w;
+                    }
+                    self.use_hp_mode = true;
+                    continue;
+                }
+            }
+
+            // Already protected by this refno's hazard slot?
+            if self.local_hps[refno] != NO_HAZARD && self.local_hps[refno] == w.as_raw() as u64 {
+                return w;
+            }
+
+            // Announce a fresh margin around the node's index midpoint.
+            let mid = (idx_lo + (1u32 << 15)) as u64;
+            self.scheme.mp_slots.get(self.tid, refno).store(mid, Ordering::Release);
+            self.local_mps[refno] = mid;
+            counted_fence(&mut self.stats);
+            // Validate the node is still reachable from `src`: the margin
+            // was announced while the node was linked.
+            if src.load(Ordering::Acquire) == w {
+                // Listing 10: ensure the epoch did not advance; if it did,
+                // fall back to HPs for the rest of the operation (old
+                // margins remain announced and valid).
+                if self.scheme.global_epoch.load(Ordering::SeqCst) != self.epoch {
+                    self.use_hp_mode = true;
+                    continue;
+                }
+                return w;
+            }
+        }
+    }
+
+    fn unprotect(&mut self, _refno: usize) {
+        // No-op (§4.3 "Node Unprotection"): margins keep protecting
+        // future-accessed nodes; slots are cleared wholesale at end_op.
+    }
+
+    fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T> {
+        // Listing 10 alloc: midpoint of the search interval, or USE_HP when
+        // the interval has no room (index collision, §4.3.2).
+        let lo = self.lower_bound.min(self.upper_bound);
+        let hi = self.lower_bound.max(self.upper_bound);
+        let index = if hi - lo <= 1 {
+            self.stats.collision_allocs += 1;
+            USE_HP
+        } else {
+            match self.scheme.cfg.index_policy {
+                crate::api::IndexPolicy::Midpoint => lo + (hi - lo) / 2,
+                crate::api::IndexPolicy::AfterPred => lo + 1,
+            }
+        };
+        self.alloc_with_index(data, index)
+    }
+
+    fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        self.stats.allocs += 1;
+        if index == USE_HP {
+            // count explicit collisions routed through alloc() above or by
+            // sentinel setup; do not double count
+        }
+        let birth = self.scheme.global_epoch.load(Ordering::SeqCst);
+        let ptr = crate::node::alloc_node(data, index, birth);
+        unsafe { Shared::from_owned(ptr) }
+    }
+
+    unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
+        self.stats.retires += 1;
+        self.scheme.pending.add(1);
+        let stamp = self.scheme.global_epoch.load(Ordering::SeqCst);
+        self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
+        self.unlink_counter += 1;
+        // §4.3.2: each thread increments the global epoch once every
+        // `epoch_freq` node unlinks — the F of Theorem 4.2's bound.
+        if self.unlink_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
+            self.scheme.global_epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        self.retire_counter += 1;
+        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
+            self.empty();
+        }
+    }
+
+    fn update_lower_bound<T: Send + Sync>(&mut self, node: Shared<T>) {
+        // Safety of deref: the client passes a node protected during the
+        // current operation (Listing 5 reads n->index).
+        let idx = unsafe { node.deref() }.index();
+        self.lower_bound = idx;
+    }
+
+    fn update_upper_bound<T: Send + Sync>(&mut self, node: Shared<T>) {
+        let idx = unsafe { node.deref() }.index();
+        self.upper_bound = idx;
+    }
+
+    fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    fn retired_len(&self) -> usize {
+        self.retired.len()
+    }
+
+    fn force_empty(&mut self) {
+        self.empty();
+    }
+}
+
+impl Drop for MpHandle {
+    fn drop(&mut self) {
+        self.scheme.mp_slots.clear_row(self.tid, Ordering::Release);
+        self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
+        self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(threads: usize) -> Arc<Mp> {
+        Mp::new(
+            Config::default()
+                .with_max_threads(threads)
+                .with_empty_freq(1)
+                .with_epoch_freq(1000), // avoid mid-test epoch churn unless wanted
+        )
+    }
+
+    /// Builds a node with a given index, linked into a cell.
+    fn cell_with<T: Send + Sync>(h: &mut MpHandle, data: T, index: u32) -> (Atomic<T>, Shared<T>) {
+        let n = h.alloc_with_index(data, index);
+        (Atomic::new(n), n)
+    }
+
+    #[test]
+    fn midpoint_index_assignment() {
+        let smr = setup(1);
+        let mut h = smr.register();
+        h.start_op();
+        let (c_lo, lo) = cell_with(&mut h, 0u32, 1000);
+        let (c_hi, hi) = cell_with(&mut h, 0u32, 3000);
+        let lo_r = h.read(&c_lo, 0);
+        let hi_r = h.read(&c_hi, 1);
+        h.update_lower_bound(lo_r);
+        h.update_upper_bound(hi_r);
+        let n = h.alloc(7u32);
+        assert_eq!(unsafe { n.deref() }.index(), 2000, "midpoint of (1000,3000)");
+        h.end_op();
+        unsafe {
+            h.retire(n);
+            h.retire(lo);
+            h.retire(hi);
+        }
+        let _ = (c_lo, c_hi);
+    }
+
+    #[test]
+    fn exhausted_interval_yields_use_hp() {
+        let smr = setup(1);
+        let mut h = smr.register();
+        h.start_op();
+        let (c_lo, lo) = cell_with(&mut h, 0u32, 41);
+        let (c_hi, hi) = cell_with(&mut h, 0u32, 42);
+        let lo_r = h.read(&c_lo, 0);
+        let hi_r = h.read(&c_hi, 1);
+        h.update_lower_bound(lo_r);
+        h.update_upper_bound(hi_r);
+        let n = h.alloc(1u8);
+        assert_eq!(unsafe { n.deref() }.index(), USE_HP);
+        assert_eq!(h.stats().collision_allocs, 1);
+        h.end_op();
+        unsafe {
+            h.retire(n);
+            h.retire(lo);
+            h.retire(hi);
+        }
+    }
+
+    #[test]
+    fn margin_protects_nearby_nodes_without_extra_fences() {
+        let smr = setup(1);
+        let mut h = smr.register();
+        h.start_op();
+        // Nodes clustered within one margin (margin default 2^20).
+        let cells: Vec<_> =
+            (0..8u32).map(|i| cell_with(&mut h, i, 500_000 + (i << 16))).collect();
+        let f0 = h.stats().fences;
+        let _ = h.read(&cells[0].0, 0);
+        let after_first = h.stats().fences;
+        assert_eq!(after_first, f0 + 1, "first read announces one margin");
+        for (c, _) in &cells[1..] {
+            let _ = h.read(c, 0);
+        }
+        assert_eq!(h.stats().fences, after_first, "margin covers the cluster: no more fences");
+        h.end_op();
+        for (_, n) in cells {
+            unsafe { h.retire(n) };
+        }
+    }
+
+    #[test]
+    fn margin_blocks_reclamation_of_covered_node() {
+        let smr = setup(2);
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+
+        writer.start_op();
+        let (cell, n) = cell_with(&mut writer, 5u64, 700_000);
+
+        reader.start_op();
+        let got = reader.read(&cell, 0);
+        assert_eq!(got, n);
+
+        cell.store(Shared::null(), Ordering::Release);
+        unsafe { writer.retire(n) };
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 1, "margin must pin the covered index");
+        assert_eq!(unsafe { *got.deref().data() }, 5);
+
+        reader.end_op();
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 0);
+        writer.end_op();
+    }
+
+    #[test]
+    fn far_away_nodes_not_pinned_by_margin() {
+        let smr = setup(2);
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+
+        writer.start_op();
+        let (cell, near) = cell_with(&mut writer, 0u32, 1 << 24);
+        reader.start_op();
+        let _ = reader.read(&cell, 0); // margin around 2^24
+
+        // Retire nodes far outside the margin (margin = 2^20).
+        for i in 0..50u32 {
+            let far = writer.alloc_with_index(i, (1 << 28) + (i << 17));
+            unsafe { writer.retire(far) };
+        }
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 0, "distant indices unprotected");
+
+        cell.store(Shared::null(), Ordering::Release);
+        unsafe { writer.retire(near) };
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 1, "near node still pinned");
+        reader.end_op();
+        writer.end_op();
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 0);
+    }
+
+    #[test]
+    fn use_hp_class_node_protected_via_hazard() {
+        let smr = setup(2);
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+
+        writer.start_op();
+        let (cell, n) = cell_with(&mut writer, 9u32, USE_HP);
+        reader.start_op();
+        let got = reader.read(&cell, 0);
+        assert_eq!(got, n);
+        assert!(reader.stats().hp_fallback_reads >= 1, "collision path must use HP");
+
+        cell.store(Shared::null(), Ordering::Release);
+        unsafe { writer.retire(n) };
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 1, "hazard pins the collision node");
+        assert_eq!(unsafe { *got.deref().data() }, 9);
+
+        reader.end_op();
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 0);
+        writer.end_op();
+    }
+
+    #[test]
+    fn epoch_advance_mid_op_switches_to_hp() {
+        let cfg = Config::default().with_max_threads(2).with_empty_freq(1000).with_epoch_freq(1);
+        let smr = Mp::new(cfg);
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+
+        writer.start_op();
+        let (c1, n1) = cell_with(&mut writer, 1u32, 100_000);
+        let (c2, n2) = cell_with(&mut writer, 2u32, 110_000);
+
+        reader.start_op();
+        let _ = reader.read(&c1, 0); // margin announced at epoch e
+
+        // Writer unlinks something unrelated → epoch advances (freq 1).
+        let junk = writer.alloc_with_index(0u8, 1);
+        unsafe { writer.retire(junk) };
+
+        // Reader's next read observes the change and must take the HP path.
+        let before = reader.stats().hp_fallback_reads;
+        let _ = reader.read(&c2, 1);
+        assert!(reader.use_hp_mode, "epoch change must flip the fallback flag");
+        let _ = reader.read(&c1, 0);
+        assert!(reader.stats().hp_fallback_reads > before);
+
+        reader.end_op();
+        writer.end_op();
+        unsafe {
+            writer.retire(n1);
+            writer.retire(n2);
+        }
+        writer.force_empty();
+        let _ = (c1, c2);
+    }
+
+    #[test]
+    fn theorem_4_2_waste_is_bounded_under_stall() {
+        // A stalled thread with announced margins + epoch pins at most
+        // #HP + #MP·M + #MP·M·F·T nodes; churned nodes born after its epoch
+        // must be reclaimed. We churn same-index nodes — the worst case the
+        // epoch filter exists for.
+        let cfg = Config::default()
+            .with_max_threads(2)
+            .with_slots_per_thread(2)
+            .with_empty_freq(1)
+            .with_epoch_freq(10);
+        let smr = Mp::new(cfg);
+        let mut stalled = smr.register();
+        let mut worker = smr.register();
+
+        worker.start_op();
+        let (cell, pinned) = cell_with(&mut worker, 0u32, 800_000);
+        stalled.start_op();
+        let _ = stalled.read(&cell, 0); // margin over 800_000, then stall
+
+        // Churn 5_000 nodes with the *same* index inside the margin.
+        for i in 0..5_000u32 {
+            let n = worker.alloc_with_index(i, 800_001);
+            unsafe { worker.retire(n) };
+        }
+        // Bound: #HP + #MP·M + #MP·M·F·T is astronomically larger than what
+        // we expect in practice; empirically only nodes retired while the
+        // stalled epoch admits them stay pinned — a couple of epochs' worth.
+        let pinned_count = worker.retired_len();
+        assert!(
+            pinned_count <= 2 * 10 * 2, // ≈ F·T epochs of same-margin churn
+            "stall pinned {pinned_count} nodes; epoch filter failed"
+        );
+
+        stalled.end_op();
+        cell.store(Shared::null(), Ordering::Release);
+        unsafe { worker.retire(pinned) };
+        worker.end_op();
+        worker.force_empty();
+        assert_eq!(worker.retired_len(), 0);
+    }
+
+    #[test]
+    fn sentinel_indices_allocate_explicitly() {
+        let smr = setup(1);
+        let mut h = smr.register();
+        h.start_op();
+        let head = h.alloc_with_index(0u64, 0);
+        let tail = h.alloc_with_index(u64::MAX, u32::MAX - 1);
+        assert_eq!(unsafe { head.deref() }.index(), 0);
+        assert_eq!(unsafe { tail.deref() }.index(), u32::MAX - 1);
+        h.end_op();
+        unsafe {
+            h.retire(head);
+            h.retire(tail);
+        }
+        h.force_empty();
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-handle operation statistics.
+//!
+//! The paper's evaluation reports three metrics beyond throughput:
+//! memory fences issued per traversed node (Figure 5), the average length of
+//! a thread's retired list sampled at operation start (Figure 6, 7c), and
+//! MP's hazard-pointer fallback rate (Figure 7a discussion). Counters are
+//! plain per-handle `u64`s — no atomics on the hot path — and are aggregated
+//! by the benchmark driver after threads join.
+
+/// Counters accumulated by one SMR handle.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OpStats {
+    /// Full memory fences (or sequentially consistent protection stores)
+    /// issued on the protection path.
+    pub fences: u64,
+    /// Nodes traversed, incremented by the client data structure once per
+    /// node visited during searches. Denominator of Figure 5.
+    pub nodes_traversed: u64,
+    /// Operations started (`start_op` calls).
+    pub ops: u64,
+    /// Sum over operations of the retired-list length at `start_op`.
+    /// `retired_sampled_sum / ops` is Figure 6's wasted-memory metric.
+    pub retired_sampled_sum: u64,
+    /// Nodes allocated through this handle.
+    pub allocs: u64,
+    /// Nodes retired through this handle.
+    pub retires: u64,
+    /// Nodes reclaimed (freed) by this handle's `empty()` runs.
+    pub frees: u64,
+    /// Reclamation passes executed.
+    pub empties: u64,
+    /// MP only: `read` calls that took the hazard-pointer fallback path
+    /// (index collision, USE_HP class, or epoch-advance fallback).
+    pub hp_fallback_reads: u64,
+    /// MP only: nodes allocated with the `USE_HP` collision index.
+    pub collision_allocs: u64,
+}
+
+impl OpStats {
+    /// Merges `other` into `self` (used when aggregating across handles).
+    pub fn merge(&mut self, other: &OpStats) {
+        self.fences += other.fences;
+        self.nodes_traversed += other.nodes_traversed;
+        self.ops += other.ops;
+        self.retired_sampled_sum += other.retired_sampled_sum;
+        self.allocs += other.allocs;
+        self.retires += other.retires;
+        self.frees += other.frees;
+        self.empties += other.empties;
+        self.hp_fallback_reads += other.hp_fallback_reads;
+        self.collision_allocs += other.collision_allocs;
+    }
+
+    /// Fences issued per traversed node (Figure 5's y-axis).
+    pub fn fences_per_node(&self) -> f64 {
+        if self.nodes_traversed == 0 {
+            0.0
+        } else {
+            self.fences as f64 / self.nodes_traversed as f64
+        }
+    }
+
+    /// Average retired-list length at operation start (Figure 6's y-axis).
+    pub fn avg_retired_at_op_start(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.retired_sampled_sum as f64 / self.ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = OpStats { fences: 1, nodes_traversed: 2, ops: 3, ..Default::default() };
+        let b = OpStats {
+            fences: 10,
+            nodes_traversed: 20,
+            ops: 30,
+            retired_sampled_sum: 40,
+            allocs: 50,
+            retires: 60,
+            frees: 70,
+            empties: 80,
+            hp_fallback_reads: 90,
+            collision_allocs: 100,
+        };
+        a.merge(&b);
+        assert_eq!(a.fences, 11);
+        assert_eq!(a.nodes_traversed, 22);
+        assert_eq!(a.ops, 33);
+        assert_eq!(a.retired_sampled_sum, 40);
+        assert_eq!(a.allocs, 50);
+        assert_eq!(a.retires, 60);
+        assert_eq!(a.frees, 70);
+        assert_eq!(a.empties, 80);
+        assert_eq!(a.hp_fallback_reads, 90);
+        assert_eq!(a.collision_allocs, 100);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let s = OpStats {
+            fences: 5,
+            nodes_traversed: 10,
+            ops: 4,
+            retired_sampled_sum: 12,
+            ..Default::default()
+        };
+        assert!((s.fences_per_node() - 0.5).abs() < 1e-12);
+        assert!((s.avg_retired_at_op_start() - 3.0).abs() < 1e-12);
+        let z = OpStats::default();
+        assert_eq!(z.fences_per_node(), 0.0);
+        assert_eq!(z.avg_retired_at_op_start(), 0.0);
+    }
+}

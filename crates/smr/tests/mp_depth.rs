@@ -1,0 +1,190 @@
+//! Deeper MP-specific properties: ablation parity, multi-reader epoch
+//! interactions, and dual-protection corners.
+
+use std::sync::atomic::Ordering;
+
+use mp_smr::schemes::Mp;
+use mp_smr::{Atomic, Config, IndexPolicy, Shared, Smr, SmrHandle};
+
+fn cfg() -> Config {
+    Config::default().with_max_threads(3).with_empty_freq(1).with_epoch_freq(1000)
+}
+
+/// The snapshot-optimized and naive reclamation scans must agree on every
+/// keep/free decision — the optimization is performance-only.
+#[test]
+fn snapshot_and_naive_scans_agree() {
+    for naive in [false, true] {
+        let smr = Mp::new(cfg().with_naive_scan(naive));
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+        writer.start_op();
+        reader.start_op();
+
+        // Reader protects three scattered margins.
+        let mut pinned_cells = Vec::new();
+        for (i, idx) in [1u32 << 20, 1 << 24, 1 << 28].iter().enumerate() {
+            let n = writer.alloc_with_index(0u32, *idx);
+            let cell = Atomic::new(n);
+            let got = reader.read(&cell, i);
+            assert_eq!(got, n);
+            pinned_cells.push((cell, n));
+        }
+        // Retire nodes inside and outside the margins.
+        let mut expect_kept = 0;
+        for idx in [
+            (1u32 << 20) + 5,       // inside margin 0
+            (1 << 24) - 100,        // inside margin 1
+            (1 << 28) + 1000,       // inside margin 2
+            (1 << 22),              // far from everything
+            (1 << 30),              // far
+        ] {
+            let probe = writer.alloc_with_index(0u32, idx);
+            unsafe { writer.retire(probe) };
+            let half = 1u32 << 19; // margin 2^20
+            let covered = [1u32 << 20, 1 << 24, 1 << 28].iter().any(|&m| {
+                let mid = (m & 0xffff_0000) as i64 + 0x8000;
+                let lo = (idx & 0xffff_0000) as i64;
+                let hi = (idx | 0xffff) as i64;
+                mid - (half as i64) <= hi && lo <= mid + half as i64
+            });
+            if covered {
+                expect_kept += 1;
+            }
+        }
+        writer.force_empty();
+        assert_eq!(
+            writer.retired_len(),
+            expect_kept,
+            "scan variant naive={naive} disagrees with the margin formula"
+        );
+        reader.end_op();
+        writer.end_op();
+        for (cell, n) in pinned_cells {
+            cell.store(Shared::null(), Ordering::Release);
+            unsafe { writer.retire(n) };
+        }
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 0);
+    }
+}
+
+/// Two readers announced at different epochs: the reclaimer must apply
+/// each reader's own epoch filter, not a global minimum.
+#[test]
+fn per_reader_epoch_filters() {
+    let smr = Mp::new(Config::default().with_max_threads(3).with_empty_freq(1).with_epoch_freq(1));
+    let mut early = smr.register();
+    let mut late = smr.register();
+    let mut writer = smr.register();
+
+    writer.start_op();
+    early.start_op(); // epoch e0
+
+    // Advance the epoch (epoch_freq = 1: every retire bumps it).
+    let junk = writer.alloc_with_index(0u8, 1);
+    unsafe { writer.retire(junk) };
+
+    late.start_op(); // epoch e1 > e0
+
+    // A node born & retired now: early's epoch e0 < birth ⇒ early's margins
+    // cannot pin it; late's margins can.
+    let n = writer.alloc_with_index(7u32, 1 << 24);
+    let cell = Atomic::new(n);
+    let _ = late.read(&cell, 0); // late margin covers 2^24
+    let _ = early.read(&cell, 0); // early margin also covers it physically...
+    cell.store(Shared::null(), Ordering::Release);
+    unsafe { writer.retire(n) };
+    writer.force_empty();
+    assert_eq!(writer.retired_len(), 1, "late reader must pin the node");
+
+    late.end_op();
+    writer.force_empty();
+    // Early announced before the node's birth; its margin alone must NOT
+    // pin it (Theorem 4.2's filter) — but early holds a reference!
+    // Safety is preserved because early's read detected the epoch change
+    // and fell back to a hazard pointer:
+    assert!(
+        early.stats().hp_fallback_reads > 0,
+        "early reader must have taken the HP fallback across the epoch change"
+    );
+    assert_eq!(writer.retired_len(), 1, "early's hazard still pins the node");
+    early.end_op();
+    writer.force_empty();
+    assert_eq!(writer.retired_len(), 0);
+    writer.end_op();
+}
+
+/// A node protected by BOTH a hazard (one reader) and a margin (another)
+/// stays pinned until the last protection is gone.
+#[test]
+fn dual_protection_released_in_order() {
+    let smr = Mp::new(cfg());
+    let mut margin_reader = smr.register();
+    let mut hazard_reader = smr.register();
+    let mut writer = smr.register();
+    writer.start_op();
+    margin_reader.start_op();
+    hazard_reader.start_op();
+
+    // USE_HP-class node: hazard_reader protects by address.
+    let hp_node = writer.alloc_with_index(1u32, u32::MAX);
+    let hp_cell = Atomic::new(hp_node);
+    let _ = hazard_reader.read(&hp_cell, 0);
+    // Normal node in margin_reader's margin.
+    let mp_node = writer.alloc_with_index(2u32, 1 << 22);
+    let mp_cell = Atomic::new(mp_node);
+    let _ = margin_reader.read(&mp_cell, 0);
+
+    hp_cell.store(Shared::null(), Ordering::Release);
+    mp_cell.store(Shared::null(), Ordering::Release);
+    unsafe {
+        writer.retire(hp_node);
+        writer.retire(mp_node);
+    }
+    writer.force_empty();
+    assert_eq!(writer.retired_len(), 2);
+
+    hazard_reader.end_op();
+    writer.force_empty();
+    assert_eq!(writer.retired_len(), 1, "margin still pins its node");
+
+    margin_reader.end_op();
+    writer.force_empty();
+    assert_eq!(writer.retired_len(), 0);
+    writer.end_op();
+}
+
+/// The AfterPred index policy produces in-gap indices too, just clustered;
+/// order consistency must hold for both policies.
+#[test]
+fn index_policies_respect_interval() {
+    for policy in [IndexPolicy::Midpoint, IndexPolicy::AfterPred] {
+        let smr = Mp::new(cfg().with_index_policy(policy));
+        let mut h = smr.register();
+        h.start_op();
+        let lo = h.alloc_with_index(0u8, 1000);
+        let hi = h.alloc_with_index(0u8, 2000);
+        let cl = Atomic::new(lo);
+        let ch = Atomic::new(hi);
+        let rl = h.read(&cl, 0);
+        let rh = h.read(&ch, 1);
+        h.update_lower_bound(rl);
+        h.update_upper_bound(rh);
+        let n = h.alloc(0u8);
+        let idx = unsafe { n.deref() }.index();
+        assert!(1000 < idx && idx < 2000, "{policy:?} gave {idx}");
+        if policy == IndexPolicy::AfterPred {
+            assert_eq!(idx, 1001);
+        } else {
+            assert_eq!(idx, 1500);
+        }
+        h.end_op();
+        unsafe {
+            h.retire(n);
+            h.retire(lo);
+            h.retire(hi);
+        }
+        h.force_empty();
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the SMR substrate: pointer packing, margin
+//! interval arithmetic, and scheme-level protection invariants.
+
+use proptest::prelude::*;
+
+use mp_smr::node::{is_use_hp_class, USE_HP};
+use mp_smr::schemes::{Hp, Mp};
+use mp_smr::{Atomic, Config, Shared, Smr, SmrHandle};
+
+proptest! {
+    /// Packing a (pointer, index, mark) triple and reading it back loses
+    /// only the low 16 index bits, exactly as specified (PRECISION = 16).
+    #[test]
+    fn packed_word_roundtrip(index in any::<u32>(), mark in 0u64..4) {
+        let smr = Hp::new(Config::default().with_max_threads(1));
+        let mut h = smr.register();
+        let n = h.alloc_with_index(0u8, index);
+        let m = n.with_mark(mark);
+        prop_assert_eq!(m.packed_index(), (index >> 16) as u16);
+        prop_assert_eq!(m.mark(), mark);
+        prop_assert_eq!(m.as_raw(), n.as_raw());
+        let (lo, hi) = m.index_bounds();
+        prop_assert!(lo <= index && index <= hi);
+        prop_assert_eq!(hi - lo, 0xffff);
+        // Round-trip through an atomic cell.
+        let cell = Atomic::new(m);
+        prop_assert_eq!(cell.load(std::sync::atomic::Ordering::Relaxed), m);
+        unsafe { h.retire(n) };
+        h.force_empty();
+    }
+
+    /// A reader's margin protects exactly the indices within margin/2 of
+    /// its announcement (modulo the 2^16 pointer-precision quantization):
+    /// retired nodes inside are pinned, outside are reclaimed.
+    #[test]
+    fn margin_interval_protection(
+        protected_index in 0u32..0xfff0_0000,
+        probe_index in 0u32..0xfff0_0000,
+    ) {
+        let margin = 1u32 << 20;
+        let cfg = Config::default()
+            .with_max_threads(2)
+            .with_empty_freq(1)
+            .with_epoch_freq(1_000_000)
+            .with_margin(margin);
+        let smr = Mp::new(cfg);
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+
+        writer.start_op();
+        reader.start_op();
+        let anchor = writer.alloc_with_index(0u32, protected_index);
+        let cell = Atomic::new(anchor);
+        let got = reader.read(&cell, 0);
+        prop_assert_eq!(got, anchor);
+
+        let probe = writer.alloc_with_index(1u32, probe_index);
+        unsafe { writer.retire(probe) }; // empty_freq = 1 → judged now
+
+        // The announced margin midpoint is the anchor's precision-block
+        // midpoint; the reclaimer pins the probe iff the margin intersects
+        // the probe's whole precision block.
+        let mid = (protected_index & 0xffff_0000) as i64 + 0x8000;
+        let p_lo = (probe_index & 0xffff_0000) as i64;
+        let p_hi = (probe_index | 0xffff) as i64;
+        let half = (margin / 2) as i64;
+        let expect_pinned =
+            !is_use_hp_class(probe_index) && mid - half <= p_hi && p_lo <= mid + half;
+        prop_assert_eq!(
+            writer.retired_len() == 1,
+            expect_pinned,
+            "probe {:#x} vs margin around {:#x}",
+            probe_index,
+            protected_index
+        );
+
+        reader.end_op();
+        writer.end_op();
+        cell.store(Shared::null(), std::sync::atomic::Ordering::Release);
+        unsafe { writer.retire(anchor) };
+        writer.force_empty();
+        prop_assert_eq!(writer.retired_len(), 0);
+    }
+
+    /// Hazard-pointer protection is exact: a retired node is pinned iff
+    /// some slot holds exactly its address.
+    #[test]
+    fn hp_protection_is_exact(protect in any::<bool>()) {
+        let cfg = Config::default().with_max_threads(2).with_empty_freq(1);
+        let smr = Hp::new(cfg);
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+        writer.start_op();
+        reader.start_op();
+        let n = writer.alloc(7u64);
+        let cell = Atomic::new(n);
+        if protect {
+            let _ = reader.read(&cell, 0);
+        }
+        cell.store(Shared::null(), std::sync::atomic::Ordering::Release);
+        unsafe { writer.retire(n) };
+        prop_assert_eq!(writer.retired_len() == 1, protect);
+        reader.end_op();
+        writer.end_op();
+        writer.force_empty();
+        prop_assert_eq!(writer.retired_len(), 0);
+    }
+
+    /// MP's collision marker: allocating with an exhausted search interval
+    /// always yields USE_HP; any wider interval yields a strictly interior
+    /// index, preserving the order embedding.
+    #[test]
+    fn alloc_index_respects_interval(lo in 0u32..u32::MAX - 2, width in 0u32..1_000_000) {
+        let hi = lo.saturating_add(width);
+        let smr = Mp::new(Config::default().with_max_threads(1).with_epoch_freq(1_000_000));
+        let mut h = smr.register();
+        h.start_op();
+        let a = h.alloc_with_index(0u8, lo);
+        let b = h.alloc_with_index(0u8, hi);
+        let ca = Atomic::new(a);
+        let cb = Atomic::new(b);
+        let ra = h.read(&ca, 0);
+        let rb = h.read(&cb, 1);
+        h.update_lower_bound(ra);
+        h.update_upper_bound(rb);
+        let n = h.alloc(0u8);
+        let idx = unsafe { n.deref() }.index();
+        if hi - lo <= 1 {
+            prop_assert_eq!(idx, USE_HP);
+        } else {
+            prop_assert!(lo < idx && idx < hi, "idx {} not inside ({}, {})", idx, lo, hi);
+        }
+        h.end_op();
+        unsafe {
+            h.retire(n);
+            h.retire(a);
+            h.retire(b);
+        }
+        h.force_empty();
+    }
+}

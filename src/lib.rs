@@ -1,0 +1,8 @@
+//! # margin-pointers — meta-crate
+//!
+//! Re-exports the SMR schemes (`mp-smr`) and the client data structures
+//! (`mp-ds`) under one roof; hosts the runnable examples and the
+//! cross-crate integration tests.
+
+pub use mp_ds as ds;
+pub use mp_smr as smr;

@@ -1,0 +1,72 @@
+//! MP's compatibility claim (§4.1): a client that never calls the optional
+//! `update_*_bound` extension gets plain hazard-pointer behavior — same
+//! interface, same safety, bounded waste — and an ascending-insert list
+//! (the index-collision worst case) stays correct while falling back.
+
+use margin_pointers::ds::{ConcurrentSet, LinkedList};
+use margin_pointers::smr::node::USE_HP;
+use margin_pointers::smr::schemes::Mp;
+use margin_pointers::smr::{Atomic, Config, Shared, Smr, SmrHandle};
+use std::sync::atomic::Ordering;
+
+#[test]
+fn mp_without_bound_hints_degenerates_to_hp() {
+    let smr = Mp::new(Config::default().with_max_threads(2).with_empty_freq(1));
+    let mut client = smr.register(); // never calls update_*_bound
+    let mut owner = smr.register();
+
+    owner.start_op();
+    client.start_op();
+    // Without hints the search interval is (0,0) ⇒ every alloc collides.
+    let n = client.alloc(42u32);
+    assert_eq!(unsafe { n.deref() }.index(), USE_HP);
+
+    // Reads of USE_HP nodes are hazard-protected and block reclamation.
+    let cell = Atomic::new(n);
+    let got = owner.read(&cell, 0);
+    assert!(owner.stats().hp_fallback_reads >= 1);
+
+    cell.store(Shared::null(), Ordering::Release);
+    unsafe { client.retire(n) };
+    client.force_empty();
+    assert_eq!(client.retired_len(), 1, "owner's hazard pins the node");
+    assert_eq!(unsafe { *got.deref().data() }, 42);
+
+    owner.end_op();
+    client.force_empty();
+    assert_eq!(client.retired_len(), 0);
+    client.end_op();
+}
+
+#[test]
+fn ascending_insert_list_collides_but_stays_correct() {
+    let smr = Mp::new(
+        Config::default().with_max_threads(2).with_empty_freq(4).with_epoch_freq(16),
+    );
+    let list: LinkedList<Mp> = LinkedList::new(&smr);
+    let mut h = smr.register();
+    // Ascending inserts halve the remaining index range each time; with
+    // 32-bit indices everything beyond ~32 nodes gets USE_HP (§6, Fig 7a).
+    const N: u64 = 500;
+    for k in 0..N {
+        assert!(list.insert(&mut h, k), "insert {k}");
+    }
+    assert!(h.stats().collision_allocs > N / 2, "expected mass collisions");
+    // Semantics unaffected by the fallback.
+    for k in 0..N {
+        assert!(list.contains(&mut h, k));
+    }
+    assert!(!list.contains(&mut h, N + 1));
+    for k in (0..N).step_by(2) {
+        assert!(list.remove(&mut h, k));
+    }
+    for k in 0..N {
+        assert_eq!(list.contains(&mut h, k), k % 2 == 1, "key {k}");
+    }
+    // Reads of colliding nodes report the HP path.
+    let before = h.stats().hp_fallback_reads;
+    for k in 0..N {
+        list.contains(&mut h, k);
+    }
+    assert!(h.stats().hp_fallback_reads > before, "fallback reads must be visible");
+}

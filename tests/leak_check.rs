@@ -1,0 +1,89 @@
+//! End-to-end leak check: after exercising every scheme on every structure
+//! and dropping everything, the global SMR allocation gauge must return to
+//! zero. This test runs alone in its own process (one test per integration
+//! binary), so the gauge is not perturbed by parallel tests.
+
+use std::sync::Arc;
+
+use margin_pointers::ds::{ConcurrentSet, DtaList, LinkedList, NmTree, SkipList};
+use margin_pointers::smr::node::gauge;
+use margin_pointers::smr::schemes::{Dta, Ebr, He, Hp, Ibr, Leaky, Mp};
+use margin_pointers::smr::{Config, Smr};
+
+fn cfg() -> Config {
+    Config::default()
+        .with_max_threads(6)
+        .with_slots_per_thread(margin_pointers::ds::skiplist::SLOTS_NEEDED)
+        .with_empty_freq(8)
+        .with_epoch_freq(16)
+        .with_anchor_hops(8)
+        .with_stall_patience(3)
+}
+
+fn churn<S: Smr, D: ConcurrentSet<S>>() {
+    let smr = S::new(cfg());
+    let ds = Arc::new(D::new(&smr));
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let smr = smr.clone();
+            let ds = ds.clone();
+            s.spawn(move || {
+                let mut h = smr.register();
+                let mut x = t * 7 + 1;
+                for i in 0..4000u64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = x % 128;
+                    match i % 3 {
+                        0 => {
+                            ds.insert(&mut h, key);
+                        }
+                        1 => {
+                            ds.remove(&mut h, key);
+                        }
+                        _ => {
+                            ds.contains(&mut h, key);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    drop(ds);
+    drop(smr);
+}
+
+#[test]
+fn no_nodes_leak_across_all_schemes_and_structures() {
+    assert_eq!(gauge::live_nodes(), 0, "gauge must start clean");
+
+    churn::<Mp, LinkedList<Mp>>();
+    churn::<Mp, SkipList<Mp>>();
+    churn::<Mp, NmTree<Mp>>();
+
+    churn::<Hp, LinkedList<Hp>>();
+    churn::<Hp, SkipList<Hp>>();
+    churn::<Hp, NmTree<Hp>>();
+
+    churn::<Ebr, LinkedList<Ebr>>();
+    churn::<Ebr, SkipList<Ebr>>();
+    churn::<Ebr, NmTree<Ebr>>();
+
+    churn::<He, LinkedList<He>>();
+    churn::<He, SkipList<He>>();
+    churn::<He, NmTree<He>>();
+
+    churn::<Ibr, LinkedList<Ibr>>();
+    churn::<Ibr, SkipList<Ibr>>();
+    churn::<Ibr, NmTree<Ibr>>();
+
+    churn::<Leaky, LinkedList<Leaky>>();
+    churn::<Dta, DtaList>();
+
+    assert_eq!(
+        gauge::live_nodes(),
+        0,
+        "every allocated node must be reclaimed after teardown"
+    );
+}

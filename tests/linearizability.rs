@@ -1,0 +1,95 @@
+//! End-to-end linearizability: drive every structure under every
+//! bounded-waste scheme with concurrent threads, record the real history,
+//! and check it against sequential set semantics. A reclamation bug that
+//! resurrects or loses a node manifests as a non-linearizable read
+//! (a "ghost" membership observation), so this doubles as a deep SMR test.
+
+use std::sync::Arc;
+
+use margin_pointers::ds::{ConcurrentSet, HashMap, LinkedList, NmTree, SkipList};
+use margin_pointers::smr::schemes::{Ebr, Hp, Ibr, Mp};
+use margin_pointers::smr::{Config, Smr};
+use mp_bench::linearize::{History, OpKind};
+
+const KEY_SPACE: u64 = 24; // small: maximal same-key contention
+const OPS_PER_THREAD: usize = 3_000;
+const THREADS: usize = 4;
+
+fn cfg() -> Config {
+    Config::default()
+        .with_max_threads(THREADS + 1)
+        .with_slots_per_thread(margin_pointers::ds::skiplist::SLOTS_NEEDED)
+        .with_empty_freq(4)
+        .with_epoch_freq(8)
+}
+
+fn run_and_check<S: Smr, D: ConcurrentSet<S>>() {
+    let smr = S::new(cfg());
+    let ds = Arc::new(D::new(&smr));
+    // Prefill even keys.
+    let prefilled: Vec<u64> = (0..KEY_SPACE).filter(|k| k % 2 == 0).collect();
+    {
+        let mut h = smr.register();
+        for &k in &prefilled {
+            assert!(ds.insert(&mut h, k));
+        }
+    }
+    let mut merged = History::new();
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for t in 0..THREADS as u64 {
+            let smr = smr.clone();
+            let ds = ds.clone();
+            joins.push(s.spawn(move || {
+                let mut handle = smr.register();
+                let mut hist = History::new();
+                let mut x = t * 2654435761 + 1;
+                for _ in 0..OPS_PER_THREAD {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = x % KEY_SPACE;
+                    match x % 3 {
+                        0 => hist.record(OpKind::Insert, key, || ds.insert(&mut handle, key)),
+                        1 => hist.record(OpKind::Remove, key, || ds.remove(&mut handle, key)),
+                        _ => {
+                            hist.record(OpKind::Contains, key, || ds.contains(&mut handle, key))
+                        }
+                    }
+                }
+                hist
+            }));
+        }
+        for j in joins {
+            merged.merge(j.join().expect("worker"));
+        }
+    });
+    assert_eq!(merged.len(), THREADS * OPS_PER_THREAD);
+    if let Err(e) = merged.check(&prefilled) {
+        panic!("{} / {}: non-linearizable history: {e}", S::name(), D::name());
+    }
+}
+
+#[test]
+fn list_histories_linearizable() {
+    run_and_check::<Mp, LinkedList<Mp>>();
+    run_and_check::<Hp, LinkedList<Hp>>();
+    run_and_check::<Ebr, LinkedList<Ebr>>();
+}
+
+#[test]
+fn skiplist_histories_linearizable() {
+    run_and_check::<Mp, SkipList<Mp>>();
+    run_and_check::<Ibr, SkipList<Ibr>>();
+}
+
+#[test]
+fn nmtree_histories_linearizable() {
+    run_and_check::<Mp, NmTree<Mp>>();
+    run_and_check::<Hp, NmTree<Hp>>();
+}
+
+#[test]
+fn hashmap_histories_linearizable() {
+    run_and_check::<Mp, HashMap<Mp>>();
+}

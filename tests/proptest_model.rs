@@ -1,0 +1,146 @@
+//! Property-based model checking: random operation sequences applied to
+//! each structure (under MP and under HP) must behave exactly like a
+//! `BTreeSet`, and structure-specific invariants must hold afterwards.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use margin_pointers::ds::{ConcurrentSet, DtaList, LinkedList, NmTree, SkipList};
+use margin_pointers::smr::schemes::{Dta, Hp, Mp};
+use margin_pointers::smr::{Config, Smr};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    (0..3u8, 0..key_space).prop_map(|(kind, k)| match kind {
+        0 => Op::Insert(k),
+        1 => Op::Remove(k),
+        _ => Op::Contains(k),
+    })
+}
+
+fn cfg() -> Config {
+    Config::default()
+        .with_max_threads(2)
+        .with_slots_per_thread(margin_pointers::ds::skiplist::SLOTS_NEEDED)
+        .with_empty_freq(4)
+        .with_epoch_freq(8)
+}
+
+fn check_against_model<S: Smr, D: ConcurrentSet<S>>(ops: &[Op]) -> Vec<u64> {
+    let smr = S::new(cfg());
+    let ds = D::new(&smr);
+    let mut h = smr.register();
+    let mut model = BTreeSet::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k) => {
+                assert_eq!(ds.insert(&mut h, k), model.insert(k), "op {i}: insert({k})")
+            }
+            Op::Remove(k) => {
+                assert_eq!(ds.remove(&mut h, k), model.remove(&k), "op {i}: remove({k})")
+            }
+            Op::Contains(k) => {
+                assert_eq!(ds.contains(&mut h, k), model.contains(&k), "op {i}: contains({k})")
+            }
+        }
+    }
+    // Final state must match exactly.
+    for k in 0..64 {
+        assert_eq!(ds.contains(&mut h, k), model.contains(&k), "final contains({k})");
+    }
+    model.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn list_matches_btreeset_under_mp(ops in prop::collection::vec(op_strategy(48), 1..400)) {
+        check_against_model::<Mp, LinkedList<Mp>>(&ops);
+    }
+
+    #[test]
+    fn list_matches_btreeset_under_hp(ops in prop::collection::vec(op_strategy(48), 1..400)) {
+        check_against_model::<Hp, LinkedList<Hp>>(&ops);
+    }
+
+    #[test]
+    fn skiplist_matches_btreeset_under_mp(ops in prop::collection::vec(op_strategy(48), 1..400)) {
+        check_against_model::<Mp, SkipList<Mp>>(&ops);
+    }
+
+    #[test]
+    fn nmtree_matches_btreeset_under_mp(ops in prop::collection::vec(op_strategy(48), 1..400)) {
+        check_against_model::<Mp, NmTree<Mp>>(&ops);
+    }
+
+    #[test]
+    fn dta_list_matches_btreeset(ops in prop::collection::vec(op_strategy(48), 1..400)) {
+        let smr = Dta::new(cfg().with_anchor_hops(4).with_stall_patience(2));
+        let ds = DtaList::new(&smr);
+        let mut h = smr.register();
+        let mut model = BTreeSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => prop_assert_eq!(ds.insert(&mut h, k), model.insert(k)),
+                Op::Remove(k) => prop_assert_eq!(ds.remove(&mut h, k), model.remove(&k)),
+                Op::Contains(k) => prop_assert_eq!(ds.contains(&mut h, k), model.contains(&k)),
+            }
+        }
+        prop_assert_eq!(ds.collect(&mut h), model.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Two-phase concurrent property: a batch of keys is partitioned among
+    /// threads that insert their shares concurrently; afterwards the set
+    /// must contain exactly the batch. Then threads remove disjoint shares
+    /// concurrently; the set must end empty.
+    #[test]
+    fn concurrent_partition_roundtrip(keys in prop::collection::btree_set(0..512u64, 1..96)) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let smr = Mp::new(cfg().with_max_threads(4));
+        let ds: Arc<SkipList<Mp>> = Arc::new(SkipList::new(&smr));
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let smr = smr.clone();
+                let ds = ds.clone();
+                let share: Vec<u64> =
+                    keys.iter().copied().skip(t).step_by(3).collect();
+                s.spawn(move || {
+                    let mut h = smr.register();
+                    for k in share {
+                        assert!(ds.insert(&mut h, k), "fresh key {k}");
+                    }
+                });
+            }
+        });
+        let mut h = smr.register();
+        for &k in &keys {
+            prop_assert!(ds.contains(&mut h, k));
+        }
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let smr = smr.clone();
+                let ds = ds.clone();
+                let share: Vec<u64> =
+                    keys.iter().copied().skip(t).step_by(3).collect();
+                s.spawn(move || {
+                    let mut h = smr.register();
+                    for k in share {
+                        assert!(ds.remove(&mut h, k), "present key {k}");
+                    }
+                });
+            }
+        });
+        for &k in &keys {
+            prop_assert!(!ds.contains(&mut h, k));
+        }
+    }
+}
