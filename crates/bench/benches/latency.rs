@@ -1,17 +1,31 @@
-//! Criterion micro-latency benches: single-threaded operation cost per
-//! SMR scheme on each data structure. Complements the figure benches with
-//! statistically rigorous per-op numbers (the paper reports throughput;
-//! latency is its single-thread inverse and isolates scheme overhead from
-//! contention effects).
+//! Micro-latency bench: single-threaded operation cost per SMR scheme on
+//! each data structure. Complements the figure benches with per-op numbers
+//! (the paper reports throughput; latency is its single-thread inverse and
+//! isolates scheme overhead from contention effects).
+//!
+//! Formerly a `criterion` bench; now a self-contained harness on the
+//! in-tree [`mp_bench::report`] tables: per point it warms up, then takes
+//! several timed samples and reports the median ns/op (the median is
+//! robust to a stray descheduling blip, which is all criterion's
+//! statistics bought us at this measurement scale).
+//!
+//! ```sh
+//! cargo bench --bench latency
+//! ```
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::report::{f3, Table};
 use mp_ds::{ConcurrentSet, LinkedList, NmTree, SkipList};
 use mp_smr::schemes::{Ebr, He, Hp, Ibr, Leaky, Mp};
 use mp_smr::{Config, Smr};
 
 const PREFILL: u64 = 1024;
+/// Operations per timed sample (4 ops per cycle).
+const CYCLES_PER_SAMPLE: u64 = 8_192;
+const SAMPLES: usize = 9;
+const WARMUP: Duration = Duration::from_millis(150);
 
 fn bench_config() -> Config {
     Config::default()
@@ -39,38 +53,52 @@ fn mixed_op_cycle<S: Smr, D: ConcurrentSet<S>>(ds: &D, h: &mut S::Handle, k: u64
     ds.contains(h, (k % PREFILL) * 2);
 }
 
-fn scheme_latency(c: &mut Criterion) {
-    macro_rules! group_for {
-        ($group:expr, $ds:ident) => {{
-            let mut g = c.benchmark_group($group);
-            g.sample_size(20);
-            g.measurement_time(std::time::Duration::from_millis(700));
-            g.warm_up_time(std::time::Duration::from_millis(200));
-            macro_rules! point {
-                ($s:ty, $name:expr) => {{
-                    let (_smr, ds, mut h) = setup::<$s, $ds<$s>>();
-                    let mut k = 0u64;
-                    g.bench_function(BenchmarkId::from_parameter($name), |b| {
-                        b.iter(|| {
-                            mixed_op_cycle::<$s, $ds<$s>>(&ds, &mut h, k);
-                            k = k.wrapping_add(1);
-                        })
-                    });
-                }};
-            }
-            point!(Mp, "MP");
-            point!(Hp, "HP");
-            point!(Ebr, "EBR");
-            point!(He, "HE");
-            point!(Ibr, "IBR");
-            point!(Leaky, "Leaky");
-            g.finish();
-        }};
+/// Median ns/op over `SAMPLES` timed batches, after a warmup window.
+fn measure<S: Smr, D: ConcurrentSet<S>>() -> f64 {
+    let (_smr, ds, mut h) = setup::<S, D>();
+    let mut k = 0u64;
+    let warm_until = Instant::now() + WARMUP;
+    while Instant::now() < warm_until {
+        mixed_op_cycle::<S, D>(&ds, &mut h, k);
+        k = k.wrapping_add(1);
     }
-    group_for!("latency/list", LinkedList);
-    group_for!("latency/skiplist", SkipList);
-    group_for!("latency/nmtree", NmTree);
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..CYCLES_PER_SAMPLE {
+                mixed_op_cycle::<S, D>(&ds, &mut h, k);
+                k = k.wrapping_add(1);
+            }
+            t0.elapsed().as_nanos() as f64 / (4 * CYCLES_PER_SAMPLE) as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
-criterion_group!(benches, scheme_latency);
-criterion_main!(benches);
+fn main() {
+    let mut table = Table::new(
+        &format!("Latency: median ns/op, single thread (prefill {PREFILL}, mixed cycle)"),
+        &["structure", "scheme", "ns/op"],
+    );
+    macro_rules! point {
+        ($ds:ident, $ds_name:expr, $s:ty) => {{
+            let ns = measure::<$s, $ds<$s>>();
+            table.row(vec![$ds_name.into(), <$s as Smr>::name().into(), f3(ns)]);
+        }};
+    }
+    macro_rules! structure {
+        ($ds:ident, $ds_name:expr) => {{
+            point!($ds, $ds_name, Mp);
+            point!($ds, $ds_name, Hp);
+            point!($ds, $ds_name, Ebr);
+            point!($ds, $ds_name, He);
+            point!($ds, $ds_name, Ibr);
+            point!($ds, $ds_name, Leaky);
+        }};
+    }
+    structure!(LinkedList, "list");
+    structure!(SkipList, "skiplist");
+    structure!(NmTree, "nmtree");
+    table.emit("latency");
+}

@@ -188,12 +188,12 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
             scope.spawn(move || {
                 let mut h = smr.register();
                 barrier.wait();
-                // Enter an operation and stop taking steps (§1's scenario).
-                h.start_op();
+                // Enter an operation and stop taking steps (§1's scenario);
+                // the guard ends the operation when the thread exits.
+                let _op = h.pin();
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(5));
                 }
-                h.end_op();
             });
         }
 

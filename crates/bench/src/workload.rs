@@ -1,6 +1,6 @@
 //! Workload mixes and key generation (§6 "Workloads").
 
-use rand::{RngExt, SeedableRng};
+use mp_util::{RngExt, SeedableRng, SmallRng};
 
 /// An operation mix in percent. Probabilities must sum to 100.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,8 +60,8 @@ impl Mix {
 }
 
 /// Deterministic per-thread RNG (reproducible runs given the same seed).
-pub fn thread_rng(seed: u64, tid: usize) -> rand::rngs::SmallRng {
-    rand::rngs::SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+pub fn thread_rng(seed: u64, tid: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 /// Draws a uniform key from `[0, range)`.

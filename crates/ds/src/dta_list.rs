@@ -473,12 +473,12 @@ mod tests {
 
     #[test]
     fn sequential_model_check() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = Dta::new(cfg());
         let list = DtaList::new(&smr);
         let mut h = smr.register();
         let mut model = std::collections::BTreeSet::new();
-        let mut rng = rand::rng();
+        let mut rng = mp_util::rng();
         for _ in 0..3000 {
             let key = rng.random_range(0..64u64);
             match rng.random_range(0..3) {
@@ -492,7 +492,7 @@ mod tests {
 
     #[test]
     fn concurrent_stress() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = Dta::new(cfg());
         let list = Arc::new(DtaList::new(&smr));
         std::thread::scope(|s| {
@@ -501,7 +501,7 @@ mod tests {
                 let smr = smr.clone();
                 s.spawn(move || {
                     let mut h = smr.register();
-                    let mut rng = rand::rng();
+                    let mut rng = mp_util::rng();
                     for i in 0..2500usize {
                         let key = rng.random_range(0..32u64);
                         match (i + t) % 3 {

@@ -174,12 +174,12 @@ mod tests {
 
     #[test]
     fn sequential_model_check() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = Mp::new(cfg());
         let map: HashMap<Mp> = HashMap::with_buckets(&smr, 32);
         let mut h = smr.register();
         let mut model = std::collections::BTreeSet::new();
-        let mut rng = rand::rng();
+        let mut rng = mp_util::rng();
         for _ in 0..4000 {
             let key = rng.random_range(0..256u64);
             match rng.random_range(0..3) {
@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn concurrent_stress() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = Mp::new(cfg());
         let map: Arc<HashMap<Mp>> = Arc::new(HashMap::with_buckets(&smr, 32));
         std::thread::scope(|s| {
@@ -201,7 +201,7 @@ mod tests {
                 let (smr, map) = (smr.clone(), map.clone());
                 s.spawn(move || {
                     let mut h = smr.register();
-                    let mut rng = rand::rng();
+                    let mut rng = mp_util::rng();
                     for i in 0..2500usize {
                         let key = rng.random_range(0..128u64);
                         match (i + t) % 3 {

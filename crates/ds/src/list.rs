@@ -348,12 +348,12 @@ mod tests {
 
     #[test]
     fn sequential_model_check_mp() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = Mp::new(cfg());
         let list: LinkedList<Mp> = LinkedList::new(&smr);
         let mut h = smr.register();
         let mut model = std::collections::BTreeSet::new();
-        let mut rng = rand::rng();
+        let mut rng = mp_util::rng();
         for _ in 0..4000 {
             let key = rng.random_range(0..64u64);
             match rng.random_range(0..3) {
@@ -381,7 +381,7 @@ mod tests {
     }
 
     fn concurrent_stress<S: Smr>() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = S::new(cfg());
         let list = Arc::new(LinkedList::<S>::new(&smr));
         let threads = 4;
@@ -392,7 +392,7 @@ mod tests {
                 let smr = smr.clone();
                 s.spawn(move || {
                     let mut h = smr.register();
-                    let mut rng = rand::rng();
+                    let mut rng = mp_util::rng();
                     for i in 0..ops {
                         let key = rng.random_range(0..32u64);
                         match (i + t) % 3 {

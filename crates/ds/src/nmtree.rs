@@ -582,12 +582,12 @@ mod tests {
 
     #[test]
     fn sequential_model_check_mp() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = Mp::new(cfg());
         let mut tree: NmTree<Mp> = NmTree::new(&smr);
         let mut h = smr.register();
         let mut model = std::collections::BTreeSet::new();
-        let mut rng = rand::rng();
+        let mut rng = mp_util::rng();
         for _ in 0..4000 {
             let key = rng.random_range(0..128u64);
             match rng.random_range(0..3) {
@@ -620,7 +620,7 @@ mod tests {
     }
 
     fn concurrent_stress<S: Smr>() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = S::new(cfg());
         let tree = Arc::new(NmTree::<S>::new(&smr));
         std::thread::scope(|s| {
@@ -629,7 +629,7 @@ mod tests {
                 let smr = smr.clone();
                 s.spawn(move || {
                     let mut h = smr.register();
-                    let mut rng = rand::rng();
+                    let mut rng = mp_util::rng();
                     for i in 0..2500usize {
                         let key = rng.random_range(0..64u64);
                         match (i + t) % 3 {

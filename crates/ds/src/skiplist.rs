@@ -496,12 +496,12 @@ mod tests {
 
     #[test]
     fn sequential_model_check_mp() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = Mp::new(cfg());
         let sl: SkipList<Mp> = SkipList::new(&smr);
         let mut h = smr.register();
         let mut model = std::collections::BTreeSet::new();
-        let mut rng = rand::rng();
+        let mut rng = mp_util::rng();
         for _ in 0..4000 {
             let key = rng.random_range(0..128u64);
             match rng.random_range(0..3) {
@@ -531,7 +531,7 @@ mod tests {
     }
 
     fn concurrent_stress<S: Smr>() {
-        use rand::RngExt;
+        use mp_util::RngExt;
         let smr = S::new(cfg());
         let sl = Arc::new(SkipList::<S>::new(&smr));
         std::thread::scope(|s| {
@@ -540,7 +540,7 @@ mod tests {
                 let smr = smr.clone();
                 s.spawn(move || {
                     let mut h = smr.register();
-                    let mut rng = rand::rng();
+                    let mut rng = mp_util::rng();
                     for i in 0..2500usize {
                         let key = rng.random_range(0..64u64);
                         match (i + t) % 3 {

@@ -6,6 +6,8 @@
 //! will use it) but not shared between threads, matching the paper's model
 //! of per-thread SMR state.
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 use crate::packed::{Atomic, Shared};
@@ -76,7 +78,76 @@ impl Default for Config {
     }
 }
 
+/// A violated [`Config`] invariant, reported by [`Config::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `margin` does not exceed the 2^16 pointer precision (§4.3.1): the
+    /// packed index check could then never pass and every read would take
+    /// the hazard-pointer fallback.
+    MarginTooSmall {
+        /// The rejected margin.
+        margin: u32,
+    },
+    /// `max_index` is not greater than `2 · margin`: the index space would
+    /// not fit even two disjoint protection intervals, so midpoint
+    /// assignment degenerates immediately into `USE_HP` collisions.
+    MaxIndexTooSmall {
+        /// The rejected maximal index.
+        max_index: u32,
+        /// The margin it must exceed twice over.
+        margin: u32,
+    },
+    /// `slots_per_thread` is zero: no operation could protect anything.
+    ZeroSlots,
+    /// `max_threads` is zero: no handle could ever register.
+    ZeroThreads,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::MarginTooSmall { margin } => write!(
+                f,
+                "margin ({margin}) must exceed pointer precision (2^16 = {}), §4.3.1",
+                1u32 << 16
+            ),
+            ConfigError::MaxIndexTooSmall { max_index, margin } => write!(
+                f,
+                "max_index ({max_index}) must exceed 2·margin ({})",
+                2u64 * margin as u64
+            ),
+            ConfigError::ZeroSlots => write!(f, "slots_per_thread must be > 0"),
+            ConfigError::ZeroThreads => write!(f, "max_threads must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl Config {
+    /// Checks every cross-field invariant; every scheme's [`Smr::new`]
+    /// calls this, so an invalid combination (e.g. a `max_index` smaller
+    /// than the margin it is supposed to contain) fails loudly at
+    /// construction instead of silently degrading protection.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if self.slots_per_thread == 0 {
+            return Err(ConfigError::ZeroSlots);
+        }
+        if self.margin <= 1 << 16 {
+            return Err(ConfigError::MarginTooSmall { margin: self.margin });
+        }
+        if self.max_index as u64 <= 2 * self.margin as u64 {
+            return Err(ConfigError::MaxIndexTooSmall {
+                max_index: self.max_index,
+                margin: self.margin,
+            });
+        }
+        Ok(())
+    }
+
     /// Sets the maximum number of concurrently registered handles.
     pub fn with_max_threads(mut self, n: usize) -> Self {
         assert!(n > 0);
@@ -109,6 +180,14 @@ impl Config {
     pub fn with_margin(mut self, margin: u32) -> Self {
         assert!(margin > 1 << 16, "margin must exceed pointer precision (2^16)");
         self.margin = margin;
+        self
+    }
+
+    /// Sets the maximal assignable index. Must exceed `2 · margin` (checked
+    /// by [`validate`](Config::validate) at scheme construction).
+    pub fn with_max_index(mut self, n: u32) -> Self {
+        assert!(n > 0);
+        self.max_index = n;
         self
     }
 
@@ -185,7 +264,43 @@ pub trait Smr: Send + Sync + Sized + 'static {
 /// [`end_op`]: SmrHandle::end_op
 /// [`read`]: SmrHandle::read
 pub trait SmrHandle: Send + 'static {
+    /// Begins an operation and returns an RAII guard that ends it on drop.
+    ///
+    /// This is the preferred client entry point: the returned [`OpGuard`]
+    /// calls [`start_op`](SmrHandle::start_op) on creation and
+    /// [`end_op`](SmrHandle::end_op) when dropped (including during
+    /// unwinding), so unbalanced bracketing is impossible. The guard
+    /// derefs to the handle, so `read`/`alloc`/`retire` are called on it
+    /// directly:
+    ///
+    /// ```
+    /// use mp_smr::{Config, Smr, SmrHandle, schemes::Mp};
+    ///
+    /// let smr = Mp::new(Config::default().with_max_threads(1));
+    /// let mut h = smr.register();
+    /// let mut op = h.pin();
+    /// let node = op.alloc_with_index(42u64, 7 << 16);
+    /// // ... link `node`, traverse via op.read(...), later unlink it ...
+    /// unsafe { op.retire(node) };
+    /// drop(op); // end_op: all protections released
+    /// ```
+    ///
+    /// Operations must not be nested: do not call `pin` (or a data-structure
+    /// operation, which pins internally) while a guard from the same handle
+    /// is alive.
+    fn pin(&mut self) -> OpGuard<'_, Self>
+    where
+        Self: Sized,
+    {
+        self.start_op();
+        OpGuard { handle: self }
+    }
+
     /// Begins a data-structure operation (announces epoch/activity).
+    ///
+    /// Prefer [`pin`](SmrHandle::pin), which cannot leak the operation;
+    /// the raw `start_op`/`end_op` pair remains for implementors of data
+    /// structures that manage bracketing across helper functions.
     fn start_op(&mut self);
 
     /// Ends the operation and releases all protections (one fence).
@@ -243,6 +358,42 @@ pub trait SmrHandle: Send + 'static {
     fn force_empty(&mut self);
 }
 
+/// RAII scope of one SMR-bracketed operation, created by
+/// [`SmrHandle::pin`]: `start_op` has run, and `end_op` runs exactly once
+/// when the guard drops — on every exit path, including panics. Derefs
+/// mutably to the handle so all [`SmrHandle`] methods are available on the
+/// guard itself.
+///
+/// Pointers returned by [`read`](SmrHandle::read) during the guard's
+/// lifetime must not be dereferenced after it drops (the same rule as the
+/// raw API's "until `end_op`", now enforced by scope ordering in typical
+/// usage).
+pub struct OpGuard<'a, H: SmrHandle> {
+    handle: &'a mut H,
+}
+
+impl<H: SmrHandle> Deref for OpGuard<'_, H> {
+    type Target = H;
+
+    #[inline]
+    fn deref(&self) -> &H {
+        self.handle
+    }
+}
+
+impl<H: SmrHandle> DerefMut for OpGuard<'_, H> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut H {
+        self.handle
+    }
+}
+
+impl<H: SmrHandle> Drop for OpGuard<'_, H> {
+    fn drop(&mut self) {
+        self.handle.end_op();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +422,7 @@ mod tests {
             .with_empty_freq(10)
             .with_epoch_freq(20)
             .with_margin(1 << 18)
+            .with_max_index(1 << 24)
             .with_anchor_hops(50)
             .with_stall_patience(2);
         assert_eq!(c.max_threads, 4);
@@ -278,7 +430,89 @@ mod tests {
         assert_eq!(c.empty_freq, 10);
         assert_eq!(c.epoch_freq, 20);
         assert_eq!(c.margin, 1 << 18);
+        assert_eq!(c.max_index, 1 << 24);
         assert_eq!(c.anchor_hops, 50);
         assert_eq!(c.stall_patience, 2);
+    }
+
+    #[test]
+    fn validate_accepts_default_and_rejects_each_invariant() {
+        assert_eq!(Config::default().validate(), Ok(()));
+
+        let c = Config { max_threads: 0, ..Config::default() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroThreads));
+
+        let c = Config { slots_per_thread: 0, ..Config::default() };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroSlots));
+
+        // 2^16 exactly is not strictly greater than the precision.
+        let c = Config { margin: 1 << 16, ..Config::default() };
+        assert_eq!(c.validate(), Err(ConfigError::MarginTooSmall { margin: 1 << 16 }));
+
+        // Silently-accepted combination from before this check existed:
+        // a max_index the margin swallows whole.
+        let c = Config::default().with_margin(1 << 20).with_max_index(1 << 20);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::MaxIndexTooSmall { max_index: 1 << 20, margin: 1 << 20 })
+        );
+        // The boundary itself is rejected (strict inequality)...
+        let c = Config::default().with_margin(1 << 20).with_max_index(1 << 21);
+        assert!(c.validate().is_err());
+        // ... one past it is accepted.
+        let c = Config::default().with_margin(1 << 20).with_max_index((1 << 21) + 1);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn config_error_messages_name_the_fields() {
+        let e = ConfigError::MaxIndexTooSmall { max_index: 5, margin: 70_000 };
+        let msg = e.to_string();
+        assert!(msg.contains("max_index") && msg.contains("140000"), "{msg}");
+        assert!(ConfigError::MarginTooSmall { margin: 3 }.to_string().contains("65536"));
+    }
+
+    #[test]
+    fn schemes_reject_invalid_config_at_construction() {
+        let bad = Config::default().with_margin(1 << 20).with_max_index(1 << 19);
+        for result in [
+            std::panic::catch_unwind(|| crate::schemes::Mp::new(bad.clone())).map(drop),
+            std::panic::catch_unwind(|| crate::schemes::Hp::new(bad.clone())).map(drop),
+            std::panic::catch_unwind(|| crate::schemes::Ebr::new(bad.clone())).map(drop),
+        ] {
+            assert!(result.is_err(), "invalid config must be rejected by every scheme");
+        }
+    }
+
+    #[test]
+    fn op_guard_brackets_and_releases_on_drop() {
+        use crate::schemes::Mp;
+        let smr = Mp::new(Config::default().with_max_threads(1));
+        let mut h = smr.register();
+        let fences_before = h.stats().fences;
+        let mut op = h.pin();
+        assert_eq!(op.stats().ops, 1, "pin must start_op");
+        let n = op.alloc_with_index(1u8, 5 << 16);
+        unsafe { op.retire(n) };
+        drop(op);
+        // start_op and end_op each fence once under MP's default config.
+        assert_eq!(h.stats().fences, fences_before + 2, "drop must end_op");
+        // The handle is reusable after the guard drops.
+        let op = h.pin();
+        assert_eq!(op.stats().ops, 2);
+    }
+
+    #[test]
+    fn op_guard_ends_op_during_unwind() {
+        use crate::schemes::Mp;
+        let smr = Mp::new(Config::default().with_max_threads(1));
+        let mut h = smr.register();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _op = h.pin();
+            panic!("client panicked mid-operation");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(h.stats().ops, 1);
+        assert_eq!(h.stats().fences, 2, "end_op must run while unwinding");
     }
 }

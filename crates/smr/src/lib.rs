@@ -32,11 +32,11 @@
 //!
 //! let smr = Mp::new(Config::default().with_max_threads(4));
 //! let mut h = smr.register();
-//! h.start_op();
-//! let node = h.alloc_with_index(42u64, 7 << 16);
+//! let mut op = h.pin(); // RAII: start_op now, end_op on drop
+//! let node = op.alloc_with_index(42u64, 7 << 16);
 //! // ... link `node` into a structure, later unlink it ...
-//! unsafe { h.retire(node) };
-//! h.end_op();
+//! unsafe { op.retire(node) };
+//! drop(op);
 //! ```
 
 #![warn(missing_docs)]
@@ -49,7 +49,7 @@ pub mod registry;
 pub mod schemes;
 pub mod stats;
 
-pub use api::{Config, IndexPolicy, Smr, SmrHandle};
+pub use api::{Config, ConfigError, IndexPolicy, OpGuard, Smr, SmrHandle};
 pub use node::{gauge, SmrNode};
 pub use packed::{Atomic, Shared};
 pub use stats::OpStats;

@@ -10,7 +10,7 @@
 use core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crossbeam_utils::CachePadded;
+use mp_util::CachePadded;
 
 use crate::node::Retired;
 

@@ -105,6 +105,7 @@ impl Smr for Dta {
     type Handle = DtaHandle;
 
     fn new(cfg: Config) -> Arc<Self> {
+        cfg.validate().expect("invalid SMR Config");
         Arc::new(Dta {
             clock: EpochClock::new(),
             announce: SlotArray::new(cfg.max_threads, 1, INACTIVE),

@@ -46,6 +46,7 @@ impl Smr for Ebr {
     type Handle = EbrHandle;
 
     fn new(cfg: Config) -> Arc<Self> {
+        cfg.validate().expect("invalid SMR Config");
         Arc::new(Ebr {
             clock: EpochClock::new(),
             announce: SlotArray::new(cfg.max_threads, 1, INACTIVE),

@@ -49,6 +49,7 @@ impl Smr for He {
     type Handle = HeHandle;
 
     fn new(cfg: Config) -> Arc<Self> {
+        cfg.validate().expect("invalid SMR Config");
         Arc::new(He {
             clock: EpochClock::new(),
             era_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, INACTIVE),

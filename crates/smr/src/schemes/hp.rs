@@ -49,6 +49,7 @@ impl Smr for Hp {
     type Handle = HpHandle;
 
     fn new(cfg: Config) -> Arc<Self> {
+        cfg.validate().expect("invalid SMR Config");
         Arc::new(Hp {
             hp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_HAZARD),
             registry: Registry::new(cfg.max_threads),
@@ -173,6 +174,7 @@ impl SmrHandle for HpHandle {
     }
 
     fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
+        let mut backoff = mp_util::Backoff::new();
         loop {
             let w = src.load(Ordering::Acquire);
             let addr = w.as_raw() as u64;
@@ -190,6 +192,9 @@ impl SmrHandle for HpHandle {
             if src.load(Ordering::Acquire) == w {
                 return w;
             }
+            // `src` moved under us: a writer is churning this cell, so back
+            // off before re-announcing instead of fencing at full speed.
+            backoff.spin();
         }
     }
 

@@ -58,6 +58,7 @@ impl Smr for Ibr {
     type Handle = IbrHandle;
 
     fn new(cfg: Config) -> Arc<Self> {
+        cfg.validate().expect("invalid SMR Config");
         Arc::new(Ibr {
             clock: EpochClock::new(),
             reservations: SlotArray::new(cfg.max_threads, 2, INACTIVE),

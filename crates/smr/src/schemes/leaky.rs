@@ -34,6 +34,7 @@ impl Smr for Leaky {
     type Handle = LeakyHandle;
 
     fn new(cfg: Config) -> Arc<Self> {
+        cfg.validate().expect("invalid SMR Config");
         Arc::new(Leaky { registry: Registry::new(cfg.max_threads), pending: PendingGauge::default() })
     }
 

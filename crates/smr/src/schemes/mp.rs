@@ -91,7 +91,7 @@ impl Smr for Mp {
     type Handle = MpHandle;
 
     fn new(cfg: Config) -> Arc<Self> {
-        assert!(cfg.margin > 1 << 16, "margin must exceed pointer precision (2^16), §4.3.1");
+        cfg.validate().expect("invalid SMR Config");
         Arc::new(Mp {
             global_epoch: AtomicU64::new(1),
             mp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_MARGIN),
@@ -333,6 +333,7 @@ impl SmrHandle for MpHandle {
     }
 
     fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
+        let mut backoff = mp_util::Backoff::new();
         loop {
             let w = src.load(Ordering::Acquire);
             if w.is_null() {
@@ -346,7 +347,12 @@ impl SmrHandle for MpHandle {
                 self.stats.hp_fallback_reads += 1;
                 match self.hp_protect(src, refno, w) {
                     Some(w) => return w,
-                    None => continue,
+                    None => {
+                        // Validation raced a writer; back off before the
+                        // next announce + fence.
+                        backoff.spin();
+                        continue;
+                    }
                 }
             }
 
@@ -389,6 +395,8 @@ impl SmrHandle for MpHandle {
                 }
                 return w;
             }
+            // Margin validation raced a writer on `src`; back off.
+            backoff.spin();
         }
     }
 

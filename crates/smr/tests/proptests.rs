@@ -1,42 +1,70 @@
-//! Property-based tests for the SMR substrate: pointer packing, margin
+//! Randomized tests for the SMR substrate: pointer packing, margin
 //! interval arithmetic, and scheme-level protection invariants.
+//!
+//! Formerly `proptest`-based; now driven by the in-tree seeded PRNG so the
+//! suite runs offline. Each test derives all of its random inputs from a
+//! printed base seed — set `MP_CHECK_SEED` to replay a failure exactly.
 
-use proptest::prelude::*;
+use mp_util::check::DEFAULT_SEED;
+use mp_util::{RngExt, SeedableRng, SmallRng};
 
 use mp_smr::node::{is_use_hp_class, USE_HP};
 use mp_smr::schemes::{Hp, Mp};
 use mp_smr::{Atomic, Config, Shared, Smr, SmrHandle};
 
-proptest! {
-    /// Packing a (pointer, index, mark) triple and reading it back loses
-    /// only the low 16 index bits, exactly as specified (PRECISION = 16).
-    #[test]
-    fn packed_word_roundtrip(index in any::<u32>(), mark in 0u64..4) {
-        let smr = Hp::new(Config::default().with_max_threads(1));
-        let mut h = smr.register();
+/// Per-test deterministic RNG; honors `MP_CHECK_SEED` for replays.
+fn test_rng(salt: u64) -> (u64, SmallRng) {
+    let seed = std::env::var("MP_CHECK_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(h) => u64::from_str_radix(h, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(DEFAULT_SEED);
+    (seed, SmallRng::seed_from_u64(seed ^ salt))
+}
+
+const CASES: usize = 256;
+
+/// Packing a (pointer, index, mark) triple and reading it back loses
+/// only the low 16 index bits, exactly as specified (PRECISION = 16).
+#[test]
+fn packed_word_roundtrip() {
+    let (seed, mut rng) = test_rng(0x01);
+    let smr = Hp::new(Config::default().with_max_threads(1));
+    let mut h = smr.register();
+    for _ in 0..CASES {
+        let index: u32 = rng.random_range(0..u32::MAX);
+        let mark: u64 = rng.random_range(0..4u64);
+        let ctx = format!("index {index:#x} mark {mark} (seed {seed:#x})");
         let n = h.alloc_with_index(0u8, index);
         let m = n.with_mark(mark);
-        prop_assert_eq!(m.packed_index(), (index >> 16) as u16);
-        prop_assert_eq!(m.mark(), mark);
-        prop_assert_eq!(m.as_raw(), n.as_raw());
+        assert_eq!(m.packed_index(), (index >> 16) as u16, "{ctx}");
+        assert_eq!(m.mark(), mark, "{ctx}");
+        assert_eq!(m.as_raw(), n.as_raw(), "{ctx}");
         let (lo, hi) = m.index_bounds();
-        prop_assert!(lo <= index && index <= hi);
-        prop_assert_eq!(hi - lo, 0xffff);
+        assert!(lo <= index && index <= hi, "{ctx}");
+        assert_eq!(hi - lo, 0xffff, "{ctx}");
         // Round-trip through an atomic cell.
         let cell = Atomic::new(m);
-        prop_assert_eq!(cell.load(std::sync::atomic::Ordering::Relaxed), m);
+        assert_eq!(cell.load(std::sync::atomic::Ordering::Relaxed), m, "{ctx}");
         unsafe { h.retire(n) };
         h.force_empty();
     }
+}
 
-    /// A reader's margin protects exactly the indices within margin/2 of
-    /// its announcement (modulo the 2^16 pointer-precision quantization):
-    /// retired nodes inside are pinned, outside are reclaimed.
-    #[test]
-    fn margin_interval_protection(
-        protected_index in 0u32..0xfff0_0000,
-        probe_index in 0u32..0xfff0_0000,
-    ) {
+/// A reader's margin protects exactly the indices within margin/2 of
+/// its announcement (modulo the 2^16 pointer-precision quantization):
+/// retired nodes inside are pinned, outside are reclaimed.
+#[test]
+fn margin_interval_protection() {
+    let (seed, mut rng) = test_rng(0x02);
+    for _ in 0..CASES {
+        let protected_index: u32 = rng.random_range(0..0xfff0_0000);
+        let probe_index: u32 = rng.random_range(0..0xfff0_0000);
         let margin = 1u32 << 20;
         let cfg = Config::default()
             .with_max_threads(2)
@@ -52,7 +80,7 @@ proptest! {
         let anchor = writer.alloc_with_index(0u32, protected_index);
         let cell = Atomic::new(anchor);
         let got = reader.read(&cell, 0);
-        prop_assert_eq!(got, anchor);
+        assert_eq!(got, anchor);
 
         let probe = writer.alloc_with_index(1u32, probe_index);
         unsafe { writer.retire(probe) }; // empty_freq = 1 → judged now
@@ -66,12 +94,10 @@ proptest! {
         let half = (margin / 2) as i64;
         let expect_pinned =
             !is_use_hp_class(probe_index) && mid - half <= p_hi && p_lo <= mid + half;
-        prop_assert_eq!(
+        assert_eq!(
             writer.retired_len() == 1,
             expect_pinned,
-            "probe {:#x} vs margin around {:#x}",
-            probe_index,
-            protected_index
+            "probe {probe_index:#x} vs margin around {protected_index:#x} (seed {seed:#x})"
         );
 
         reader.end_op();
@@ -79,13 +105,15 @@ proptest! {
         cell.store(Shared::null(), std::sync::atomic::Ordering::Release);
         unsafe { writer.retire(anchor) };
         writer.force_empty();
-        prop_assert_eq!(writer.retired_len(), 0);
+        assert_eq!(writer.retired_len(), 0, "seed {seed:#x}");
     }
+}
 
-    /// Hazard-pointer protection is exact: a retired node is pinned iff
-    /// some slot holds exactly its address.
-    #[test]
-    fn hp_protection_is_exact(protect in any::<bool>()) {
+/// Hazard-pointer protection is exact: a retired node is pinned iff
+/// some slot holds exactly its address.
+#[test]
+fn hp_protection_is_exact() {
+    for protect in [false, true] {
         let cfg = Config::default().with_max_threads(2).with_empty_freq(1);
         let smr = Hp::new(cfg);
         let mut reader = smr.register();
@@ -99,18 +127,23 @@ proptest! {
         }
         cell.store(Shared::null(), std::sync::atomic::Ordering::Release);
         unsafe { writer.retire(n) };
-        prop_assert_eq!(writer.retired_len() == 1, protect);
+        assert_eq!(writer.retired_len() == 1, protect);
         reader.end_op();
         writer.end_op();
         writer.force_empty();
-        prop_assert_eq!(writer.retired_len(), 0);
+        assert_eq!(writer.retired_len(), 0);
     }
+}
 
-    /// MP's collision marker: allocating with an exhausted search interval
-    /// always yields USE_HP; any wider interval yields a strictly interior
-    /// index, preserving the order embedding.
-    #[test]
-    fn alloc_index_respects_interval(lo in 0u32..u32::MAX - 2, width in 0u32..1_000_000) {
+/// MP's collision marker: allocating with an exhausted search interval
+/// always yields USE_HP; any wider interval yields a strictly interior
+/// index, preserving the order embedding.
+#[test]
+fn alloc_index_respects_interval() {
+    let (seed, mut rng) = test_rng(0x03);
+    for _ in 0..CASES {
+        let lo: u32 = rng.random_range(0..u32::MAX - 2);
+        let width: u32 = rng.random_range(0..1_000_000);
         let hi = lo.saturating_add(width);
         let smr = Mp::new(Config::default().with_max_threads(1).with_epoch_freq(1_000_000));
         let mut h = smr.register();
@@ -126,9 +159,9 @@ proptest! {
         let n = h.alloc(0u8);
         let idx = unsafe { n.deref() }.index();
         if hi - lo <= 1 {
-            prop_assert_eq!(idx, USE_HP);
+            assert_eq!(idx, USE_HP, "lo {lo} hi {hi} (seed {seed:#x})");
         } else {
-            prop_assert!(lo < idx && idx < hi, "idx {} not inside ({}, {})", idx, lo, hi);
+            assert!(lo < idx && idx < hi, "idx {idx} not inside ({lo}, {hi}) (seed {seed:#x})");
         }
         h.end_op();
         unsafe {

@@ -1,0 +1,68 @@
+//! Exponential backoff for contended retry loops.
+
+/// Exponential backoff for optimistic-concurrency retry loops (the in-tree
+/// replacement for `crossbeam_utils::Backoff`).
+///
+/// Each [`spin`](Backoff::spin) doubles the number of `spin_loop` hints
+/// issued, up to `2^SPIN_LIMIT`; past that point the contended section is
+/// long enough that burning more cycles only steals them from the thread
+/// holding things up, so [`is_completed`](Backoff::is_completed) reports
+/// that the caller should yield or park instead.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+const SPIN_LIMIT: u32 = 6;
+
+impl Backoff {
+    /// Creates a backoff in its initial (shortest-wait) state.
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Resets to the initial state (call after the contended operation
+    /// finally succeeds, if the `Backoff` is reused).
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Spins `2^step` times and escalates the step, saturating at
+    /// 2^6 = 64 hint instructions per call.
+    #[inline]
+    pub fn spin(&mut self) {
+        for _ in 0..1u32 << self.step.min(SPIN_LIMIT) {
+            core::hint::spin_loop();
+        }
+        if self.step <= SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// True once spinning has saturated and the caller should stop burning
+    /// CPU (e.g. `std::thread::yield_now` or a parking primitive).
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.step > SPIN_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_then_saturates() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=SPIN_LIMIT {
+            b.spin();
+        }
+        assert!(b.is_completed());
+        // Further spins stay saturated and keep working.
+        b.spin();
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

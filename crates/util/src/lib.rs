@@ -1,0 +1,32 @@
+//! # mp-util — zero-dependency support utilities
+//!
+//! The hermetic-build substrate of the workspace: everything the SMR
+//! library, data structures, benchmarks, and tests previously pulled from
+//! crates.io (`rand`, `crossbeam-utils`, `proptest`) reimplemented in-tree
+//! so the whole workspace builds and tests with `cargo build --offline` —
+//! in the spirit of the paper's pitch that the reclamation scheme is
+//! *self-contained* and droppable into any runtime.
+//!
+//! Scope is deliberately narrow (see DESIGN.md): only what this workspace
+//! uses, no feature flags, no platform probing beyond cache-line size.
+//!
+//! * [`rng`](mod@rng) / [`SmallRng`] / [`RngExt`] — a deterministic
+//!   SplitMix64-seeded xoshiro256++ PRNG. **Non-cryptographic; for
+//!   benchmark workloads and tests only.**
+//! * [`CachePadded`] — cache-line alignment to stop false sharing.
+//! * [`Backoff`] — exponential spin backoff for contended retry loops.
+//! * [`check`] — a seeded, shrinking property-test runner whose failures
+//!   replay from a printed seed.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod backoff;
+pub mod cache_padded;
+pub mod check;
+pub mod rng;
+
+pub use backoff::Backoff;
+pub use cache_padded::CachePadded;
+pub use check::Checker;
+pub use rng::{rng, RngCore, RngExt, SeedableRng, SmallRng, SplitMix64, UniformInt, Xoshiro256pp};

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use margin_pointers::ds::{ConcurrentSet, NmTree};
-use margin_pointers::smr::{schemes::Mp, Config, Smr};
+use margin_pointers::smr::{schemes::Mp, Config, Smr, SmrHandle};
 
 const INITIAL_SESSIONS: u64 = 50_000;
 
@@ -85,6 +85,22 @@ fn main() {
                 }
             });
         }
+        // A descheduled frontend: enters an operation via the RAII guard
+        // and then sleeps through the whole run — the paper's §1 scenario.
+        // Under MP the open operation pins only a bounded neighborhood of
+        // retired nodes, so the final wasted-memory figure stays small; the
+        // guard guarantees the operation ends (protections released) when
+        // the thread exits, even if it panicked mid-sleep.
+        {
+            let (smr, stop) = (smr.clone(), stop.clone());
+            s.spawn(move || {
+                let mut h = smr.register();
+                let _op = h.pin(); // announced; now descheduled mid-lookup
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
         // Expiry thread: evicts the oldest sessions, but never drains the
         // directory below a working set of 10 K live sessions.
         {
@@ -112,7 +128,8 @@ fn main() {
     let live = next_session.load(Ordering::Relaxed) - oldest_live.load(Ordering::Relaxed);
     println!(
         "lookups: {} hits / {} misses; ~{live} sessions live; \
-         wasted memory right now: {} nodes (bounded by MP)",
+         wasted memory right now: {} nodes (bounded by MP, even with a \
+         frontend descheduled mid-operation the whole run)",
         hits.load(Ordering::Relaxed),
         misses.load(Ordering::Relaxed),
         smr.retired_pending(),

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use margin_pointers::ds::{skiplist, ConcurrentSet, SkipList};
-use margin_pointers::smr::{schemes::Mp, Config, Smr, SmrHandle};
+use margin_pointers::smr::{schemes::Mp, Atomic, Config, Shared, Smr, SmrHandle};
 
 fn main() {
     // 1. Configure the SMR scheme. The margin (2^20 here, the paper's
@@ -61,5 +61,18 @@ fn main() {
     let mut handle = smr.register();
     println!("final size: {} keys", set.len(&mut handle));
     println!("unreclaimed (wasted) nodes right now: {}", smr.retired_pending());
+
+    // 4. Under the hood: structures drive the raw SMR API. Client code that
+    //    needs it directly uses `pin()` — an RAII guard that announces the
+    //    operation on creation and releases every protection when dropped,
+    //    so start_op/end_op can never be left unbalanced.
+    let mut op = handle.pin();
+    let node = op.alloc_with_index(123u64, 42 << 16);
+    let cell = Atomic::new(node); // publish ...
+    let seen = op.read(&cell, 0); // ... and load through protected read
+    println!("raw API: read back key {}", unsafe { *seen.deref().data() });
+    cell.store(Shared::null(), std::sync::atomic::Ordering::Release); // unlink
+    unsafe { op.retire(node) }; // safe: unlinked, retired once
+    drop(op); // end_op: protections released, node reclaimable
     drop(handle);
 }

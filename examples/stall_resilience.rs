@@ -39,11 +39,12 @@ fn churn_with_stall<S: Smr>(label: &str) -> Vec<usize> {
             let stop = stop.clone();
             s.spawn(move || {
                 let mut h = smr.register();
-                h.start_op(); // announced; now stalled mid-operation
+                // Pin an operation open (RAII: ends when the guard drops),
+                // then stall mid-operation.
+                let _op = h.pin();
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(5));
                 }
-                h.end_op();
             });
         }
         // Workers churn.

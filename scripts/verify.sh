@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full offline verification gate. The workspace has zero crates.io
+# dependencies, so every step runs with --offline and must succeed on a
+# machine with no network and an empty cargo registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> OK"
