@@ -31,6 +31,20 @@ pub enum StallMode {
     OneStalledThread,
 }
 
+/// Fault injection applied during the measured window — a testing aid for
+/// the reclamation oracle and conformance suites, `None` for real
+/// measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// No injected faults.
+    None,
+    /// One extra registered thread alternates real operations with a panic
+    /// raised *inside* a pinned operation (caught within the thread), so
+    /// the RAII guard's unwind path — `end_op`, protection release, retired
+    /// handoff — is exercised repeatedly under concurrent load.
+    MidOpPanic,
+}
+
 /// Parameters of one measurement point.
 #[derive(Debug, Clone)]
 pub struct BenchParams {
@@ -48,6 +62,8 @@ pub struct BenchParams {
     pub seed: u64,
     /// Stall injection.
     pub stall: StallMode,
+    /// Fault injection (mid-operation panics).
+    pub fault: FaultMode,
     /// SMR configuration (margin, cadences, slots).
     pub config: Config,
 }
@@ -81,8 +97,9 @@ impl BenchParams {
             mix,
             seed: 0x5eed_cafe_f00d_0001,
             stall: StallMode::None,
+            fault: FaultMode::None,
             config: Config::default()
-                .with_max_threads(threads + 2) // +setup, +staller
+                .with_max_threads(threads + 3) // +setup, +staller, +faulter
                 .with_slots_per_thread(slots)
                 .with_epoch_freq(150 * threads.max(1)),
         }
@@ -107,6 +124,32 @@ pub struct BenchResult {
     pub peak_pending: usize,
     /// Fraction of reads that took MP's hazard-pointer fallback.
     pub hp_fallback_rate: f64,
+}
+
+/// Message carried by [`FaultMode::MidOpPanic`]'s injected panics; the
+/// panic hook filter below matches on it.
+pub const INJECTED_PANIC: &str = "injected mid-op fault";
+
+/// Installs (once, process-wide) a panic hook that swallows the injected
+/// fault panics — they fire on every fault-thread iteration and would
+/// otherwise flood stderr, since spawned-thread output is not captured by
+/// the test harness. All other panics still reach the previous hook.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let injected = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .is_some_and(|m| m.contains(INJECTED_PANIC));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Runs one measurement point of scheme `S` on structure `D`.
@@ -139,7 +182,10 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
 
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(
-        p.threads + 1 + matches!(p.stall, StallMode::OneStalledThread) as usize,
+        p.threads
+            + 1
+            + matches!(p.stall, StallMode::OneStalledThread) as usize
+            + matches!(p.fault, FaultMode::MidOpPanic) as usize,
     ));
     let total_ops = Arc::new(AtomicU64::new(0));
 
@@ -193,6 +239,39 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
                 let _op = h.pin();
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+
+        if matches!(p.fault, FaultMode::MidOpPanic) {
+            let smr = smr.clone();
+            let ds = ds.clone();
+            let stop = stop.clone();
+            let barrier = barrier.clone();
+            let seed = p.seed;
+            silence_injected_panics();
+            scope.spawn(move || {
+                let mut h = smr.register();
+                let mut rng = thread_rng(seed, usize::MAX - 1);
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    // A few real operations so protections and retires are
+                    // live around the injected fault...
+                    for _ in 0..8 {
+                        let key = draw_key(&mut rng, key_range);
+                        ds.insert(&mut h, key);
+                        ds.remove(&mut h, key);
+                    }
+                    // ...then a panic raised inside a *bare* pinned
+                    // operation (no data-structure call inside, so the
+                    // oracle's pin-nesting check stays quiet). The RAII
+                    // guard must end the operation on the unwind path.
+                    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _op = h.pin();
+                        panic!("{INJECTED_PANIC}");
+                    }));
+                    assert!(unwound.is_err(), "injected panic must unwind");
+                    std::thread::sleep(Duration::from_millis(1));
                 }
             });
         }
@@ -300,6 +379,15 @@ mod tests {
             ebr.peak_pending,
             mp.peak_pending
         );
+    }
+
+    #[test]
+    fn mid_op_panic_fault_keeps_workers_progressing() {
+        let mut p = quick(2, 100, READ_DOMINATED);
+        p.fault = FaultMode::MidOpPanic;
+        let r = run::<Mp, LinkedList<Mp>>(&p);
+        assert!(r.total_ops > 0, "workers stalled under fault injection: {r:?}");
+        assert!(r.stats.ops >= r.total_ops);
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod linearize;
 pub mod report;
 pub mod workload;
 
-pub use driver::{run, BenchParams, BenchResult, Prefill, StallMode};
+pub use driver::{
+    run, silence_injected_panics, BenchParams, BenchResult, FaultMode, Prefill, StallMode,
+    INJECTED_PANIC,
+};
 pub use report::{csv_path, Table};
 pub use workload::{Mix, READ_DOMINATED, READ_ONLY, WRITE_DOMINATED};
 

@@ -31,6 +31,24 @@ const FLAG: u64 = 0b01;
 /// Edge mark: this edge is immutable (its tail node is being unlinked).
 const TAG: u64 = 0b10;
 
+/// A severed edge: null with both marks set — a combination no live edge
+/// ever carries (flagged/tagged edges always hold real pointers, leaf child
+/// edges are null and unmarked). `retire_region` overwrites every edge of a
+/// detached node with this word *before* retiring the node, so a reader
+/// re-validating (HP/MP) or re-reading (IBR/HE) the edge observes a change
+/// instead of a frozen pointer into freed memory; `seek` restarts when it
+/// reads one. Without this, the region's interior edges would never change
+/// again, and protect-then-validate schemes would happily follow them to
+/// nodes reclaimed out from under the traversal (see DESIGN.md, "Findings").
+fn dead<V>() -> Shared<Node<V>> {
+    Shared::null().with_mark(FLAG | TAG)
+}
+
+/// True iff `e` is the severed-edge sentinel written by `retire_region`.
+fn is_dead<V>(e: Shared<Node<V>>) -> bool {
+    e.mark() == (FLAG | TAG) && e.is_null()
+}
+
 /// Sentinel keys ∞₀ < ∞₁ < ∞₂ (client keys must be `< ∞₀`).
 const INF0: u64 = u64::MAX - 2;
 const INF1: u64 = u64::MAX - 1;
@@ -144,53 +162,72 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
     /// (Listing 9), maintaining the MP search interval along the way.
     /// All four record roles remain protected until the next seek/`end_op`.
     fn seek(&self, h: &mut S::Handle, key: u64) -> SeekRecord<V> {
-        let pool = &mut SlotPool::new();
-        let mut ancestor = Prot { node: self.root, slot: None };
-        let mut successor = Prot { node: self.s, slot: None };
-        let mut parent = Prot { node: self.s, slot: None };
-        // Safety: S is a sentinel, never reclaimed.
-        let s_node = unsafe { self.s.deref() }.data();
-        let lslot = pool.acquire();
-        // parent (S) → leaf edge.
-        let mut parent_edge = h.read(&s_node.left, lslot as usize);
-        let mut leaf = Prot { node: parent_edge.unmarked(), slot: Some(lslot) };
-        let mut successor_edge = parent_edge;
+        'restart: loop {
+            let pool = &mut SlotPool::new();
+            let mut ancestor = Prot { node: self.root, slot: None };
+            let mut successor = Prot { node: self.s, slot: None };
+            let mut parent = Prot { node: self.s, slot: None };
+            // Safety: S is a sentinel, never reclaimed.
+            let s_node = unsafe { self.s.deref() }.data();
+            let lslot = pool.acquire();
+            // parent (S) → leaf edge.
+            let mut parent_edge = h.read(&s_node.left, lslot as usize);
+            let mut leaf = Prot { node: parent_edge.unmarked(), slot: Some(lslot) };
+            let mut successor_edge = parent_edge;
 
-        // current = leaf.left (unconditionally: the subtree root under S
-        // always carries key ∞₀, greater than every client key).
-        // Safety: leaf protected under lslot.
-        let cslot = pool.acquire();
-        let mut current_edge = h.read(&unsafe { leaf.node.deref() }.data().left, cslot as usize);
-        let mut current = Prot { node: current_edge.unmarked(), slot: Some(cslot) };
-
-        while !current.node.is_null() {
-            h.stats_mut().nodes_traversed += 1;
-            if parent_edge.mark() & TAG == 0 {
-                pool.assign(&mut ancestor, parent);
-                pool.assign(&mut successor, leaf);
-                successor_edge = parent_edge;
+            // current = leaf.left (unconditionally: the subtree root under S
+            // always carries key ∞₀, greater than every client key).
+            // Safety: leaf protected under lslot.
+            if is_dead(parent_edge) {
+                continue 'restart;
             }
-            pool.assign(&mut parent, leaf);
-            pool.assign(&mut leaf, current);
-            parent_edge = current_edge;
+            let cslot = pool.acquire();
+            let mut current_edge =
+                h.read(&unsafe { leaf.node.deref() }.data().left, cslot as usize);
+            let mut current = Prot { node: current_edge.unmarked(), slot: Some(cslot) };
 
-            // Safety: current protected under its slot.
-            let cur_node = unsafe { current.node.deref() }.data();
-            let next_slot = pool.acquire();
-            let next_edge = if key < cur_node.key {
-                h.update_upper_bound(current.node);
-                h.read(&cur_node.left, next_slot as usize)
-            } else {
-                h.update_lower_bound(current.node);
-                h.read(&cur_node.right, next_slot as usize)
-            };
-            current_edge = next_edge;
-            let next = Prot { node: next_edge.unmarked(), slot: Some(next_slot) };
+            while !current.node.is_null() {
+                h.stats_mut().nodes_traversed += 1;
+                if parent_edge.mark() & TAG == 0 {
+                    pool.assign(&mut ancestor, parent);
+                    pool.assign(&mut successor, leaf);
+                    successor_edge = parent_edge;
+                }
+                pool.assign(&mut parent, leaf);
+                pool.assign(&mut leaf, current);
+                parent_edge = current_edge;
+
+                // Safety: current protected under its slot.
+                let cur_node = unsafe { current.node.deref() }.data();
+                let next_slot = pool.acquire();
+                let next_edge = if key < cur_node.key {
+                    h.update_upper_bound(current.node);
+                    h.read(&cur_node.left, next_slot as usize)
+                } else {
+                    h.update_lower_bound(current.node);
+                    h.read(&cur_node.right, next_slot as usize)
+                };
+                current_edge = next_edge;
+                let next = Prot { node: next_edge.unmarked(), slot: Some(next_slot) };
+                pool.release(current);
+                current = next;
+            }
+            // A severed (dead) edge unmarks to null and ends the descent
+            // here: the node we stood on was detached and retired, so the
+            // record is garbage. Start over.
+            if is_dead(current_edge) {
+                continue 'restart;
+            }
             pool.release(current);
-            current = next;
+            return SeekRecord {
+                ancestor,
+                successor,
+                parent,
+                leaf,
+                successor_edge,
+                leaf_edge: parent_edge,
+            };
         }
-        pool.release(current);
-        SeekRecord { ancestor, successor, parent, leaf, successor_edge, leaf_edge: parent_edge }
     }
 
     /// The cleanup routine (Natarajan–Mittal): given a seek record whose
@@ -246,10 +283,22 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
     /// `region_root` down to the deletion parent plus the flagged leaves
     /// hanging off it — everything reachable without entering `keep`.
     ///
+    /// Each node's outgoing edges are severed (overwritten with [`dead`])
+    /// *before* the node is retired. The region's edges would otherwise be
+    /// frozen forever, and a reader standing on a region node it protected
+    /// in time could follow an unchanged edge to a child that was already
+    /// reclaimed: hazard-style revalidation re-reads the edge and sees the
+    /// same word, and an interval/era reservation admits any node whose
+    /// birth its announced bound covers — both are only sound when retired
+    /// nodes stop being reachable. Severing restores that: a reader whose
+    /// protection landed before the sever is visible to every reclaimer
+    /// scan that could free the child (the sever precedes the retire), and
+    /// a reader that arrives after it reads [`dead`] and restarts.
+    ///
     /// # Safety
     /// Must be called exactly once per successful cleanup swing, by the
     /// winning thread. The region is unreachable and its edges are all
-    /// marked (immutable).
+    /// marked (immutable to every other writer).
     unsafe fn retire_region(
         &self,
         h: &mut S::Handle,
@@ -266,6 +315,8 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
             let node = unsafe { n.deref() }.data();
             let l = node.left.load(Ordering::Acquire);
             let r = node.right.load(Ordering::Acquire);
+            node.left.store(dead(), Ordering::Release);
+            node.right.store(dead(), Ordering::Release);
             if !l.is_null() {
                 stack.push(l.unmarked());
             }

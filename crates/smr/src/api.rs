@@ -287,11 +287,14 @@ pub trait SmrHandle: Send + 'static {
     ///
     /// Operations must not be nested: do not call `pin` (or a data-structure
     /// operation, which pins internally) while a guard from the same handle
-    /// is alive.
+    /// is alive. Under `--features oracle` this rule is enforced: a nested
+    /// `pin` on one thread panics with the offending scheme and replay seed.
     fn pin(&mut self) -> OpGuard<'_, Self>
     where
         Self: Sized,
     {
+        #[cfg(feature = "oracle")]
+        crate::oracle::pin_enter();
         self.start_op();
         OpGuard { handle: self }
     }
@@ -391,6 +394,8 @@ impl<H: SmrHandle> DerefMut for OpGuard<'_, H> {
 impl<H: SmrHandle> Drop for OpGuard<'_, H> {
     fn drop(&mut self) {
         self.handle.end_op();
+        #[cfg(feature = "oracle")]
+        crate::oracle::pin_exit();
     }
 }
 

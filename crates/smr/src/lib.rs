@@ -44,6 +44,8 @@
 
 pub mod api;
 pub mod node;
+#[cfg(feature = "oracle")]
+pub mod oracle;
 pub mod packed;
 pub mod registry;
 pub mod schemes;

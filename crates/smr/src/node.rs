@@ -37,6 +37,27 @@ pub struct Header {
     pub(crate) retire: AtomicU64,
     /// The node's immutable 32-bit MP index.
     pub(crate) index: u32,
+    /// Oracle canary: [`crate::oracle::CANARY_ALIVE`] while the node is
+    /// live, flipped to the poison value on reclamation and validated by
+    /// every `Shared::deref`. Only present under `--features oracle`, so
+    /// the default header stays within Table 1's 3-word budget.
+    #[cfg(feature = "oracle")]
+    pub(crate) canary: u64,
+}
+
+/// Canary validation for `Shared::deref`: reads the header through a raw
+/// pointer (never materializing a reference to the possibly-poisoned
+/// payload) and panics on a reclaimed or wild pointee.
+///
+/// # Safety
+/// `h` must point to memory that is still mapped — guaranteed for any node
+/// the oracle has seen, since reclaimed nodes sit in quarantine.
+#[cfg(feature = "oracle")]
+pub(crate) unsafe fn oracle_check_canary(h: *const Header) {
+    let canary = unsafe { (*h).canary };
+    if canary != crate::oracle::CANARY_ALIVE {
+        crate::oracle::uaf_panic(h as u64, canary);
+    }
 }
 
 /// An SMR-managed node: header followed by the client payload.
@@ -87,10 +108,36 @@ pub mod gauge {
 /// Allocates a node with the given payload, index, and birth epoch.
 pub(crate) fn alloc_node<T>(data: T, index: u32, birth: u64) -> *mut SmrNode<T> {
     gauge::LIVE.fetch_add(1, Ordering::AcqRel);
-    Box::into_raw(Box::new(SmrNode {
-        header: Header { birth, retire: AtomicU64::new(u64::MAX), index },
+    let ptr = Box::into_raw(Box::new(SmrNode {
+        header: Header {
+            birth,
+            retire: AtomicU64::new(u64::MAX),
+            index,
+            #[cfg(feature = "oracle")]
+            canary: crate::oracle::CANARY_ALIVE,
+        },
         data,
-    }))
+    }));
+    #[cfg(feature = "oracle")]
+    crate::oracle::on_alloc(ptr as u64, birth);
+    ptr
+}
+
+/// Drops the payload in place, poisons the node, and parks its memory in
+/// the oracle quarantine (instead of returning it to the allocator), so a
+/// later buggy dereference reads the poison canary deterministically.
+///
+/// # Safety
+/// Same contract as [`dealloc_node`].
+#[cfg(feature = "oracle")]
+unsafe fn poison_and_quarantine<T>(ptr: *mut SmrNode<T>) {
+    unsafe {
+        let data = core::ptr::addr_of_mut!((*ptr).data);
+        core::ptr::drop_in_place(data);
+        core::ptr::write_bytes(data as *mut u8, crate::oracle::POISON_BYTE, size_of::<T>());
+        (*ptr).header.canary = crate::oracle::CANARY_POISON;
+        crate::oracle::quarantine_node(ptr as *mut u8, core::alloc::Layout::new::<SmrNode<T>>());
+    }
 }
 
 /// Frees a node.
@@ -99,6 +146,12 @@ pub(crate) fn alloc_node<T>(data: T, index: u32, birth: u64) -> *mut SmrNode<T> 
 /// `ptr` must have come from [`alloc_node`] and must not be accessed again.
 pub(crate) unsafe fn dealloc_node<T>(ptr: *mut SmrNode<T>) {
     gauge::LIVE.fetch_sub(1, Ordering::AcqRel);
+    #[cfg(feature = "oracle")]
+    unsafe {
+        crate::oracle::on_free(ptr as u64, (*ptr).header.birth);
+        poison_and_quarantine(ptr);
+    }
+    #[cfg(not(feature = "oracle"))]
     drop(unsafe { Box::from_raw(ptr) });
 }
 
@@ -108,7 +161,23 @@ pub(crate) unsafe fn dealloc_node<T>(ptr: *mut SmrNode<T>) {
 /// Same as [`dealloc_node`].
 pub(crate) unsafe fn take_node<T>(ptr: *mut SmrNode<T>) -> T {
     gauge::LIVE.fetch_sub(1, Ordering::AcqRel);
-    unsafe { Box::from_raw(ptr) }.data
+    #[cfg(feature = "oracle")]
+    unsafe {
+        crate::oracle::on_free(ptr as u64, (*ptr).header.birth);
+        let data = core::ptr::read(core::ptr::addr_of!((*ptr).data));
+        core::ptr::write_bytes(
+            core::ptr::addr_of_mut!((*ptr).data) as *mut u8,
+            crate::oracle::POISON_BYTE,
+            size_of::<T>(),
+        );
+        (*ptr).header.canary = crate::oracle::CANARY_POISON;
+        crate::oracle::quarantine_node(ptr as *mut u8, core::alloc::Layout::new::<SmrNode<T>>());
+        data
+    }
+    #[cfg(not(feature = "oracle"))]
+    {
+        unsafe { Box::from_raw(ptr) }.data
+    }
 }
 
 /// Allocates an SMR node outside any handle (index 0, birth 0). For
@@ -150,6 +219,8 @@ impl Retired {
     pub(crate) unsafe fn new<T>(ptr: *mut SmrNode<T>, retire_epoch: u64) -> Self {
         let header = ptr as *mut Header;
         let (birth, index) = unsafe { ((*header).birth, (*header).index) };
+        #[cfg(feature = "oracle")]
+        crate::oracle::on_retire(header as u64, birth);
         unsafe { (*header).retire.store(retire_epoch, Ordering::Release) };
         Retired {
             ptr: header,
@@ -181,11 +252,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn header_is_at_offset_zero_and_small() {
-        // Table 1: MP per-node overhead is 3 words.
-        assert!(core::mem::size_of::<Header>() <= 3 * core::mem::size_of::<u64>());
+    fn header_is_at_offset_zero() {
         let node = alloc_node(0u128, 9, 4);
         assert_eq!(node as usize, unsafe { &(*node).header } as *const _ as usize);
+        unsafe { dealloc_node(node) };
+    }
+
+    /// Zero-cost-when-off witness: without the oracle feature the header
+    /// carries no canary and stays within Table 1's 3-word budget — any
+    /// oracle field leaking onto the hot path fails this at compile/test
+    /// time.
+    #[cfg(not(feature = "oracle"))]
+    #[test]
+    fn header_is_three_words_without_the_oracle() {
+        assert!(core::mem::size_of::<Header>() <= 3 * core::mem::size_of::<u64>());
+    }
+
+    /// Counterpart: under the oracle the canary widens the header by one
+    /// word, and a live node's canary reads back alive.
+    #[cfg(feature = "oracle")]
+    #[test]
+    fn header_gains_exactly_one_canary_word_under_the_oracle() {
+        assert_eq!(core::mem::size_of::<Header>(), 4 * core::mem::size_of::<u64>());
+        let node = alloc_node(7u32, 0, 0);
+        assert_eq!(unsafe { (*node).header.canary }, crate::oracle::CANARY_ALIVE);
         unsafe { dealloc_node(node) };
     }
 

@@ -167,6 +167,13 @@ impl<T> Shared<T> {
     #[inline]
     pub unsafe fn deref<'a>(self) -> &'a SmrNode<T> {
         debug_assert!(!self.is_null());
+        // Oracle: reclaimed nodes stay mapped (quarantined) with a poisoned
+        // header canary, so a protection bug panics here deterministically
+        // instead of reading freed memory.
+        #[cfg(feature = "oracle")]
+        unsafe {
+            crate::node::oracle_check_canary(self.as_raw() as *const crate::node::Header)
+        };
         unsafe { &*self.as_raw() }
     }
 

@@ -349,6 +349,11 @@ impl DtaHandle {
 
 impl SmrHandle for DtaHandle {
     fn start_op(&mut self) {
+        // Oracle context only: DTA's waste depends on freeze timing and the
+        // anchored-segment size, not a predetermined formula — exempt from
+        // the waste-bound monitor.
+        #[cfg(feature = "oracle")]
+        crate::oracle::enter_scheme("DTA");
         self.stats.ops += 1;
         self.stats.retired_sampled_sum += self.retired.len() as u64;
         let e = self.scheme.clock.advance(); // fresh stamp ⇒ visible progress

@@ -129,6 +129,10 @@ impl EbrHandle {
 
 impl SmrHandle for EbrHandle {
     fn start_op(&mut self) {
+        // Oracle context only: EBR is exempt from the waste-bound monitor —
+        // one stalled thread legitimately pins every later retiree (§1).
+        #[cfg(feature = "oracle")]
+        crate::oracle::enter_scheme("EBR");
         self.stats.ops += 1;
         self.stats.retired_sampled_sum += self.retired.len() as u64;
         let e = self.scheme.clock.now();

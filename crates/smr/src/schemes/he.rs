@@ -130,11 +130,30 @@ impl HeHandle {
         self.stats.frees += freed as u64;
         self.scheme.pending.sub(freed);
         self.retired = kept;
+        // Oracle: era-pile conformance bound. At most T·H distinct eras are
+        // announced; each pins retirees whose lifetime contains it, and the
+        // era clock advances every `epoch_freq` allocations per thread, so
+        // a pile of more than F·T nodes per announced era (plus the
+        // `empty_freq` batch retired since the last scan) means the
+        // interval filter is broken. Heuristic, not a paper theorem — HE's
+        // waste is not predetermined — but far above anything a correct
+        // scan retains at test scale.
+        #[cfg(feature = "oracle")]
+        {
+            let cfg = &self.scheme.cfg;
+            let t = cfg.max_threads as u128;
+            let h = cfg.slots_per_thread as u128;
+            let f = cfg.epoch_freq as u128;
+            let bound = t * h * f * t + cfg.empty_freq as u128;
+            crate::oracle::check_waste_bound("HE", self.retired.len(), bound);
+        }
     }
 }
 
 impl SmrHandle for HeHandle {
     fn start_op(&mut self) {
+        #[cfg(feature = "oracle")]
+        crate::oracle::enter_scheme("HE");
         self.stats.ops += 1;
         self.stats.retired_sampled_sum += self.retired.len() as u64;
     }

@@ -148,11 +148,25 @@ impl HpHandle {
         self.stats.frees += freed as u64;
         self.scheme.pending.sub(freed);
         self.retired = kept;
+        // Oracle: every kept node is pinned by some announced hazard, so a
+        // handle's list can never exceed the total slot budget (the paper's
+        // Table 1 bound for HP).
+        #[cfg(feature = "oracle")]
+        {
+            let cfg = &self.scheme.cfg;
+            crate::oracle::check_waste_bound(
+                "HP",
+                self.retired.len(),
+                (cfg.max_threads * cfg.slots_per_thread) as u128,
+            );
+        }
     }
 }
 
 impl SmrHandle for HpHandle {
     fn start_op(&mut self) {
+        #[cfg(feature = "oracle")]
+        crate::oracle::enter_scheme("HP");
         self.stats.ops += 1;
         self.stats.retired_sampled_sum += self.retired.len() as u64;
     }

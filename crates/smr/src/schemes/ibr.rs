@@ -132,6 +132,11 @@ impl IbrHandle {
 
 impl SmrHandle for IbrHandle {
     fn start_op(&mut self) {
+        // Oracle context only: IBR (2GE) is exempt from the waste-bound
+        // monitor — a stalled reservation pins unboundedly many retirees
+        // whose intervals overlap it.
+        #[cfg(feature = "oracle")]
+        crate::oracle::enter_scheme("IBR");
         self.stats.ops += 1;
         self.stats.retired_sampled_sum += self.retired.len() as u64;
         let e = self.scheme.clock.now();

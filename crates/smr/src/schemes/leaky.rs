@@ -65,6 +65,10 @@ impl Drop for Leaky {
 
 impl SmrHandle for LeakyHandle {
     fn start_op(&mut self) {
+        // Oracle context only: Leaky never reclaims, so no bound applies —
+        // but its allocations and retires are still lifecycle-tracked.
+        #[cfg(feature = "oracle")]
+        crate::oracle::enter_scheme("Leaky");
         self.stats.ops += 1;
         self.stats.retired_sampled_sum += self.retired.len() as u64;
     }

@@ -269,6 +269,21 @@ impl MpHandle {
         self.stats.frees += freed as u64;
         self.scheme.pending.sub(freed);
         self.retired = kept;
+        // Oracle: Theorem 4.2's predetermined bound. Each kept node is held
+        // by a hazard (≤ T·H in total) or by a margin of a thread whose
+        // epoch admits its lifetime; a margin spans at most margin + 2^16
+        // indices (precision slack) and each index piles up at most F·T
+        // same-epoch retirees per epoch window. Astronomically loose, but
+        // predetermined — a scan bug that keeps everything still trips it.
+        #[cfg(feature = "oracle")]
+        {
+            let cfg = &self.scheme.cfg;
+            let t = cfg.max_threads as u128;
+            let h = cfg.slots_per_thread as u128;
+            let m = cfg.margin as u128 + (1 << 16);
+            let f = cfg.epoch_freq as u128;
+            crate::oracle::check_waste_bound("MP", self.retired.len(), t * h + t * h * m * f * t);
+        }
     }
 
     /// Hazard-pointer protection of `w`'s target, with validation.
@@ -296,6 +311,8 @@ impl MpHandle {
 
 impl SmrHandle for MpHandle {
     fn start_op(&mut self) {
+        #[cfg(feature = "oracle")]
+        crate::oracle::enter_scheme("MP");
         self.stats.ops += 1;
         self.stats.retired_sampled_sum += self.retired.len() as u64;
         self.epoch = self.scheme.global_epoch.load(Ordering::SeqCst);

@@ -17,6 +17,8 @@
 //! * [`Backoff`] — exponential spin backoff for contended retry loops.
 //! * [`check`] — a seeded, shrinking property-test runner whose failures
 //!   replay from a printed seed.
+//! * [`shadow`] — a sharded shadow table (key → state record with atomic
+//!   transitions), the substrate of `mp-smr`'s reclamation oracle.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -25,8 +27,10 @@ pub mod backoff;
 pub mod cache_padded;
 pub mod check;
 pub mod rng;
+pub mod shadow;
 
 pub use backoff::Backoff;
 pub use cache_padded::CachePadded;
 pub use check::Checker;
+pub use shadow::{ShadowSlot, ShadowTable};
 pub use rng::{rng, RngCore, RngExt, SeedableRng, SmallRng, SplitMix64, UniformInt, Xoshiro256pp};

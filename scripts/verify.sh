@@ -14,4 +14,26 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Oracle stage: the same tests plus the conformance matrix, negative
+# oracle tests, and mp-smr's oracle unit tests, with shadow lifecycle
+# tracking, freed-memory poisoning, and the waste-bound monitor armed.
+run_oracle() {
+  if ! "$@"; then
+    echo "!! oracle stage failed: $*" >&2
+    echo "!! oracle and checker reports print a base seed; replay the exact run with:" >&2
+    echo "!!   MP_CHECK_SEED=<seed from the report> cargo test --features oracle -q <failing_test>" >&2
+    exit 1
+  fi
+}
+
+echo "==> cargo test -q --offline --features oracle (reclamation oracle armed)"
+run_oracle cargo test -q --offline --features oracle
+
+echo "==> cargo test -q --offline -p mp-smr --features oracle"
+run_oracle cargo test -q --offline -p mp-smr --features oracle
+
+echo "==> cargo clippy --offline --all-targets --features oracle -- -D warnings"
+cargo clippy --offline --all-targets --features oracle -- -D warnings
+cargo clippy --offline -p mp-smr --all-targets --features oracle -- -D warnings
+
 echo "==> OK"

@@ -1,0 +1,262 @@
+//! Oracle-supervised conformance matrix (`--features oracle`): every SMR
+//! scheme on every structure it supports, run under fault injection with
+//! the reclamation oracle armed.
+//!
+//! Each combo runs seeded random operation plans on two worker threads
+//! while a third thread misbehaves in one of the two ways the paper's
+//! threat model cares about:
+//!
+//! * **stalled thread** — announces an operation and stops taking steps
+//!   until the workers finish (§1's scenario; exercises bounded-waste
+//!   paths, DTA recovery, and the oracle's waste-bound monitor, which
+//!   fires inside every `empty()` for MP/HP/HE), or
+//! * **mid-operation panic** — repeatedly unwinds out of a pinned
+//!   operation (caught in-thread), exercising the RAII guard's unwind
+//!   path under concurrent load.
+//!
+//! The oracle converts any lifecycle violation (double retire, double
+//! free, use-after-free via the poisoned-canary check on every `deref`)
+//! into an immediate panic carrying the replay seed; the `Checker` then
+//! shrinks the operation plan. A run that completes silently is the
+//! conformance pass.
+//!
+//! This file compiles to nothing without the `oracle` feature so the
+//! default `cargo test` wall-clock is unchanged.
+
+#![cfg(feature = "oracle")]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use mp_bench::{silence_injected_panics, INJECTED_PANIC};
+use mp_util::{Checker, RngExt, SmallRng};
+
+use margin_pointers::ds::{ConcurrentSet, DtaList, HashMap, LinkedList, NmTree, SkipList};
+use margin_pointers::smr::oracle;
+use margin_pointers::smr::schemes::{Dta, Ebr, He, Hp, Ibr, Leaky, Mp};
+use margin_pointers::smr::{Config, OpStats, Smr, SmrHandle};
+
+/// Keys are drawn from `[0, KEY_SPACE)`; the sequential probe uses a key
+/// above it.
+const KEY_SPACE: u64 = 48;
+
+/// Which misbehaving third thread accompanies the two workers.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    /// Pins an operation and stops taking steps until the workers finish.
+    Stall,
+    /// Alternates real operations with panics unwinding out of a pin.
+    MidOpPanic,
+}
+
+/// Aggressive cadences so reclamation (and with it the oracle's
+/// free/waste-bound hooks) runs many times within a short plan.
+fn cfg() -> Config {
+    Config::default()
+        .with_max_threads(5)
+        .with_slots_per_thread(margin_pointers::ds::skiplist::SLOTS_NEEDED)
+        .with_empty_freq(4)
+        .with_epoch_freq(8)
+        .with_anchor_hops(4)
+        .with_stall_patience(2)
+}
+
+/// A random operation plan: `(kind % 3, key)` pairs split between the two
+/// workers by parity.
+fn gen_plan(rng: &mut SmallRng) -> Vec<(u8, u64)> {
+    let len = rng.random_range(64..256);
+    (0..len).map(|_| (rng.random_range(0..3u8), rng.random_range(0..KEY_SPACE))).collect()
+}
+
+fn apply<S: Smr, D: ConcurrentSet<S>>(ds: &D, h: &mut S::Handle, kind: u8, key: u64) {
+    match kind % 3 {
+        0 => {
+            ds.insert(h, key);
+        }
+        1 => {
+            ds.remove(h, key);
+        }
+        _ => {
+            ds.contains(h, key);
+        }
+    }
+}
+
+/// Runs one plan under the chosen fault and returns the stats merged over
+/// every handle that existed (so `retires >= frees` is a true global
+/// invariant: orphan adoption can move a retired node between handles,
+/// but every free corresponds to some handle's retire).
+fn run_case<S: Smr, D: ConcurrentSet<S>>(fault: Fault, plan: &[(u8, u64)]) -> OpStats {
+    let smr = S::new(cfg());
+    let ds = Arc::new(D::new(&smr));
+    let mut merged = OpStats::default();
+
+    // Prefill a few keys so early removes have something to reclaim.
+    {
+        let mut h = smr.register();
+        for k in 0..8u64 {
+            ds.insert(&mut h, (k * 5) % KEY_SPACE);
+        }
+        merged.merge(h.stats());
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(3)); // 2 workers + 1 fault thread
+
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for t in 0..2usize {
+            let smr = smr.clone();
+            let ds = ds.clone();
+            let barrier = barrier.clone();
+            let share: Vec<(u8, u64)> = plan.iter().copied().skip(t).step_by(2).collect();
+            workers.push(s.spawn(move || {
+                let mut h = smr.register();
+                barrier.wait();
+                for (kind, key) in share {
+                    apply(&*ds, &mut h, kind, key);
+                }
+                h.stats().clone()
+            }));
+        }
+
+        let faulter = {
+            let smr = smr.clone();
+            let ds = ds.clone();
+            let done = done.clone();
+            let barrier = barrier.clone();
+            if fault == Fault::MidOpPanic {
+                silence_injected_panics();
+            }
+            s.spawn(move || {
+                let mut h = smr.register();
+                barrier.wait();
+                match fault {
+                    Fault::Stall => {
+                        // Announce an operation and stop taking steps until
+                        // the workers are done (§1's scenario).
+                        let _op = h.pin();
+                        while !done.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    }
+                    Fault::MidOpPanic => {
+                        let mut k = 1u64;
+                        while !done.load(Ordering::Acquire) {
+                            // Real operations keep protections and retires
+                            // live around the injected fault...
+                            for _ in 0..4 {
+                                k = (k.wrapping_mul(31) + 7) % KEY_SPACE;
+                                ds.insert(&mut h, k);
+                                ds.remove(&mut h, k);
+                            }
+                            // ...then unwind out of a bare pinned operation
+                            // (no structure call inside, so the oracle's
+                            // pin-nesting check stays quiet).
+                            let unwound =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let _op = h.pin();
+                                    panic!("{INJECTED_PANIC}");
+                                }));
+                            assert!(unwound.is_err(), "injected panic must unwind");
+                        }
+                    }
+                }
+                h.stats().clone()
+            })
+        };
+
+        for w in workers {
+            merged.merge(&w.join().expect("worker panicked"));
+        }
+        done.store(true, Ordering::Release);
+        merged.merge(&faulter.join().expect("fault thread panicked"));
+    });
+
+    // Sequential probe: the structure must still work, and scanning the
+    // whole key space routes every surviving node through the canary check
+    // in `deref`.
+    let mut h = smr.register();
+    let probe = KEY_SPACE + 5;
+    assert!(ds.insert(&mut h, probe), "probe key must be fresh");
+    assert!(ds.contains(&mut h, probe), "probe key must be found");
+    assert!(ds.remove(&mut h, probe), "probe key must be removable");
+    assert!(!ds.contains(&mut h, probe), "probe key must be gone");
+    for k in 0..KEY_SPACE {
+        ds.contains(&mut h, k);
+    }
+    merged.merge(h.stats());
+    merged
+}
+
+/// Runs the seeded conformance property for one scheme × structure × fault
+/// combo; `name` labels the shrink report.
+fn conformance<S: Smr, D: ConcurrentSet<S>>(fault: Fault, name: &str) {
+    let checker = Checker::new().cases(3);
+    oracle::set_replay_seed(checker.base_seed());
+    checker.run(name, gen_plan, |plan| {
+        let stats = run_case::<S, D>(fault, plan);
+        assert!(stats.ops > 0, "no operations ran");
+        assert!(
+            stats.retires >= stats.frees,
+            "{}: freed more nodes ({}) than were ever retired ({})",
+            S::name(),
+            stats.frees,
+            stats.retires
+        );
+    });
+}
+
+/// Expands one module per scheme × structure combo, each holding the two
+/// fault-injection tests.
+macro_rules! conformance_suite {
+    ($($module:ident => $scheme:ident on $ds:ty;)*) => {$(
+        mod $module {
+            use super::*;
+
+            #[test]
+            fn survives_a_stalled_thread() {
+                conformance::<$scheme, $ds>(
+                    Fault::Stall,
+                    concat!(stringify!($module), "::survives_a_stalled_thread"),
+                );
+            }
+
+            #[test]
+            fn survives_mid_op_panics() {
+                conformance::<$scheme, $ds>(
+                    Fault::MidOpPanic,
+                    concat!(stringify!($module), "::survives_mid_op_panics"),
+                );
+            }
+        }
+    )*};
+}
+
+conformance_suite! {
+    mp_list       => Mp    on LinkedList<Mp>;
+    mp_skiplist   => Mp    on SkipList<Mp>;
+    mp_nmtree     => Mp    on NmTree<Mp>;
+    mp_hashmap    => Mp    on HashMap<Mp>;
+    hp_list       => Hp    on LinkedList<Hp>;
+    hp_skiplist   => Hp    on SkipList<Hp>;
+    hp_nmtree     => Hp    on NmTree<Hp>;
+    hp_hashmap    => Hp    on HashMap<Hp>;
+    ebr_list      => Ebr   on LinkedList<Ebr>;
+    ebr_skiplist  => Ebr   on SkipList<Ebr>;
+    ebr_nmtree    => Ebr   on NmTree<Ebr>;
+    ebr_hashmap   => Ebr   on HashMap<Ebr>;
+    he_list       => He    on LinkedList<He>;
+    he_skiplist   => He    on SkipList<He>;
+    he_nmtree     => He    on NmTree<He>;
+    he_hashmap    => He    on HashMap<He>;
+    ibr_list      => Ibr   on LinkedList<Ibr>;
+    ibr_skiplist  => Ibr   on SkipList<Ibr>;
+    ibr_nmtree    => Ibr   on NmTree<Ibr>;
+    ibr_hashmap   => Ibr   on HashMap<Ibr>;
+    leaky_list    => Leaky on LinkedList<Leaky>;
+    leaky_skiplist=> Leaky on SkipList<Leaky>;
+    leaky_nmtree  => Leaky on NmTree<Leaky>;
+    leaky_hashmap => Leaky on HashMap<Leaky>;
+    dta_list      => Dta   on DtaList;
+}

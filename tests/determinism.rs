@@ -8,7 +8,7 @@
 use mp_util::{Checker, RngCore, RngExt, SeedableRng, SmallRng};
 
 use margin_pointers::ds::{ConcurrentSet, LinkedList};
-use margin_pointers::smr::schemes::Mp;
+use margin_pointers::smr::schemes::{Ebr, Hp, Mp};
 use margin_pointers::smr::{Config, Smr};
 
 const SEED: u64 = 0xd5ea_5eed_0000_0001;
@@ -33,34 +33,57 @@ fn same_seed_same_op_sequences() {
     assert_ne!(gen_ops(&mut a.case_rng(0), 128, 400), gen_ops(&mut c.case_rng(0), 128, 400));
 }
 
-#[test]
-fn same_seed_same_final_structure_contents() {
-    let run = || -> Vec<u64> {
-        let smr = Mp::new(
-            Config::default().with_max_threads(1).with_empty_freq(4).with_epoch_freq(8),
-        );
-        let list: LinkedList<Mp> = LinkedList::new(&smr);
-        let mut h = smr.register();
-        let mut rng = SmallRng::seed_from_u64(SEED);
-        for (kind, key) in gen_ops(&mut rng, 64, 2_000) {
-            match kind {
-                0 => {
-                    list.insert(&mut h, key);
-                }
-                1 => {
-                    list.remove(&mut h, key);
-                }
-                _ => {
-                    list.contains(&mut h, key);
-                }
+/// Replays the `SEED` op stream single-threaded on a list under scheme `S`
+/// and returns the sorted final contents.
+fn final_contents<S: Smr>() -> Vec<u64> {
+    let smr =
+        S::new(Config::default().with_max_threads(1).with_empty_freq(4).with_epoch_freq(8));
+    let list: LinkedList<S> = LinkedList::new(&smr);
+    let mut h = smr.register();
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    for (kind, key) in gen_ops(&mut rng, 64, 2_000) {
+        match kind {
+            0 => {
+                list.insert(&mut h, key);
+            }
+            1 => {
+                list.remove(&mut h, key);
+            }
+            _ => {
+                list.contains(&mut h, key);
             }
         }
-        list.collect(&mut h)
-    };
-    let first = run();
-    let second = run();
+    }
+    list.collect(&mut h)
+}
+
+#[test]
+fn same_seed_same_final_structure_contents_under_mp() {
+    let first = final_contents::<Mp>();
+    let second = final_contents::<Mp>();
     assert_eq!(first, second, "identical seeds must produce identical final contents");
     assert!(!first.is_empty(), "the sequence should have left keys behind");
+}
+
+#[test]
+fn same_seed_same_final_structure_contents_under_hp() {
+    assert_eq!(final_contents::<Hp>(), final_contents::<Hp>());
+}
+
+#[test]
+fn same_seed_same_final_structure_contents_under_ebr() {
+    assert_eq!(final_contents::<Ebr>(), final_contents::<Ebr>());
+}
+
+/// Single-threaded operation results are a property of the *set*, not of
+/// the reclamation scheme: the same seed must leave the same keys behind
+/// no matter which scheme reclaimed the garbage along the way. A scheme
+/// that frees a live node (or resurrects a dead one) breaks this.
+#[test]
+fn final_contents_agree_across_schemes() {
+    let mp = final_contents::<Mp>();
+    assert_eq!(mp, final_contents::<Hp>(), "MP and HP diverged on one op stream");
+    assert_eq!(mp, final_contents::<Ebr>(), "MP and EBR diverged on one op stream");
 }
 
 /// Golden stream for the exact seed the bench driver defaults to: any

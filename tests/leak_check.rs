@@ -2,13 +2,20 @@
 //! and dropping everything, the global SMR allocation gauge must return to
 //! zero. This test runs alone in its own process (one test per integration
 //! binary), so the gauge is not perturbed by parallel tests.
+//!
+//! Each churn round also cross-checks the per-handle [`OpStats`] counters
+//! against the scheme's global retired-pending gauge: a node can only be
+//! freed after being retired, and whatever was retired but not freed by
+//! the handles must be exactly what the scheme still reports as pending
+//! (DTA may legitimately report more — its freezing recovery parks nodes
+//! on the pending gauge without a handle-attributed retire).
 
 use std::sync::Arc;
 
-use margin_pointers::ds::{ConcurrentSet, DtaList, LinkedList, NmTree, SkipList};
+use margin_pointers::ds::{ConcurrentSet, DtaList, HashMap, LinkedList, NmTree, SkipList};
 use margin_pointers::smr::node::gauge;
 use margin_pointers::smr::schemes::{Dta, Ebr, He, Hp, Ibr, Leaky, Mp};
-use margin_pointers::smr::{Config, Smr};
+use margin_pointers::smr::{Config, OpStats, Smr, SmrHandle};
 
 fn cfg() -> Config {
     Config::default()
@@ -23,11 +30,13 @@ fn cfg() -> Config {
 fn churn<S: Smr, D: ConcurrentSet<S>>() {
     let smr = S::new(cfg());
     let ds = Arc::new(D::new(&smr));
+    let mut merged = OpStats::default();
     std::thread::scope(|s| {
+        let mut joins = Vec::new();
         for t in 0..3u64 {
             let smr = smr.clone();
             let ds = ds.clone();
-            s.spawn(move || {
+            joins.push(s.spawn(move || {
                 let mut h = smr.register();
                 let mut x = t * 7 + 1;
                 for i in 0..4000u64 {
@@ -47,9 +56,39 @@ fn churn<S: Smr, D: ConcurrentSet<S>>() {
                         }
                     }
                 }
-            });
+                h.stats().clone()
+            }));
+        }
+        for j in joins {
+            merged.merge(&j.join().expect("churn worker panicked"));
         }
     });
+
+    // Counter invariants, checked while the scheme still exists (handles
+    // are dropped, so their leftover retired lists are parked as orphans
+    // and still count as pending).
+    let combo = format!("{} / {}", S::name(), D::name());
+    assert!(merged.ops > 0, "{combo}: no operations recorded");
+    assert!(
+        merged.retires >= merged.frees,
+        "{combo}: freed {} nodes but only {} were ever retired",
+        merged.frees,
+        merged.retires
+    );
+    let outstanding = (merged.retires - merged.frees) as usize;
+    let pending = smr.retired_pending();
+    if S::name() == "DTA" {
+        assert!(
+            pending >= outstanding,
+            "{combo}: gauge reports {pending} pending < {outstanding} outstanding retires"
+        );
+    } else {
+        assert_eq!(
+            pending, outstanding,
+            "{combo}: gauge pending disagrees with retires - frees"
+        );
+    }
+
     drop(ds);
     drop(smr);
 }
@@ -61,22 +100,27 @@ fn no_nodes_leak_across_all_schemes_and_structures() {
     churn::<Mp, LinkedList<Mp>>();
     churn::<Mp, SkipList<Mp>>();
     churn::<Mp, NmTree<Mp>>();
+    churn::<Mp, HashMap<Mp>>();
 
     churn::<Hp, LinkedList<Hp>>();
     churn::<Hp, SkipList<Hp>>();
     churn::<Hp, NmTree<Hp>>();
+    churn::<Hp, HashMap<Hp>>();
 
     churn::<Ebr, LinkedList<Ebr>>();
     churn::<Ebr, SkipList<Ebr>>();
     churn::<Ebr, NmTree<Ebr>>();
+    churn::<Ebr, HashMap<Ebr>>();
 
     churn::<He, LinkedList<He>>();
     churn::<He, SkipList<He>>();
     churn::<He, NmTree<He>>();
+    churn::<He, HashMap<He>>();
 
     churn::<Ibr, LinkedList<Ibr>>();
     churn::<Ibr, SkipList<Ibr>>();
     churn::<Ibr, NmTree<Ibr>>();
+    churn::<Ibr, HashMap<Ibr>>();
 
     churn::<Leaky, LinkedList<Leaky>>();
     churn::<Dta, DtaList>();

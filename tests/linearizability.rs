@@ -6,8 +6,8 @@
 
 use std::sync::Arc;
 
-use margin_pointers::ds::{ConcurrentSet, HashMap, LinkedList, NmTree, SkipList};
-use margin_pointers::smr::schemes::{Ebr, Hp, Ibr, Mp};
+use margin_pointers::ds::{ConcurrentSet, DtaList, HashMap, LinkedList, NmTree, SkipList};
+use margin_pointers::smr::schemes::{Dta, Ebr, He, Hp, Ibr, Mp};
 use margin_pointers::smr::{Config, Smr};
 use mp_bench::linearize::{History, OpKind};
 
@@ -21,6 +21,8 @@ fn cfg() -> Config {
         .with_slots_per_thread(margin_pointers::ds::skiplist::SLOTS_NEEDED)
         .with_empty_freq(4)
         .with_epoch_freq(8)
+        .with_anchor_hops(4)
+        .with_stall_patience(2)
 }
 
 fn run_and_check<S: Smr, D: ConcurrentSet<S>>() {
@@ -70,26 +72,29 @@ fn run_and_check<S: Smr, D: ConcurrentSet<S>>() {
     }
 }
 
-#[test]
-fn list_histories_linearizable() {
-    run_and_check::<Mp, LinkedList<Mp>>();
-    run_and_check::<Hp, LinkedList<Hp>>();
-    run_and_check::<Ebr, LinkedList<Ebr>>();
+/// One `#[test]` per scheme × structure combo, so a non-linearizable
+/// history names its combo directly in the failing-test list (and combos
+/// run in parallel instead of serially inside one test).
+macro_rules! linearizability_tests {
+    ($($test:ident => $scheme:ident on $ds:ty;)*) => {$(
+        #[test]
+        fn $test() {
+            run_and_check::<$scheme, $ds>();
+        }
+    )*};
 }
 
-#[test]
-fn skiplist_histories_linearizable() {
-    run_and_check::<Mp, SkipList<Mp>>();
-    run_and_check::<Ibr, SkipList<Ibr>>();
-}
-
-#[test]
-fn nmtree_histories_linearizable() {
-    run_and_check::<Mp, NmTree<Mp>>();
-    run_and_check::<Hp, NmTree<Hp>>();
-}
-
-#[test]
-fn hashmap_histories_linearizable() {
-    run_and_check::<Mp, HashMap<Mp>>();
+linearizability_tests! {
+    list_mp_histories_linearizable      => Mp  on LinkedList<Mp>;
+    list_hp_histories_linearizable      => Hp  on LinkedList<Hp>;
+    list_ebr_histories_linearizable     => Ebr on LinkedList<Ebr>;
+    list_he_histories_linearizable      => He  on LinkedList<He>;
+    skiplist_mp_histories_linearizable  => Mp  on SkipList<Mp>;
+    skiplist_ibr_histories_linearizable => Ibr on SkipList<Ibr>;
+    skiplist_he_histories_linearizable  => He  on SkipList<He>;
+    nmtree_mp_histories_linearizable    => Mp  on NmTree<Mp>;
+    nmtree_hp_histories_linearizable    => Hp  on NmTree<Hp>;
+    hashmap_mp_histories_linearizable   => Mp  on HashMap<Mp>;
+    hashmap_he_histories_linearizable   => He  on HashMap<He>;
+    dta_list_histories_linearizable     => Dta on DtaList;
 }
