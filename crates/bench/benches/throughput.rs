@@ -1,0 +1,150 @@
+//! Throughput trajectory for the zero-allocation hot path.
+//!
+//! Sweeps scheme × structure × thread-count twice — once with the
+//! per-thread node pool disabled ("before") and once enabled ("after") —
+//! and records, per point: throughput (Mops/s), real allocator calls per
+//! operation, pool hit rate, fences per operation, and the number of scans
+//! that had to grow a scratch buffer. The machine-readable result lands in
+//! `BENCH_throughput.json` at the workspace root (or `$MP_BENCH_DIR`), so
+//! the before/after trajectory can be committed alongside the code.
+//!
+//! Knobs: `MP_BENCH_THREADS`, `MP_BENCH_DURATION_MS`, `MP_BENCH_PREFILL`,
+//! `MP_BENCH_RUNS`, `MP_BENCH_FULL` (see crate docs).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use mp_bench::{for_each_scheme, json_str, BenchParams, BenchResult, Table};
+use mp_ds::{LinkedList, NmTree, SkipList};
+
+/// One measured point of the sweep.
+struct Point {
+    scheme: &'static str,
+    structure: &'static str,
+    threads: usize,
+    pool: bool,
+    mops: f64,
+    allocs_per_op: f64,
+    pool_hit_rate: f64,
+    fences_per_op: f64,
+    scan_heap_allocs: u64,
+    empties: u64,
+}
+
+impl Point {
+    fn from(scheme: &'static str, structure: &'static str, threads: usize, pool: bool, r: &BenchResult) -> Self {
+        Point {
+            scheme,
+            structure,
+            threads,
+            pool,
+            mops: r.mops,
+            allocs_per_op: r.allocs_per_op,
+            pool_hit_rate: r.pool_hit_rate,
+            fences_per_op: r.stats.fences as f64 / r.stats.ops.max(1) as f64,
+            scan_heap_allocs: r.stats.scan_heap_allocs,
+            empties: r.stats.empties,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"scheme\": {}, \"structure\": {}, \"threads\": {}, \"pool\": {}, \
+             \"mops\": {:.4}, \"allocs_per_op\": {:.5}, \"pool_hit_rate\": {:.4}, \
+             \"fences_per_op\": {:.4}, \"scan_heap_allocs\": {}, \"empties\": {}}}",
+            json_str(self.scheme),
+            json_str(self.structure),
+            self.threads,
+            if self.pool { "\"on\"" } else { "\"off\"" },
+            self.mops,
+            self.allocs_per_op,
+            self.pool_hit_rate,
+            self.fences_per_op,
+            self.scan_heap_allocs,
+            self.empties,
+        )
+    }
+}
+
+/// Where the trajectory file lands: `$MP_BENCH_DIR` when set, else the
+/// workspace root (the committed location).
+fn trajectory_path() -> PathBuf {
+    if let Ok(dir) = std::env::var("MP_BENCH_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir).join("BENCH_throughput.json");
+        }
+    }
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    root.join("BENCH_throughput.json")
+}
+
+fn main() {
+    let runs = mp_bench::runs();
+    let sweep = mp_bench::thread_sweep();
+    let duration_ms = mp_bench::duration().as_millis();
+    let mut points: Vec<Point> = Vec::new();
+
+    // Sweep one structure family across all schemes and thread counts, for
+    // the current pool state.
+    macro_rules! sweep_structure {
+        ($ds:ident, $label:expr, $paper_s:expr, $pool_on:expr) => {
+            for &threads in &sweep {
+                let p = BenchParams::paper(threads, $paper_s, mp_bench::READ_DOMINATED);
+                for_each_scheme!($ds, &p, runs, |name, res| {
+                    points.push(Point::from(name, $label, threads, $pool_on, &res));
+                });
+            }
+        };
+    }
+
+    for pool_on in [false, true] {
+        mp_util::pool::set_enabled(pool_on);
+        eprintln!("[throughput] pool {}", if pool_on { "on" } else { "off" });
+        sweep_structure!(LinkedList, "list", 5_000, pool_on);
+        sweep_structure!(SkipList, "skiplist", 500_000, pool_on);
+        sweep_structure!(NmTree, "tree", 500_000, pool_on);
+    }
+    mp_util::pool::set_enabled(true);
+
+    let mut table = Table::new(
+        "Throughput trajectory: node pool off vs on (read-dominated)",
+        &["structure", "threads", "scheme", "pool", "Mops/s", "allocs/op", "pool-hit", "fences/op"],
+    );
+    for pt in &points {
+        table.row(vec![
+            pt.structure.to_string(),
+            pt.threads.to_string(),
+            pt.scheme.to_string(),
+            if pt.pool { "on" } else { "off" }.to_string(),
+            format!("{:.3}", pt.mops),
+            format!("{:.4}", pt.allocs_per_op),
+            format!("{:.3}", pt.pool_hit_rate),
+            format!("{:.3}", pt.fences_per_op),
+        ]);
+    }
+    table.emit("throughput");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"mp-bench/throughput/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"threads\": {:?}, \"duration_ms\": {}, \"runs\": {}, \"workload\": \"read-dominated\"}},",
+        sweep, duration_ms, runs
+    );
+    let _ = write!(json, "  \"results\": [");
+    for (i, pt) in points.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(json, "{sep}\n    {}", pt.json());
+    }
+    let _ = writeln!(json, "\n  ]\n}}");
+
+    let path = trajectory_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, json).expect("write BENCH_throughput.json");
+    eprintln!("[json] {}", path.display());
+}

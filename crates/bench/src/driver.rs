@@ -124,6 +124,10 @@ pub struct BenchResult {
     pub peak_pending: usize,
     /// Fraction of reads that took MP's hazard-pointer fallback.
     pub hp_fallback_rate: f64,
+    /// Real allocator calls per completed operation (pool misses / ops).
+    pub allocs_per_op: f64,
+    /// Fraction of node allocations served by the per-thread block pool.
+    pub pool_hit_rate: f64,
 }
 
 /// Message carried by [`FaultMode::MidOpPanic`]'s injected panics; the
@@ -301,6 +305,8 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
         fences_per_node: merged.fences_per_node(),
         peak_pending,
         hp_fallback_rate: merged.hp_fallback_reads as f64 / reads as f64,
+        allocs_per_op: merged.allocs_per_op(),
+        pool_hit_rate: merged.pool_hit_rate(),
         stats: merged,
     }
 }
@@ -324,12 +330,16 @@ pub fn run_avg<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams, n: usize) -> BenchR
         acc.fences_per_node += r.fences_per_node;
         acc.peak_pending = acc.peak_pending.max(r.peak_pending);
         acc.hp_fallback_rate += r.hp_fallback_rate;
+        acc.allocs_per_op += r.allocs_per_op;
+        acc.pool_hit_rate += r.pool_hit_rate;
         acc.stats.merge(&r.stats);
     }
     acc.mops /= n;
     acc.avg_retired /= n;
     acc.fences_per_node /= n;
     acc.hp_fallback_rate /= n;
+    acc.allocs_per_op /= n;
+    acc.pool_hit_rate /= n;
     acc
 }
 

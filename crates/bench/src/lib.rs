@@ -27,7 +27,7 @@ pub use driver::{
     run, silence_injected_panics, BenchParams, BenchResult, FaultMode, Prefill, StallMode,
     INJECTED_PANIC,
 };
-pub use report::{csv_path, Table};
+pub use report::{csv_path, json_path, json_str, out_dir, Table};
 pub use workload::{Mix, READ_DOMINATED, READ_ONLY, WRITE_DOMINATED};
 
 /// Reads the thread counts to sweep (env `MP_BENCH_THREADS`, e.g. "1,2,4").

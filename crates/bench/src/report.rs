@@ -54,8 +54,8 @@ impl Table {
         out
     }
 
-    /// Prints the table to stdout and writes `<slug>.csv` next to the
-    /// build artifacts.
+    /// Prints the table to stdout and writes `<slug>.csv` plus a
+    /// machine-readable `<slug>.json` next to the build artifacts.
     pub fn emit(&self, slug: &str) {
         print!("{}", self.render());
         let path = csv_path(slug);
@@ -69,17 +69,77 @@ impl Table {
             }
             eprintln!("[csv] {}", path.display());
         }
+        let jpath = json_path(slug);
+        if let Ok(mut f) = std::fs::File::create(&jpath) {
+            let _ = f.write_all(self.to_json().as_bytes());
+            eprintln!("[json] {}", jpath.display());
+        }
+    }
+
+    /// Renders the table as a JSON object: header names become row keys.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"title\": {},\n  \"rows\": [", json_str(&self.title));
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {{");
+            for (j, (key, cell)) in self.header.iter().zip(row).enumerate() {
+                let comma = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{comma}{}: {}", json_str(key), json_str(cell));
+            }
+            let _ = write!(out, "}}");
+        }
+        let _ = writeln!(out, "\n  ]\n}}");
+        out
     }
 }
 
-/// Where a bench's CSV lands: `<workspace>/target/bench-results/`.
-/// (`cargo bench` sets the CWD to the package directory, so a relative
-/// path would bury the CSVs under `crates/bench/`.)
-pub fn csv_path(slug: &str) -> PathBuf {
+/// Escapes a string as a JSON string literal (no external deps).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Output directory for bench artifacts: `$MP_BENCH_DIR` when set (used by
+/// the smoke stage to keep throwaway runs away from committed results),
+/// otherwise `<workspace>/target/bench-results/`.
+pub fn out_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("MP_BENCH_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     let root = std::env::var("CARGO_MANIFEST_DIR")
         .map(|m| PathBuf::from(m).join("../.."))
         .unwrap_or_else(|_| PathBuf::from("."));
-    root.join("target/bench-results").join(format!("{slug}.csv"))
+    root.join("target/bench-results")
+}
+
+/// Where a bench's CSV lands (see [`out_dir`]). (`cargo bench` sets the CWD
+/// to the package directory, so a relative path would bury the CSVs under
+/// `crates/bench/`.)
+pub fn csv_path(slug: &str) -> PathBuf {
+    out_dir().join(format!("{slug}.csv"))
+}
+
+/// Where a bench's JSON twin lands (see [`out_dir`]).
+pub fn json_path(slug: &str) -> PathBuf {
+    out_dir().join(format!("{slug}.json"))
 }
 
 /// Formats a float with 3 significant decimals.

@@ -324,8 +324,18 @@ pub trait SmrHandle: Send + 'static {
     /// current search interval maintained via [`update_lower_bound`] /
     /// [`update_upper_bound`] (Listing 5); other schemes ignore indices.
     ///
+    /// # Allocation behavior
+    ///
+    /// Node memory is served from a per-thread segregated block pool
+    /// ([`mp_util::pool`]) when possible, so steady-state churn —
+    /// alloc, retire, reclaim, alloc again — performs no real heap
+    /// allocations; [`OpStats::pool_hits`]/[`OpStats::pool_misses`] record
+    /// the split. Reclaimed node blocks are returned to the same pool.
+    ///
     /// [`update_lower_bound`]: SmrHandle::update_lower_bound
     /// [`update_upper_bound`]: SmrHandle::update_upper_bound
+    /// [`OpStats::pool_hits`]: crate::stats::OpStats::pool_hits
+    /// [`OpStats::pool_misses`]: crate::stats::OpStats::pool_misses
     fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T>;
 
     /// Allocates a node with an explicit index — for sentinel nodes whose
@@ -358,6 +368,14 @@ pub trait SmrHandle: Send + 'static {
     fn retired_len(&self) -> usize;
 
     /// Forces a reclamation attempt regardless of `empty_freq` cadence.
+    ///
+    /// Scans are allocation-free in steady state: the retired list swaps
+    /// through a handle-retained scratch `Vec` and protection snapshots
+    /// refill handle-owned buffers in place. [`OpStats::scan_heap_allocs`]
+    /// counts the scans that still had to grow a buffer (warm-up or a new
+    /// high-water mark).
+    ///
+    /// [`OpStats::scan_heap_allocs`]: crate::stats::OpStats::scan_heap_allocs
     fn force_empty(&mut self);
 }
 

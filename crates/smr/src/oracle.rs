@@ -215,7 +215,14 @@ static QUARANTINE: Mutex<VecDeque<Quarantined>> = Mutex::new(VecDeque::new());
 
 /// Parks a reclaimed (already poisoned) node's memory in the FIFO
 /// quarantine; once the quarantine exceeds [`QUARANTINE_CAP`], the oldest
-/// entry is handed back to the allocator and its shadow entry pruned.
+/// entry is handed back to the block pool and its shadow entry pruned.
+///
+/// Ordering contract with the node pool (`mp_util::pool`): a freed block
+/// enters quarantine *before* it can ever be reinserted into the pool, and
+/// its shadow entry is pruned *before* the pool sees it — so while an
+/// address is still tracked as `Freed`, the pool cannot serve it back and
+/// every dereference of it reads poison deterministically. Recycling
+/// therefore does not weaken UAF detection.
 ///
 /// # Safety
 /// `ptr` must be the start of a live allocation of `layout` that no other
@@ -232,10 +239,13 @@ pub(crate) unsafe fn quarantine_node(ptr: *mut u8, layout: Layout) {
     };
     if let Some(old) = evicted {
         // Prune the shadow entry: the address may now be legitimately
-        // reused by the allocator.
+        // reused by the pool or the allocator.
         let _ = table().transition(old.ptr as u64, |_| Ok(None));
-        // Safety: the entry owned this allocation exclusively.
-        unsafe { std::alloc::dealloc(old.ptr, old.layout) };
+        // Safety: the entry owned this allocation exclusively. Handing it to
+        // the pool (not straight to `std::alloc`) is what lets recycled
+        // blocks flow back to `alloc_node` under the oracle; the shadow
+        // entry was pruned first, so `on_alloc` sees an untracked address.
+        unsafe { mp_util::pool::dealloc(old.ptr, old.layout) };
     }
 }
 

@@ -24,6 +24,8 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use core::sync::atomic::Ordering;
 
+use mp_util::CachePadded;
+
 use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
@@ -95,10 +97,15 @@ pub struct DtaHandle {
     tid: usize,
     /// Stamp announced by the current operation (`start_op`/`refresh_op`).
     stamp: u64,
-    retired: Vec<Retired>,
+    /// Cache-padded retired-list head (no false sharing between handles).
+    retired: CachePadded<Vec<Retired>>,
+    /// Retained swap buffer for `empty()`.
+    scan_scratch: Vec<Retired>,
+    /// Retained thread-classification buffer, refilled in place per scan.
+    class_scratch: Vec<ThreadClass>,
     retire_counter: usize,
     alloc_counter: usize,
-    stats: OpStats,
+    stats: CachePadded<OpStats>,
 }
 
 impl Smr for Dta {
@@ -128,10 +135,12 @@ impl Smr for Dta {
             scheme: self.clone(),
             tid: self.registry.acquire(),
             stamp: 0,
-            retired: Vec::new(),
+            retired: CachePadded::new(Vec::new()),
+            scan_scratch: Vec::new(),
+            class_scratch: Vec::new(),
             retire_counter: 0,
             alloc_counter: 0,
-            stats: OpStats::default(),
+            stats: CachePadded::new(OpStats::default()),
         }
     }
 
@@ -188,9 +197,13 @@ impl Dta {
     /// reclamation rule. Runs under the recovery lock, which also guards
     /// every `empty()`'s reclaim loop — so no node is freed while a freeze
     /// walk dereferences the (pinned) anchor chain.
+    ///
+    /// `out` (a handle-retained buffer) is cleared and refilled in place so
+    /// steady-state scans do not allocate.
     #[allow(clippy::needless_range_loop)] // tid indexes three parallel arrays
-    fn classify_threads(&self) -> Vec<ThreadClass> {
-        let mut out = vec![ThreadClass::Idle; self.cfg.max_threads];
+    fn classify_threads_into(&self, out: &mut Vec<ThreadClass>) {
+        out.clear();
+        out.resize(self.cfg.max_threads, ThreadClass::Idle);
         let freezer = self.freezer.read().unwrap().clone();
         let mut rec = self.recovery.lock().unwrap();
         for tid in 0..self.cfg.max_threads {
@@ -256,26 +269,31 @@ impl Dta {
             }
             out[tid] = ThreadClass::Respected(stamp);
         }
-        out
     }
 }
 
 impl DtaHandle {
+    /// Reclamation scan; allocation-free in steady state (classification
+    /// and retired list both cycle through handle-owned buffers).
     fn empty(&mut self) {
         self.stats.empties += 1;
+        let caps_before =
+            self.retired.capacity() + self.scan_scratch.capacity() + self.class_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
-        let classes = self.scheme.classify_threads();
+        self.scheme.classify_threads_into(&mut self.class_scratch);
         // Frees must hold the recovery lock: freeze walks dereference
         // pinned retired nodes and rely on no concurrent reclamation.
         let rec = self.scheme.recovery.lock().unwrap();
-        let before = self.retired.len();
-        let mut kept = Vec::with_capacity(before);
-        'next: for r in self.retired.drain(..) {
+        let mut pending = std::mem::take(&mut self.scan_scratch);
+        debug_assert!(pending.is_empty());
+        std::mem::swap(&mut pending, &mut *self.retired);
+        let before = pending.len();
+        'next: for r in pending.drain(..) {
             if rec.frozen.contains(&r.addr()) {
-                kept.push(r);
+                self.retired.push(r);
                 continue;
             }
-            for class in &classes {
+            for class in &self.class_scratch {
                 let pins = match *class {
                     ThreadClass::Idle => false,
                     // EBR rule: an active thread may reference anything
@@ -295,7 +313,7 @@ impl DtaHandle {
                     }
                 };
                 if pins {
-                    kept.push(r);
+                    self.retired.push(r);
                     continue 'next;
                 }
             }
@@ -303,10 +321,15 @@ impl DtaHandle {
             unsafe { r.reclaim() };
         }
         drop(rec);
-        let freed = before - kept.len();
+        self.scan_scratch = pending;
+        let freed = before - self.retired.len();
         self.stats.frees += freed as u64;
         self.scheme.pending.sub(freed);
-        self.retired = kept;
+        if self.retired.capacity() + self.scan_scratch.capacity() + self.class_scratch.capacity()
+            > caps_before
+        {
+            self.stats.scan_heap_allocs += 1;
+        }
     }
 
     /// The scheme this handle belongs to (used by the DTA list to register
@@ -383,7 +406,7 @@ impl SmrHandle for DtaHandle {
         if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
             self.scheme.clock.advance();
         }
-        let ptr = crate::node::alloc_node(data, index, self.scheme.clock.now());
+        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.stats);
         unsafe { Shared::from_owned(ptr) }
     }
 
@@ -423,7 +446,8 @@ impl Drop for DtaHandle {
     fn drop(&mut self) {
         self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
         self.scheme.anchors.get(self.tid, 0).store(0, Ordering::Release);
-        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+        self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
+        mp_util::pool::flush();
     }
 }
 

@@ -15,6 +15,8 @@ use std::sync::Arc;
 
 use core::sync::atomic::Ordering;
 
+use mp_util::CachePadded;
+
 use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
@@ -36,10 +38,13 @@ pub struct Ebr {
 pub struct EbrHandle {
     scheme: Arc<Ebr>,
     tid: usize,
-    retired: Vec<Retired>,
+    /// Cache-padded retired-list head (no false sharing between handles).
+    retired: CachePadded<Vec<Retired>>,
+    /// Retained swap buffer for `empty()`.
+    scan_scratch: Vec<Retired>,
     retire_counter: usize,
     alloc_counter: usize,
-    stats: OpStats,
+    stats: CachePadded<OpStats>,
 }
 
 impl Smr for Ebr {
@@ -60,10 +65,11 @@ impl Smr for Ebr {
         EbrHandle {
             scheme: self.clone(),
             tid: self.registry.acquire(),
-            retired: Vec::new(),
+            retired: CachePadded::new(Vec::new()),
+            scan_scratch: Vec::new(),
             retire_counter: 0,
             alloc_counter: 0,
-            stats: OpStats::default(),
+            stats: CachePadded::new(OpStats::default()),
         }
     }
 
@@ -99,13 +105,18 @@ impl Ebr {
 }
 
 impl EbrHandle {
+    /// Reclamation scan; allocation-free in steady state (the retired list
+    /// swaps through the retained `scan_scratch`).
     fn empty(&mut self) {
         self.stats.empties += 1;
+        let caps_before = self.retired.capacity() + self.scan_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
         let min = self.scheme.min_active_epoch();
-        let before = self.retired.len();
-        let mut kept = Vec::with_capacity(before);
-        for r in self.retired.drain(..) {
+        let mut pending = std::mem::take(&mut self.scan_scratch);
+        debug_assert!(pending.is_empty());
+        std::mem::swap(&mut pending, &mut *self.retired);
+        let before = pending.len();
+        for r in pending.drain(..) {
             // Free if every active thread announced strictly after the
             // retirement epoch (see module docs). No active thread: free.
             let safe = match min {
@@ -117,13 +128,16 @@ impl EbrHandle {
                 // argument, referenced by no active thread.
                 unsafe { r.reclaim() };
             } else {
-                kept.push(r);
+                self.retired.push(r);
             }
         }
-        let freed = before - kept.len();
+        self.scan_scratch = pending;
+        let freed = before - self.retired.len();
         self.stats.frees += freed as u64;
         self.scheme.pending.sub(freed);
-        self.retired = kept;
+        if self.retired.capacity() + self.scan_scratch.capacity() > caps_before {
+            self.stats.scan_heap_allocs += 1;
+        }
     }
 }
 
@@ -160,7 +174,7 @@ impl SmrHandle for EbrHandle {
         if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
             self.scheme.clock.advance();
         }
-        let ptr = crate::node::alloc_node(data, index, self.scheme.clock.now());
+        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.stats);
         unsafe { Shared::from_owned(ptr) }
     }
 
@@ -195,7 +209,8 @@ impl SmrHandle for EbrHandle {
 impl Drop for EbrHandle {
     fn drop(&mut self) {
         self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
-        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+        self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
+        mp_util::pool::flush();
     }
 }
 

@@ -17,6 +17,8 @@ use std::sync::Arc;
 
 use core::sync::atomic::Ordering;
 
+use mp_util::CachePadded;
+
 use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
@@ -40,9 +42,14 @@ pub struct HeHandle {
     tid: usize,
     /// Local mirror of this thread's announced eras.
     local: Vec<u64>,
-    retired: Vec<Retired>,
+    /// Cache-padded retired-list head (no false sharing between handles).
+    retired: CachePadded<Vec<Retired>>,
+    /// Retained swap buffer for `empty()`.
+    scan_scratch: Vec<Retired>,
+    /// Retained era-snapshot buffer, refilled in place per scan.
+    era_scratch: Vec<u64>,
     retire_counter: usize,
-    stats: OpStats,
+    stats: CachePadded<OpStats>,
 }
 
 impl Smr for He {
@@ -64,9 +71,11 @@ impl Smr for He {
             scheme: self.clone(),
             tid: self.registry.acquire(),
             local: vec![INACTIVE; self.cfg.slots_per_thread],
-            retired: Vec::new(),
+            retired: CachePadded::new(Vec::new()),
+            scan_scratch: Vec::new(),
+            era_scratch: Vec::new(),
             retire_counter: 0,
-            stats: OpStats::default(),
+            stats: CachePadded::new(OpStats::default()),
         }
     }
 
@@ -87,10 +96,11 @@ impl Drop for He {
 }
 
 impl He {
-    /// Snapshots every announced era, sorted, for interval queries.
-    fn snapshot_eras(&self) -> Vec<u64> {
-        let mut snap =
-            Vec::with_capacity(self.era_slots.threads() * self.era_slots.slots_per_thread());
+    /// Snapshots every announced era into `snap` (cleared and refilled in
+    /// place, sorted) for interval queries; the buffer lives in the handle
+    /// so steady-state scans reuse its capacity.
+    fn snapshot_eras_into(&self, snap: &mut Vec<u64>) {
+        snap.clear();
         for tid in 0..self.era_slots.threads() {
             for slot in self.era_slots.row(tid) {
                 let v = slot.load(Ordering::Acquire);
@@ -100,7 +110,6 @@ impl He {
             }
         }
         snap.sort_unstable();
-        snap
     }
 }
 
@@ -111,25 +120,36 @@ fn interval_hit(eras: &[u64], birth: u64, retire: u64) -> bool {
 }
 
 impl HeHandle {
+    /// Reclamation scan; allocation-free in steady state (era snapshot and
+    /// retired list both cycle through handle-owned buffers).
     fn empty(&mut self) {
         self.stats.empties += 1;
+        let caps_before =
+            self.retired.capacity() + self.scan_scratch.capacity() + self.era_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
-        let eras = self.scheme.snapshot_eras();
-        let before = self.retired.len();
-        let mut kept = Vec::with_capacity(before);
-        for r in self.retired.drain(..) {
-            if interval_hit(&eras, r.birth, r.retire) {
-                kept.push(r);
+        self.scheme.snapshot_eras_into(&mut self.era_scratch);
+        let mut pending = std::mem::take(&mut self.scan_scratch);
+        debug_assert!(pending.is_empty());
+        std::mem::swap(&mut pending, &mut *self.retired);
+        let before = pending.len();
+        for r in pending.drain(..) {
+            if interval_hit(&self.era_scratch, r.birth, r.retire) {
+                self.retired.push(r);
             } else {
                 // Safety: no announced era overlaps the node's lifetime, so
                 // no thread can have validated a protection for it (§3.3).
                 unsafe { r.reclaim() };
             }
         }
-        let freed = before - kept.len();
+        self.scan_scratch = pending;
+        let freed = before - self.retired.len();
         self.stats.frees += freed as u64;
         self.scheme.pending.sub(freed);
-        self.retired = kept;
+        if self.retired.capacity() + self.scan_scratch.capacity() + self.era_scratch.capacity()
+            > caps_before
+        {
+            self.stats.scan_heap_allocs += 1;
+        }
         // Oracle: era-pile conformance bound. At most T·H distinct eras are
         // announced; each pins retirees whose lifetime contains it, and the
         // era clock advances every `epoch_freq` allocations per thread, so
@@ -196,7 +216,7 @@ impl SmrHandle for HeHandle {
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
         self.stats.allocs += 1;
-        let ptr = crate::node::alloc_node(data, index, self.scheme.clock.now());
+        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.stats);
         unsafe { Shared::from_owned(ptr) }
     }
 
@@ -235,7 +255,8 @@ impl SmrHandle for HeHandle {
 impl Drop for HeHandle {
     fn drop(&mut self) {
         self.scheme.era_slots.clear_row(self.tid, Ordering::Release);
-        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+        self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
+        mp_util::pool::flush();
     }
 }
 

@@ -17,6 +17,8 @@ use std::sync::Arc;
 
 use core::sync::atomic::Ordering;
 
+use mp_util::CachePadded;
+
 use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
@@ -40,9 +42,16 @@ pub struct HpHandle {
     /// Thread-local mirror of this thread's slots (avoids atomic re-loads
     /// when checking whether a node is already protected).
     local: Vec<u64>,
-    retired: Vec<Retired>,
+    /// Cache-padded so adjacent handles never false-share the hot
+    /// retired-list head (cf. `registry.rs::SlotArray` rows).
+    retired: CachePadded<Vec<Retired>>,
+    /// Retained swap buffer for `empty()` (steady-state scans allocate
+    /// nothing).
+    scan_scratch: Vec<Retired>,
+    /// Retained hazard-snapshot buffer, refilled in place per scan.
+    hazard_scratch: Vec<u64>,
     retire_counter: usize,
-    stats: OpStats,
+    stats: CachePadded<OpStats>,
 }
 
 impl Smr for Hp {
@@ -63,9 +72,11 @@ impl Smr for Hp {
             scheme: self.clone(),
             tid: self.registry.acquire(),
             local: vec![NO_HAZARD; self.cfg.slots_per_thread],
-            retired: Vec::new(),
+            retired: CachePadded::new(Vec::new()),
+            scan_scratch: Vec::new(),
+            hazard_scratch: Vec::new(),
             retire_counter: 0,
-            stats: OpStats::default(),
+            stats: CachePadded::new(OpStats::default()),
         }
     }
 
@@ -87,9 +98,11 @@ impl Drop for Hp {
 }
 
 impl Hp {
-    /// Snapshots every announced hazard address, sorted for binary search.
-    fn snapshot_hazards(&self) -> Vec<u64> {
-        let mut snap = Vec::with_capacity(self.hp_slots.threads() * self.hp_slots.slots_per_thread());
+    /// Snapshots every announced hazard address into `snap` (cleared and
+    /// refilled in place; sorted for binary search). The buffer lives in the
+    /// handle so steady-state scans reuse its capacity.
+    fn snapshot_hazards_into(&self, snap: &mut Vec<u64>) {
+        snap.clear();
         for tid in 0..self.hp_slots.threads() {
             for slot in self.hp_slots.row(tid) {
                 let v = slot.load(Ordering::Acquire);
@@ -99,7 +112,6 @@ impl Hp {
             }
         }
         snap.sort_unstable();
-        snap
     }
 }
 
@@ -118,25 +130,34 @@ impl HpHandle {
         false
     }
 
+    /// Reclamation scan; allocation-free in steady state (the hazard
+    /// snapshot and the retired list both cycle through handle-owned
+    /// buffers).
     fn empty(&mut self) {
         self.stats.empties += 1;
+        let caps_before =
+            self.retired.capacity() + self.scan_scratch.capacity() + self.hazard_scratch.capacity();
         // Ensure retirements we are about to judge are ordered after any
         // protection announcements we will observe.
         core::sync::atomic::fence(Ordering::SeqCst);
         let naive = self.scheme.cfg.ablation_naive_scan;
-        let hazards =
-            if naive { Vec::new() } else { self.scheme.snapshot_hazards() };
-        let retired = std::mem::take(&mut self.retired);
-        let before = retired.len();
-        let mut kept = Vec::with_capacity(before);
-        for r in retired {
+        if !naive {
+            self.scheme.snapshot_hazards_into(&mut self.hazard_scratch);
+        }
+        // Swap the retired list through the retained scratch (`mem::take`
+        // leaves a capacity-0 Vec: no allocation).
+        let mut pending = std::mem::take(&mut self.scan_scratch);
+        debug_assert!(pending.is_empty());
+        std::mem::swap(&mut pending, &mut *self.retired);
+        let before = pending.len();
+        for r in pending.drain(..) {
             let protected = if naive {
                 self.hazard_hit_naive(r.addr())
             } else {
-                hazards.binary_search(&r.addr()).is_ok()
+                self.hazard_scratch.binary_search(&r.addr()).is_ok()
             };
             if protected {
-                kept.push(r);
+                self.retired.push(r);
             } else {
                 // Safety: the node is retired (unreachable) and no hazard
                 // slot held its address after the fence, so no thread can
@@ -144,10 +165,15 @@ impl HpHandle {
                 unsafe { r.reclaim() };
             }
         }
-        let freed = before - kept.len();
+        self.scan_scratch = pending;
+        let freed = before - self.retired.len();
         self.stats.frees += freed as u64;
         self.scheme.pending.sub(freed);
-        self.retired = kept;
+        let caps_after =
+            self.retired.capacity() + self.scan_scratch.capacity() + self.hazard_scratch.capacity();
+        if caps_after > caps_before {
+            self.stats.scan_heap_allocs += 1;
+        }
         // Oracle: every kept node is pinned by some announced hazard, so a
         // handle's list can never exceed the total slot budget (the paper's
         // Table 1 bound for HP).
@@ -223,7 +249,7 @@ impl SmrHandle for HpHandle {
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
         self.stats.allocs += 1;
-        let ptr = crate::node::alloc_node(data, index, 0);
+        let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.stats);
         unsafe { Shared::from_owned(ptr) }
     }
 
@@ -257,7 +283,8 @@ impl SmrHandle for HpHandle {
 impl Drop for HpHandle {
     fn drop(&mut self) {
         self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
-        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+        self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
+        mp_util::pool::flush();
     }
 }
 

@@ -23,6 +23,8 @@ use std::sync::Arc;
 
 use core::sync::atomic::Ordering;
 
+use mp_util::CachePadded;
+
 use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
@@ -48,10 +50,15 @@ pub struct IbrHandle {
     scheme: Arc<Ibr>,
     tid: usize,
     upper_local: u64,
-    retired: Vec<Retired>,
+    /// Cache-padded retired-list head (no false sharing between handles).
+    retired: CachePadded<Vec<Retired>>,
+    /// Retained swap buffer for `empty()`.
+    scan_scratch: Vec<Retired>,
+    /// Retained reservation-snapshot buffer, refilled in place per scan.
+    interval_scratch: Vec<(u64, u64)>,
     retire_counter: usize,
     alloc_counter: usize,
-    stats: OpStats,
+    stats: CachePadded<OpStats>,
 }
 
 impl Smr for Ibr {
@@ -73,10 +80,12 @@ impl Smr for Ibr {
             scheme: self.clone(),
             tid: self.registry.acquire(),
             upper_local: INACTIVE,
-            retired: Vec::new(),
+            retired: CachePadded::new(Vec::new()),
+            scan_scratch: Vec::new(),
+            interval_scratch: Vec::new(),
             retire_counter: 0,
             alloc_counter: 0,
-            stats: OpStats::default(),
+            stats: CachePadded::new(OpStats::default()),
         }
     }
 
@@ -97,25 +106,33 @@ impl Drop for Ibr {
 }
 
 impl IbrHandle {
+    /// Reclamation scan; allocation-free in steady state (the reservation
+    /// snapshot and the retired list both cycle through handle-owned
+    /// buffers).
     fn empty(&mut self) {
         self.stats.empties += 1;
+        let caps_before = self.retired.capacity()
+            + self.scan_scratch.capacity()
+            + self.interval_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
-        // Snapshot all active reservations once.
-        let mut intervals = Vec::with_capacity(self.scheme.reservations.threads());
+        // Snapshot all active reservations once, into the retained buffer.
+        self.interval_scratch.clear();
         for tid in 0..self.scheme.reservations.threads() {
             let lo = self.scheme.reservations.get(tid, LOWER).load(Ordering::Acquire);
             let hi = self.scheme.reservations.get(tid, UPPER).load(Ordering::Acquire);
             if lo != INACTIVE {
-                intervals.push((lo, hi.min(INACTIVE - 1)));
+                self.interval_scratch.push((lo, hi.min(INACTIVE - 1)));
             }
         }
-        let before = self.retired.len();
-        let mut kept = Vec::with_capacity(before);
-        for r in self.retired.drain(..) {
+        let mut pending = std::mem::take(&mut self.scan_scratch);
+        debug_assert!(pending.is_empty());
+        std::mem::swap(&mut pending, &mut *self.retired);
+        let before = pending.len();
+        for r in pending.drain(..) {
             let conflict =
-                intervals.iter().any(|&(lo, hi)| !(r.retire < lo || r.birth > hi));
+                self.interval_scratch.iter().any(|&(lo, hi)| !(r.retire < lo || r.birth > hi));
             if conflict {
-                kept.push(r);
+                self.retired.push(r);
             } else {
                 // Safety: every active interval either began after the node
                 // was retired or ended before it was born, so no thread's
@@ -123,10 +140,15 @@ impl IbrHandle {
                 unsafe { r.reclaim() };
             }
         }
-        let freed = before - kept.len();
+        self.scan_scratch = pending;
+        let freed = before - self.retired.len();
         self.stats.frees += freed as u64;
         self.scheme.pending.sub(freed);
-        self.retired = kept;
+        if self.retired.capacity() + self.scan_scratch.capacity() + self.interval_scratch.capacity()
+            > caps_before
+        {
+            self.stats.scan_heap_allocs += 1;
+        }
     }
 }
 
@@ -180,7 +202,7 @@ impl SmrHandle for IbrHandle {
         if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
             self.scheme.clock.advance();
         }
-        let ptr = crate::node::alloc_node(data, index, self.scheme.clock.now());
+        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.stats);
         unsafe { Shared::from_owned(ptr) }
     }
 
@@ -215,7 +237,8 @@ impl SmrHandle for IbrHandle {
 impl Drop for IbrHandle {
     fn drop(&mut self) {
         self.scheme.reservations.clear_row(self.tid, Ordering::Release);
-        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+        self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
+        mp_util::pool::flush();
     }
 }
 

@@ -9,6 +9,8 @@ use std::sync::Arc;
 
 use core::sync::atomic::Ordering;
 
+use mp_util::CachePadded;
+
 use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
@@ -26,8 +28,9 @@ pub struct Leaky {
 pub struct LeakyHandle {
     scheme: Arc<Leaky>,
     tid: usize,
-    retired: Vec<Retired>,
-    stats: OpStats,
+    /// Cache-padded retired-list head (no false sharing between handles).
+    retired: CachePadded<Vec<Retired>>,
+    stats: CachePadded<OpStats>,
 }
 
 impl Smr for Leaky {
@@ -42,8 +45,8 @@ impl Smr for Leaky {
         LeakyHandle {
             scheme: self.clone(),
             tid: self.registry.acquire(),
-            retired: Vec::new(),
-            stats: OpStats::default(),
+            retired: CachePadded::new(Vec::new()),
+            stats: CachePadded::new(OpStats::default()),
         }
     }
 
@@ -86,7 +89,7 @@ impl SmrHandle for LeakyHandle {
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
         self.stats.allocs += 1;
-        let ptr = crate::node::alloc_node(data, index, 0);
+        let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.stats);
         unsafe { Shared::from_owned(ptr) }
     }
 
@@ -116,7 +119,8 @@ impl SmrHandle for LeakyHandle {
 
 impl Drop for LeakyHandle {
     fn drop(&mut self) {
-        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+        self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
+        mp_util::pool::flush();
     }
 }
 

@@ -41,6 +41,8 @@ use std::sync::Arc;
 
 use core::sync::atomic::{AtomicU64, Ordering};
 
+use mp_util::CachePadded;
+
 use crate::api::{Config, Smr, SmrHandle};
 use crate::node::{is_use_hp_class, Retired, USE_HP};
 use crate::packed::{Atomic, Shared};
@@ -81,10 +83,20 @@ pub struct MpHandle {
     /// Set when the thread observes the epoch advancing mid-operation;
     /// all subsequent reads protect with HPs (old margins remain valid).
     use_hp_mode: bool,
-    retired: Vec<Retired>,
+    /// Retired-list head and stats are cache-padded so two handles adjacent
+    /// in memory never false-share their hottest mutable state (same
+    /// treatment `registry.rs::SlotArray` gives slot rows).
+    retired: CachePadded<Vec<Retired>>,
+    /// Retained swap buffer for `empty()`: the drain source on one scan is
+    /// the keep destination on the next, so steady-state scans never
+    /// allocate.
+    scan_scratch: Vec<Retired>,
+    /// Retained per-thread slot snapshots (`ThreadSnap` interval/hazard
+    /// buffers), refilled in place by every scan.
+    snaps: Vec<ThreadSnap>,
     retire_counter: usize,
     unlink_counter: usize,
-    stats: OpStats,
+    stats: CachePadded<OpStats>,
 }
 
 impl Smr for Mp {
@@ -114,10 +126,12 @@ impl Smr for Mp {
             epoch: 0,
             margin_half: (self.cfg.margin / 2) as i64,
             use_hp_mode: false,
-            retired: Vec::new(),
+            retired: CachePadded::new(Vec::new()),
+            scan_scratch: Vec::new(),
+            snaps: Vec::new(),
             retire_counter: 0,
             unlink_counter: 0,
-            stats: OpStats::default(),
+            stats: CachePadded::new(OpStats::default()),
         }
     }
 
@@ -142,6 +156,10 @@ impl Drop for Mp {
 /// stabbing structure (the "interval tree" optimization §4.3 suggests):
 /// intervals sorted by start with a running maximum of ends, so an
 /// intersection query is one binary search instead of a slot scan.
+/// The buffers live in the *handle* (`MpHandle::snaps`) and are refilled in
+/// place by [`Mp::snapshot_into`], so steady-state scans reuse their
+/// capacity instead of allocating.
+#[derive(Default)]
 struct ThreadSnap {
     epoch: u64,
     /// Margin intervals `(lo, hi)` sorted by `lo`.
@@ -168,41 +186,39 @@ impl ThreadSnap {
 }
 
 impl Mp {
-    fn snapshot(&self) -> Vec<ThreadSnap> {
+    /// Refills `snaps` (one entry per registered thread) in place; after
+    /// warm-up every buffer reuses its retained capacity.
+    fn snapshot_into(&self, snaps: &mut Vec<ThreadSnap>) {
         let half = (self.cfg.margin / 2) as i64;
-        (0..self.cfg.max_threads)
-            .map(|tid| {
-                let mut intervals: Vec<(i64, i64)> = self
-                    .mp_slots
+        snaps.resize_with(self.cfg.max_threads, ThreadSnap::default);
+        for (tid, snap) in snaps.iter_mut().enumerate() {
+            snap.intervals.clear();
+            snap.intervals.extend(
+                self.mp_slots
                     .row(tid)
                     .iter()
                     .map(|s| s.load(Ordering::Acquire))
                     .filter(|&v| v != NO_MARGIN)
-                    .map(|mp| (mp as i64 - half, mp as i64 + half))
-                    .collect();
-                intervals.sort_unstable();
-                let mut prefix_max_hi = Vec::with_capacity(intervals.len());
-                let mut running = i64::MIN;
-                for &(_, hi) in &intervals {
-                    running = running.max(hi);
-                    prefix_max_hi.push(running);
-                }
-                let mut hps: Vec<u64> = self
-                    .hp_slots
+                    .map(|mp| (mp as i64 - half, mp as i64 + half)),
+            );
+            snap.intervals.sort_unstable();
+            snap.prefix_max_hi.clear();
+            let mut running = i64::MIN;
+            for &(_, hi) in &snap.intervals {
+                running = running.max(hi);
+                snap.prefix_max_hi.push(running);
+            }
+            snap.hps.clear();
+            snap.hps.extend(
+                self.hp_slots
                     .row(tid)
                     .iter()
                     .map(|s| s.load(Ordering::Acquire))
-                    .filter(|&v| v != NO_HAZARD)
-                    .collect();
-                hps.sort_unstable();
-                ThreadSnap {
-                    epoch: self.local_epochs.get(tid, 0).load(Ordering::Acquire),
-                    intervals,
-                    prefix_max_hi,
-                    hps,
-                }
-            })
-            .collect()
+                    .filter(|&v| v != NO_HAZARD),
+            );
+            snap.hps.sort_unstable();
+            snap.epoch = self.local_epochs.get(tid, 0).load(Ordering::Acquire);
+        }
     }
 }
 
@@ -214,28 +230,48 @@ fn precision_range(index: u32) -> (i64, i64) {
 }
 
 impl MpHandle {
+    /// Combined capacity of every scan buffer; growth across one `empty()`
+    /// means the scan had to touch the heap (counted in `scan_heap_allocs`,
+    /// zero in steady state).
+    fn scan_caps(&self) -> usize {
+        self.retired.capacity()
+            + self.scan_scratch.capacity()
+            + self.snaps.capacity()
+            + self
+                .snaps
+                .iter()
+                .map(|s| s.intervals.capacity() + s.prefix_max_hi.capacity() + s.hps.capacity())
+                .sum::<usize>()
+    }
+
     /// Reclamation pass (Listing 10 `empty`), with the slot-snapshot
-    /// optimization.
+    /// optimization. Allocation-free in steady state: the slot snapshots
+    /// refill handle-owned buffers, and the retired list is swapped through
+    /// the retained `scan_scratch` instead of draining into a fresh `Vec`.
     fn empty(&mut self) {
         self.stats.empties += 1;
+        let caps_before = self.scan_caps();
         core::sync::atomic::fence(Ordering::SeqCst);
         let naive = self.scheme.cfg.ablation_naive_scan;
-        let shared_snaps = if naive { None } else { Some(self.scheme.snapshot()) };
-        let before = self.retired.len();
-        let mut kept = Vec::with_capacity(before);
-        'next_node: for r in self.retired.drain(..) {
+        if !naive {
+            self.scheme.snapshot_into(&mut self.snaps);
+        }
+        // Swap the retired list through the scratch: `pending` (last scan's
+        // scratch) becomes the drain source, the emptied `self.retired`
+        // collects the keepers, and the drained Vec is retained for next
+        // time. `mem::take` leaves a capacity-0 Vec, so no allocation.
+        let mut pending = std::mem::take(&mut self.scan_scratch);
+        debug_assert!(pending.is_empty());
+        std::mem::swap(&mut pending, &mut *self.retired);
+        let before = pending.len();
+        'next_node: for r in pending.drain(..) {
             // Ablation: without the snapshot optimization, the live slot
             // arrays are re-read for every retired node.
-            let per_node_snaps;
-            let snaps = match &shared_snaps {
-                Some(s) => s,
-                None => {
-                    per_node_snaps = self.scheme.snapshot();
-                    &per_node_snaps
-                }
-            };
+            if naive {
+                self.scheme.snapshot_into(&mut self.snaps);
+            }
             let (range_lo, range_hi) = precision_range(r.index);
-            for snap in snaps {
+            for snap in &self.snaps {
                 // Hazard check: UNCONDITIONAL. Listing 10 epoch-filters the
                 // hazard slots too, but a thread that observed the epoch
                 // advancing protects *newer-born* nodes with HPs (the
@@ -245,7 +281,7 @@ impl MpHandle {
                 // tests/mp_depth.rs). Address protection is epoch-free and
                 // the waste bound's #HP term is unaffected.
                 if snap.hazards(r.addr()) {
-                    kept.push(r);
+                    self.retired.push(r);
                     continue 'next_node;
                 }
                 // Epoch filter applies to margins only: a thread whose
@@ -256,7 +292,7 @@ impl MpHandle {
                     continue;
                 }
                 if !is_use_hp_class(r.index) && snap.covers(range_lo, range_hi) {
-                    kept.push(r);
+                    self.retired.push(r);
                     continue 'next_node;
                 }
             }
@@ -265,10 +301,13 @@ impl MpHandle {
             // no thread can have validated protection for it (Theorem 4.3).
             unsafe { r.reclaim() };
         }
-        let freed = before - kept.len();
+        self.scan_scratch = pending;
+        let freed = before - self.retired.len();
         self.stats.frees += freed as u64;
         self.scheme.pending.sub(freed);
-        self.retired = kept;
+        if self.scan_caps() > caps_before {
+            self.stats.scan_heap_allocs += 1;
+        }
         // Oracle: Theorem 4.2's predetermined bound. Each kept node is held
         // by a hazard (≤ T·H in total) or by a margin of a thread whose
         // epoch admits its lifetime; a margin spans at most margin + 2^16
@@ -446,7 +485,7 @@ impl SmrHandle for MpHandle {
             // sentinel setup; do not double count
         }
         let birth = self.scheme.global_epoch.load(Ordering::SeqCst);
-        let ptr = crate::node::alloc_node(data, index, birth);
+        let ptr = crate::node::alloc_node_in(data, index, birth, &mut self.stats);
         unsafe { Shared::from_owned(ptr) }
     }
 
@@ -501,7 +540,10 @@ impl Drop for MpHandle {
         self.scheme.mp_slots.clear_row(self.tid, Ordering::Release);
         self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
         self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
-        self.scheme.registry.release(self.tid, std::mem::take(&mut self.retired));
+        self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
+        // Hand this thread's cached pool blocks to the global shard so a
+        // short-lived worker doesn't strand recycled memory.
+        mp_util::pool::flush();
     }
 }
 

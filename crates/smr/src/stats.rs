@@ -34,6 +34,16 @@ pub struct OpStats {
     pub hp_fallback_reads: u64,
     /// MP only: nodes allocated with the `USE_HP` collision index.
     pub collision_allocs: u64,
+    /// Node allocations served from the thread-local block pool (no
+    /// system-allocator call). `pool_hits / allocs` is the pool hit rate.
+    pub pool_hits: u64,
+    /// Node allocations that fell through to the system allocator (cold
+    /// pool, unpoolable layout, or pool disabled).
+    pub pool_misses: u64,
+    /// `empty()` passes that had to grow a scan-scratch buffer (heap
+    /// realloc during a reclamation scan). Zero in steady state — the
+    /// zero-allocation-scan witness of the perf work.
+    pub scan_heap_allocs: u64,
 }
 
 impl OpStats {
@@ -49,6 +59,9 @@ impl OpStats {
         self.empties += other.empties;
         self.hp_fallback_reads += other.hp_fallback_reads;
         self.collision_allocs += other.collision_allocs;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.scan_heap_allocs += other.scan_heap_allocs;
     }
 
     /// Fences issued per traversed node (Figure 5's y-axis).
@@ -66,6 +79,26 @@ impl OpStats {
             0.0
         } else {
             self.retired_sampled_sum as f64 / self.ops as f64
+        }
+    }
+
+    /// Fraction of node allocations served by the block pool, in `[0, 1]`.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Heap allocations per operation (node allocs that reached malloc,
+    /// i.e. pool misses, over ops).
+    pub fn allocs_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.pool_misses as f64 / self.ops as f64
         }
     }
 }
@@ -88,6 +121,9 @@ mod tests {
             empties: 80,
             hp_fallback_reads: 90,
             collision_allocs: 100,
+            pool_hits: 110,
+            pool_misses: 120,
+            scan_heap_allocs: 130,
         };
         a.merge(&b);
         assert_eq!(a.fences, 11);
@@ -100,6 +136,9 @@ mod tests {
         assert_eq!(a.empties, 80);
         assert_eq!(a.hp_fallback_reads, 90);
         assert_eq!(a.collision_allocs, 100);
+        assert_eq!(a.pool_hits, 110);
+        assert_eq!(a.pool_misses, 120);
+        assert_eq!(a.scan_heap_allocs, 130);
     }
 
     #[test]
@@ -116,5 +155,10 @@ mod tests {
         let z = OpStats::default();
         assert_eq!(z.fences_per_node(), 0.0);
         assert_eq!(z.avg_retired_at_op_start(), 0.0);
+        assert_eq!(z.pool_hit_rate(), 0.0);
+        assert_eq!(z.allocs_per_op(), 0.0);
+        let p = OpStats { ops: 8, pool_hits: 6, pool_misses: 2, ..Default::default() };
+        assert!((p.pool_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((p.allocs_per_op() - 0.25).abs() < 1e-12);
     }
 }

@@ -17,6 +17,8 @@
 //! * [`Backoff`] — exponential spin backoff for contended retry loops.
 //! * [`check`] — a seeded, shrinking property-test runner whose failures
 //!   replay from a printed seed.
+//! * [`pool`] — per-thread segregated block pool (size-class free lists,
+//!   bounded caps, global overflow shard) recycling SMR node memory.
 //! * [`shadow`] — a sharded shadow table (key → state record with atomic
 //!   transitions), the substrate of `mp-smr`'s reclamation oracle.
 
@@ -26,6 +28,7 @@
 pub mod backoff;
 pub mod cache_padded;
 pub mod check;
+pub mod pool;
 pub mod rng;
 pub mod shadow;
 

@@ -1,0 +1,486 @@
+//! Per-thread segregated block pool for SMR node recycling.
+//!
+//! The reclamation hot path of every scheme is `alloc` → unlink → `retire`
+//! → `empty()` → free. With the system allocator on both ends, the
+//! steady-state cost of a churn workload is dominated by malloc/free round
+//! trips rather than by the reclamation scheme itself — exactly the
+//! measurement hazard the paper's C++ harness avoids with per-thread block
+//! pools. This module supplies the same substrate in-tree:
+//!
+//! * **Size-class free lists, per thread.** Block sizes are rounded up to a
+//!   [`CLASS_GRANULE`]-byte class (up to [`MAX_POOLED_SIZE`]); each thread
+//!   keeps a bounded LIFO free list per class, so a reclaimed node is handed
+//!   back to the next allocation of the same class without any shared-memory
+//!   traffic.
+//! * **Bounded capacity + global overflow shard.** A thread list never holds
+//!   more than [`THREAD_CLASS_CAP`] blocks; overflow spills half the list
+//!   into a global mutex-protected shard (capacity [`SHARD_CLASS_CAP`] per
+//!   class), and anything beyond that is genuinely returned to the system
+//!   allocator — the pool *bounds* wasted memory instead of hoarding it,
+//!   mirroring the paper's theme.
+//! * **Flush on handle drop.** SMR handles call [`flush`] when they are
+//!   dropped, migrating the thread's cached blocks to the shard so short-lived
+//!   threads do not strand memory; a `Drop` impl on the thread-local cache
+//!   covers threads that exit without dropping a handle.
+//!
+//! Layouts larger than [`MAX_POOLED_SIZE`] or more aligned than
+//! [`MAX_POOLED_ALIGN`] bypass the pool entirely and go straight to the
+//! system allocator.
+//!
+//! The pool is enabled by default; set the env var `MP_POOL=0` (or `off` /
+//! `false`) before first use, or call [`set_enabled`] at runtime, to route
+//! every request to the system allocator (benchmarks use this for
+//! before/after comparisons).
+//!
+//! Blocks are recycled with their contents intact, so the reclamation
+//! oracle's freed-memory poisoning and quarantine remain meaningful: the
+//! oracle quarantines a freed node *first* and only releases it into the
+//! pool after its shadow entry is pruned (see `mp-smr`'s oracle module).
+
+use core::alloc::Layout;
+use core::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::cell::RefCell;
+use std::sync::Mutex;
+
+/// Largest block size (bytes) served from the pool; bigger layouts bypass
+/// straight to the system allocator.
+pub const MAX_POOLED_SIZE: usize = 2048;
+
+/// Largest alignment served from the pool. Every pooled block is allocated
+/// at this alignment, so any request with `align <= MAX_POOLED_ALIGN` is
+/// satisfied by any block of its size class.
+pub const MAX_POOLED_ALIGN: usize = 16;
+
+/// Size-class granule: block sizes are rounded up to the next multiple.
+pub const CLASS_GRANULE: usize = 64;
+
+/// Number of size classes (`MAX_POOLED_SIZE / CLASS_GRANULE`).
+pub const NUM_CLASSES: usize = MAX_POOLED_SIZE / CLASS_GRANULE;
+
+/// Per-thread, per-class free-list capacity. Must comfortably exceed a
+/// scheme's `empty_freq` so one reclamation batch recycles without spilling.
+pub const THREAD_CLASS_CAP: usize = 128;
+
+/// Per-class capacity of the global overflow shard; blocks beyond this are
+/// returned to the system allocator (the pool's waste bound).
+pub const SHARD_CLASS_CAP: usize = 1024;
+
+/// How many blocks a thread pulls from the shard per refill.
+const REFILL_BATCH: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Enable switch (env default, runtime override)
+
+const STATE_UNINIT: u8 = 0;
+const STATE_ON: u8 = 1;
+const STATE_OFF: u8 = 2;
+
+static ENABLED: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Whether the pool is currently enabled. First call consults the `MP_POOL`
+/// env var (`0` / `off` / `false` disable; anything else — including unset —
+/// enables).
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => {
+            let on = !matches!(
+                std::env::var("MP_POOL").as_deref(),
+                Ok("0") | Ok("off") | Ok("false")
+            );
+            ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Runtime override of the enable switch (used by benchmarks to measure
+/// pool-off vs pool-on in one process). Already-cached blocks stay cached
+/// and are still freed correctly after disabling.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+static RELEASED: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic process-wide pool counters (snapshot; compute deltas across a
+/// measurement window for rates).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served from a free list (no system-allocator call).
+    pub hits: u64,
+    /// Allocations that fell through to the system allocator (pool disabled,
+    /// unpoolable layout, or empty free lists).
+    pub misses: u64,
+    /// Deallocations parked in a free list for reuse.
+    pub recycled: u64,
+    /// Deallocations returned to the system allocator (pool disabled,
+    /// unpoolable layout, or capacity bounds reached).
+    pub released: u64,
+}
+
+impl PoolStats {
+    /// Fraction of allocations served from the pool, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Current process-wide counter snapshot.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        recycled: RECYCLED.load(Ordering::Relaxed),
+        released: RELEASED.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Size classes
+
+#[inline]
+fn class_of(layout: Layout) -> Option<usize> {
+    if layout.size() == 0
+        || layout.size() > MAX_POOLED_SIZE
+        || layout.align() > MAX_POOLED_ALIGN
+    {
+        return None;
+    }
+    Some(layout.size().div_ceil(CLASS_GRANULE) - 1)
+}
+
+#[inline]
+fn class_layout(class: usize) -> Layout {
+    // Infallible: size is a multiple of 64 ≤ MAX_POOLED_SIZE, align 16.
+    Layout::from_size_align((class + 1) * CLASS_GRANULE, MAX_POOLED_ALIGN).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Storage
+
+/// A cached free block. Raw pointers are not `Send`, but a free block is
+/// exclusively owned by whichever list holds it, so moving it across threads
+/// through the shard is sound.
+struct Block(*mut u8);
+unsafe impl Send for Block {}
+
+struct ThreadCache {
+    classes: [Vec<Block>; NUM_CLASSES],
+}
+
+impl ThreadCache {
+    fn new() -> Self {
+        ThreadCache { classes: core::array::from_fn(|_| Vec::new()) }
+    }
+
+    /// Migrates every cached block to the global shard (freeing past the
+    /// shard's capacity bound).
+    fn flush(&mut self) {
+        let mut shard = lock_shard();
+        for (class, list) in self.classes.iter_mut().enumerate() {
+            for block in list.drain(..) {
+                if shard.classes[class].len() < SHARD_CLASS_CAP {
+                    shard.classes[class].push(block);
+                } else {
+                    RELEASED.fetch_add(1, Ordering::Relaxed);
+                    unsafe { raw_dealloc(block.0, class_layout(class)) };
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ThreadCache {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static CACHE: RefCell<ThreadCache> = RefCell::new(ThreadCache::new());
+}
+
+struct Shard {
+    classes: [Vec<Block>; NUM_CLASSES],
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_LIST: Vec<Block> = Vec::new();
+
+static SHARD: Mutex<Shard> = Mutex::new(Shard { classes: [EMPTY_LIST; NUM_CLASSES] });
+
+fn lock_shard() -> std::sync::MutexGuard<'static, Shard> {
+    SHARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Alloc / dealloc
+
+fn raw_alloc(layout: Layout) -> *mut u8 {
+    debug_assert!(layout.size() > 0, "pool does not serve zero-sized layouts");
+    // SAFETY: layout has non-zero size (all SMR nodes carry a header).
+    let ptr = unsafe { std::alloc::alloc(layout) };
+    if ptr.is_null() {
+        std::alloc::handle_alloc_error(layout);
+    }
+    ptr
+}
+
+unsafe fn raw_dealloc(ptr: *mut u8, layout: Layout) {
+    unsafe { std::alloc::dealloc(ptr, layout) };
+}
+
+/// Allocates a block for `layout`, preferring the calling thread's free
+/// list, then the global shard, then the system allocator. Returns the
+/// pointer and whether it was served from the pool (`true` = no
+/// system-allocator call was made).
+///
+/// The returned block is at least `layout.size()` bytes at alignment
+/// `>= layout.align()`; free it with [`dealloc`] using the *same* `layout`.
+/// `layout.size()` must be non-zero.
+pub fn alloc(layout: Layout) -> (*mut u8, bool) {
+    if let Some(class) = class_of(layout) {
+        if enabled() {
+            if let Some(ptr) = pop_cached(class) {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                return (ptr, true);
+            }
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        (raw_alloc(class_layout(class)), false)
+    } else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        (raw_alloc(layout), false)
+    }
+}
+
+/// Returns a block to the pool (or to the system allocator when the pool is
+/// disabled, the layout unpoolable, or every capacity bound is reached).
+///
+/// # Safety
+/// `ptr` must have been returned by [`alloc`] called with the same `layout`,
+/// and must not be used again after this call.
+pub unsafe fn dealloc(ptr: *mut u8, layout: Layout) {
+    match class_of(layout) {
+        Some(class) if enabled() => {
+            if push_cached(class, ptr) {
+                RECYCLED.fetch_add(1, Ordering::Relaxed);
+            } else {
+                RELEASED.fetch_add(1, Ordering::Relaxed);
+                unsafe { raw_dealloc(ptr, class_layout(class)) };
+            }
+        }
+        Some(class) => {
+            RELEASED.fetch_add(1, Ordering::Relaxed);
+            unsafe { raw_dealloc(ptr, class_layout(class)) };
+        }
+        None => {
+            RELEASED.fetch_add(1, Ordering::Relaxed);
+            unsafe { raw_dealloc(ptr, layout) };
+        }
+    }
+}
+
+/// Migrates the calling thread's cached blocks to the global overflow shard.
+/// Called by SMR handles on drop so exiting worker threads do not strand
+/// blocks in dead thread-locals.
+pub fn flush() {
+    let _ = CACHE.try_with(|cache| cache.borrow_mut().flush());
+}
+
+fn pop_cached(class: usize) -> Option<*mut u8> {
+    CACHE
+        .try_with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let list = &mut cache.classes[class];
+            if list.is_empty() {
+                refill_from_shard(list, class);
+            }
+            list.pop().map(|block| block.0)
+        })
+        .ok()
+        .flatten()
+}
+
+/// Parks `ptr` in the thread list (spilling half to the shard when full).
+/// Returns `false` when every bound is reached and the caller must free it.
+fn push_cached(class: usize, ptr: *mut u8) -> bool {
+    CACHE
+        .try_with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let list = &mut cache.classes[class];
+            if list.len() >= THREAD_CLASS_CAP {
+                spill_half_to_shard(list, class);
+            }
+            if list.len() < THREAD_CLASS_CAP {
+                list.push(Block(ptr));
+                true
+            } else {
+                false
+            }
+        })
+        // Thread-local already destroyed (thread exit): go via the shard.
+        .unwrap_or_else(|_| shard_push(class, ptr))
+}
+
+fn refill_from_shard(list: &mut Vec<Block>, class: usize) {
+    let mut shard = lock_shard();
+    let src = &mut shard.classes[class];
+    let n = src.len().min(REFILL_BATCH);
+    let from = src.len() - n;
+    list.extend(src.drain(from..));
+}
+
+fn spill_half_to_shard(list: &mut Vec<Block>, class: usize) {
+    let mut shard = lock_shard();
+    let dst = &mut shard.classes[class];
+    while list.len() > THREAD_CLASS_CAP / 2 && dst.len() < SHARD_CLASS_CAP {
+        dst.push(list.pop().expect("list length checked above"));
+    }
+}
+
+fn shard_push(class: usize, ptr: *mut u8) -> bool {
+    let mut shard = lock_shard();
+    let dst = &mut shard.classes[class];
+    if dst.len() < SHARD_CLASS_CAP {
+        dst.push(Block(ptr));
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Pool state (enable switch, thread lists, shard) is process-global, so
+    // the tests in this module serialize on one lock and always restore the
+    // enabled state.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn same_block_is_reused_lifo() {
+        let _g = locked();
+        set_enabled(true);
+        let layout = Layout::from_size_align(48, 8).unwrap();
+        let (p1, _) = alloc(layout);
+        unsafe { dealloc(p1, layout) };
+        let (p2, from_pool) = alloc(layout);
+        assert_eq!(p1, p2, "LIFO free list must hand the same block back");
+        assert!(from_pool);
+        unsafe { dealloc(p2, layout) };
+    }
+
+    #[test]
+    fn different_sizes_in_same_class_share_blocks() {
+        let _g = locked();
+        set_enabled(true);
+        // 100 and 128 both round up to the 128-byte class.
+        let a = Layout::from_size_align(100, 8).unwrap();
+        let b = Layout::from_size_align(128, 16).unwrap();
+        assert_eq!(class_of(a), class_of(b));
+        let (p1, _) = alloc(a);
+        unsafe { dealloc(p1, a) };
+        let (p2, from_pool) = alloc(b);
+        assert_eq!(p1, p2);
+        assert!(from_pool);
+        unsafe { dealloc(p2, b) };
+    }
+
+    #[test]
+    fn oversized_and_overaligned_layouts_bypass() {
+        let _g = locked();
+        set_enabled(true);
+        let big = Layout::from_size_align(MAX_POOLED_SIZE + 1, 8).unwrap();
+        let aligned = Layout::from_size_align(64, 64).unwrap();
+        assert_eq!(class_of(big), None);
+        assert_eq!(class_of(aligned), None);
+        for layout in [big, aligned] {
+            let (p, from_pool) = alloc(layout);
+            assert!(!from_pool);
+            unsafe { dealloc(p, layout) };
+        }
+    }
+
+    #[test]
+    fn disabled_pool_never_serves_hits() {
+        let _g = locked();
+        set_enabled(false);
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        let (p1, from_pool) = alloc(layout);
+        assert!(!from_pool);
+        unsafe { dealloc(p1, layout) };
+        let (p2, from_pool) = alloc(layout);
+        assert!(!from_pool, "disabled pool must always miss");
+        unsafe { dealloc(p2, layout) };
+        set_enabled(true);
+    }
+
+    #[test]
+    fn flush_migrates_blocks_to_the_shard_for_other_threads() {
+        let _g = locked();
+        set_enabled(true);
+        // A size class nothing else in this test binary touches.
+        let layout = Layout::from_size_align(MAX_POOLED_SIZE - 8, 16).unwrap();
+        let ptr = std::thread::spawn(move || {
+            let (p, _) = alloc(layout);
+            unsafe { dealloc(p, layout) };
+            flush();
+            p as usize
+        })
+        .join()
+        .unwrap();
+        // The block now sits in the global shard; this thread's next alloc of
+        // the class refills from it.
+        let (p, from_pool) = alloc(layout);
+        assert!(from_pool, "flushed block must be visible via the shard");
+        assert_eq!(p as usize, ptr);
+        unsafe { dealloc(p, layout) };
+    }
+
+    #[test]
+    fn thread_cap_spills_instead_of_growing_unboundedly() {
+        let _g = locked();
+        set_enabled(true);
+        let layout = Layout::from_size_align(CLASS_GRANULE * 7, 16).unwrap();
+        let mut ptrs = Vec::new();
+        for _ in 0..THREAD_CLASS_CAP + 16 {
+            ptrs.push(alloc(layout).0);
+        }
+        let before = stats();
+        for p in ptrs {
+            unsafe { dealloc(p, layout) };
+        }
+        let after = stats();
+        // Every block was parked (thread list + shard spill absorb them all);
+        // none were released back to the system allocator.
+        assert_eq!(after.recycled - before.recycled, (THREAD_CLASS_CAP + 16) as u64);
+        assert_eq!(after.released, before.released);
+        flush();
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = PoolStats { hits: 9, misses: 1, recycled: 0, released: 0 };
+        assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
+}

@@ -14,13 +14,13 @@ use std::time::{Duration, Instant};
 
 use margin_pointers::ds::{skiplist, ConcurrentSet, NmTree};
 use margin_pointers::smr::schemes::{Ebr, He, Hp, Ibr, Leaky, Mp};
-use margin_pointers::smr::{Config, Smr, SmrHandle};
+use margin_pointers::smr::{Config, OpStats, Smr, SmrHandle};
 
 const THREADS: usize = 4;
 const PREFILL: u64 = 20_000;
 const RUN: Duration = Duration::from_millis(400);
 
-fn bench<S: Smr>() -> (f64, f64, usize) {
+fn bench<S: Smr>() -> (f64, usize, OpStats) {
     let cfg = Config::default()
         .with_max_threads(THREADS + 1)
         .with_slots_per_thread(skiplist::SLOTS_NEEDED)
@@ -44,8 +44,7 @@ fn bench<S: Smr>() -> (f64, f64, usize) {
     }
     let stop = Arc::new(AtomicBool::new(false));
     let mut ops_total = 0u64;
-    let mut fences = 0u64;
-    let mut traversed = 0u64;
+    let mut merged = OpStats::default();
     let mut peak_pending = 0usize;
     std::thread::scope(|s| {
         let mut joins = Vec::new();
@@ -73,7 +72,7 @@ fn bench<S: Smr>() -> (f64, f64, usize) {
                     }
                     ops += 1;
                 }
-                (ops, h.stats().fences, h.stats().nodes_traversed)
+                (ops, h.stats().clone())
             }));
         }
         let deadline = Instant::now() + RUN;
@@ -83,17 +82,12 @@ fn bench<S: Smr>() -> (f64, f64, usize) {
         }
         stop.store(true, Ordering::Release);
         for j in joins {
-            let (o, f, n) = j.join().unwrap();
+            let (o, s) = j.join().unwrap();
             ops_total += o;
-            fences += f;
-            traversed += n;
+            merged.merge(&s);
         }
     });
-    (
-        ops_total as f64 / RUN.as_secs_f64() / 1e6,
-        fences as f64 / traversed.max(1) as f64,
-        peak_pending,
-    )
+    (ops_total as f64 / RUN.as_secs_f64() / 1e6, peak_pending, merged)
 }
 
 fn main() {
@@ -101,8 +95,11 @@ fn main() {
         "NM tree, read-dominated, {THREADS} threads, S={PREFILL} \
          (paper §6 in miniature)\n"
     );
-    println!("{:>6}  {:>8}  {:>12}  {:>12}", "scheme", "Mops/s", "fences/node", "peak wasted");
-    for (name, (mops, fpn, peak)) in [
+    println!(
+        "{:>6}  {:>8}  {:>12}  {:>12}  {:>9}  {:>10}  {:>11}",
+        "scheme", "Mops/s", "fences/node", "peak wasted", "pool-hit", "allocs/op", "scan-allocs"
+    );
+    for (name, (mops, peak, stats)) in [
         ("MP", bench::<Mp>()),
         ("HP", bench::<Hp>()),
         ("EBR", bench::<Ebr>()),
@@ -110,7 +107,16 @@ fn main() {
         ("IBR", bench::<Ibr>()),
         ("Leaky", bench::<Leaky>()),
     ] {
-        println!("{name:>6}  {mops:>8.3}  {fpn:>12.4}  {peak:>12}");
+        let fpn = stats.fences_per_node();
+        println!(
+            "{name:>6}  {mops:>8.3}  {fpn:>12.4}  {peak:>12}  {:>9.3}  {:>10.4}  {:>11}",
+            stats.pool_hit_rate(),
+            stats.allocs_per_op(),
+            stats.scan_heap_allocs,
+        );
     }
     println!("\nMP: bounded wasted memory at epoch-scheme-like cost (Table 1).");
+    println!("pool-hit: node allocations served by the per-thread block pool;");
+    println!("allocs/op: real allocator calls per operation (pool misses / ops);");
+    println!("scan-allocs: reclamation scans that had to grow a scratch buffer.");
 }

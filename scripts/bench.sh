@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Runs the throughput-trajectory bench and emits the machine-readable
+# BENCH_throughput.json (scheme x structure x thread-count, pool off vs on).
+#
+# Usage:
+#   scripts/bench.sh            # CI-scale run, JSON at the repo root
+#                               # (the committed trajectory file)
+#   scripts/bench.sh --smoke    # seconds-long smoke run into
+#                               # target/bench-smoke/ (never clobbers the
+#                               # committed results); asserts the JSON is
+#                               # produced and well-formed
+#   MP_BENCH_FULL=1 scripts/bench.sh   # paper-scale sweep
+#
+# Knobs: MP_BENCH_THREADS, MP_BENCH_DURATION_MS, MP_BENCH_PREFILL,
+# MP_BENCH_RUNS, MP_BENCH_DIR (output directory override).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+  # Absolute: `cargo bench` sets the CWD to the package directory, so a
+  # relative override would land under crates/bench/.
+  export MP_BENCH_DIR="${MP_BENCH_DIR:-$PWD/target/bench-smoke}"
+  export MP_BENCH_THREADS="${MP_BENCH_THREADS:-1,2}"
+  export MP_BENCH_DURATION_MS="${MP_BENCH_DURATION_MS:-40}"
+  export MP_BENCH_PREFILL="${MP_BENCH_PREFILL:-256}"
+  export MP_BENCH_RUNS="${MP_BENCH_RUNS:-1}"
+fi
+
+OUT="${MP_BENCH_DIR:-.}/BENCH_throughput.json"
+mkdir -p "$(dirname "$OUT")"
+
+echo "==> cargo bench --offline -p mp-bench --bench throughput"
+cargo bench --offline -p mp-bench --bench throughput
+
+if [[ ! -s "$OUT" ]]; then
+  echo "!! $OUT was not produced" >&2
+  exit 1
+fi
+
+# Well-formedness: schema marker, at least one result row, balanced braces.
+grep -q '"schema": "mp-bench/throughput/v1"' "$OUT" || {
+  echo "!! $OUT missing schema marker" >&2
+  exit 1
+}
+grep -q '"scheme":' "$OUT" || {
+  echo "!! $OUT has no result rows" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OUT" || {
+    echo "!! $OUT is not valid JSON" >&2
+    exit 1
+  }
+fi
+
+echo "==> OK: $OUT"
+if [[ "$SMOKE" == 1 ]]; then
+  echo "(smoke run: results under $MP_BENCH_DIR, committed trajectory untouched)"
+fi

@@ -36,4 +36,10 @@ echo "==> cargo clippy --offline --all-targets --features oracle -- -D warnings"
 cargo clippy --offline --all-targets --features oracle -- -D warnings
 cargo clippy --offline -p mp-smr --all-targets --features oracle -- -D warnings
 
+# Bench smoke: a seconds-long throughput run that must produce a
+# well-formed BENCH_throughput.json (into target/bench-smoke/, never the
+# committed trajectory at the repo root).
+echo "==> scripts/bench.sh --smoke"
+./scripts/bench.sh --smoke
+
 echo "==> OK"

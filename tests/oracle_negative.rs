@@ -71,6 +71,36 @@ fn use_after_free_trips_the_canary() {
 }
 
 #[test]
+fn use_after_free_still_caught_with_pool_enabled() {
+    // The node pool must not weaken UAF detection: freed blocks go through
+    // the oracle's FIFO quarantine *before* any pool reinsertion, so a
+    // dangling pointer still reads the poisoned canary — never a
+    // freshly recycled, reinitialized block.
+    mp_util::pool::set_enabled(true);
+    let smr = Hp::new(cfg());
+    let mut h = smr.register();
+    h.start_op();
+    let n = h.alloc(7u64);
+    h.end_op();
+    unsafe { h.retire(n) };
+    h.force_empty();
+    // Churn through more allocations than the quarantine would need to
+    // start evicting into the pool; `n`'s block must stay quarantined (or
+    // at minimum poisoned) rather than being handed back for reuse first.
+    h.start_op();
+    for i in 0..32u64 {
+        let m = h.alloc(i);
+        unsafe { h.retire(m) };
+    }
+    h.end_op();
+    h.force_empty();
+    let msg = oracle_panic(|| {
+        let _ = unsafe { n.deref() };
+    });
+    assert!(msg.contains("use-after-free"), "wrong diagnosis: {msg}");
+}
+
+#[test]
 fn retire_after_free_trips_the_oracle() {
     let smr = Hp::new(cfg());
     let mut h = smr.register();

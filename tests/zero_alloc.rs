@@ -1,0 +1,111 @@
+//! Zero-allocation hot path witness (counter-backed).
+//!
+//! Installs a counting global allocator and proves that, after a warm-up
+//! phase, a steady-state churn loop — pinned operations, node allocation,
+//! retirement, and full `empty()` scans — performs **zero** heap
+//! allocations: every node comes from the per-thread block pool and every
+//! scan cycles through handle-retained scratch buffers. Also asserts a
+//! pool hit rate above 90% under churn and that the live-node gauge
+//! returns to its baseline.
+//!
+//! The counting allocator is process-global, so this integration binary
+//! holds exactly one `#[test]` (same discipline as `leak_check`).
+
+#![cfg(not(feature = "oracle"))]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use margin_pointers::smr::node::gauge;
+use margin_pointers::smr::schemes::Mp;
+use margin_pointers::smr::{Config, OpStats, Smr, SmrHandle};
+
+/// Counts every heap allocation made by the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_churn_does_not_allocate() {
+    mp_util::pool::set_enabled(true);
+    let live_baseline = gauge::live_nodes();
+
+    let smr = Mp::new(
+        Config::default().with_max_threads(2).with_empty_freq(64).with_epoch_freq(16),
+    );
+    let mut h = smr.register();
+
+    // Warm-up: grow the pool's free lists, the retired list, and every scan
+    // scratch buffer past their steady-state working set. Interleave scans
+    // so reclaimed blocks cycle back through the pool.
+    for round in 0..8 {
+        let _ = round;
+        h.start_op();
+        for i in 0..256u64 {
+            let n = h.alloc(i);
+            unsafe { h.retire(n) };
+        }
+        h.end_op();
+        h.force_empty();
+    }
+    h.force_empty();
+
+    // Measure pool efficacy over the steady phase only.
+    *h.stats_mut() = OpStats::default();
+
+    let heap_allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..64 {
+        h.start_op();
+        for i in 0..128u64 {
+            let n = h.alloc(i);
+            unsafe { h.retire(n) };
+        }
+        h.end_op();
+        h.force_empty();
+    }
+    let heap_allocs = ALLOCS.load(Ordering::Relaxed) - heap_allocs_before;
+
+    let stats = h.stats().clone();
+    assert_eq!(
+        heap_allocs, 0,
+        "steady-state churn (alloc/retire/empty) must not touch the heap \
+         (saw {heap_allocs} allocations over {} ops)",
+        stats.ops
+    );
+    assert_eq!(stats.scan_heap_allocs, 0, "no scan grew a scratch buffer in steady state");
+    assert_eq!(stats.allocs, 64 * 128, "every allocation accounted");
+    assert_eq!(stats.pool_hits + stats.pool_misses, stats.allocs);
+    assert!(
+        stats.pool_hit_rate() > 0.9,
+        "pool hit rate {:.3} should exceed 0.9 under churn (hits {}, misses {})",
+        stats.pool_hit_rate(),
+        stats.pool_hits,
+        stats.pool_misses
+    );
+
+    // Everything retired was reclaimed or is still on the handle; dropping
+    // handle + scheme returns the gauge to its baseline (no pool leak —
+    // pooled blocks are raw memory, not live nodes).
+    drop(h);
+    drop(smr);
+    assert_eq!(gauge::live_nodes(), live_baseline, "live-node gauge restored");
+}
