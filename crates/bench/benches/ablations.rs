@@ -90,7 +90,7 @@ fn main() {
             name.into(),
             format!("{:.3}", r.mops),
             format!("{:.1}%", 100.0 * r.hp_fallback_rate),
-            r.stats.collision_allocs.to_string(),
+            r.telemetry.collision_allocs().to_string(),
         ]);
     }
     t3.emit("ablation_index_policy");

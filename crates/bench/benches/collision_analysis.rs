@@ -35,10 +35,10 @@ fn measure<D: mp_ds::ConcurrentSet<Mp>>(
     p.prefill_mode = mode;
     p.duration = std::time::Duration::from_millis(150);
     let res = mp_bench::driver::run::<Mp, D>(&p);
-    let collision_rate = if res.stats.allocs == 0 {
+    let collision_rate = if res.telemetry.allocs() == 0 {
         0.0
     } else {
-        100.0 * res.stats.collision_allocs as f64 / res.stats.allocs as f64
+        100.0 * res.telemetry.collision_allocs() as f64 / res.telemetry.allocs() as f64
     };
     table.row(vec![
         label.to_string(),

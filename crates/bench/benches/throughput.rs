@@ -41,9 +41,9 @@ impl Point {
             mops: r.mops,
             allocs_per_op: r.allocs_per_op,
             pool_hit_rate: r.pool_hit_rate,
-            fences_per_op: r.stats.fences as f64 / r.stats.ops.max(1) as f64,
-            scan_heap_allocs: r.stats.scan_heap_allocs,
-            empties: r.stats.empties,
+            fences_per_op: r.telemetry.fences() as f64 / r.telemetry.ops().max(1) as f64,
+            scan_heap_allocs: r.telemetry.scan_heap_allocs(),
+            empties: r.telemetry.empties(),
         }
     }
 

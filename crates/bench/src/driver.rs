@@ -5,7 +5,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use mp_ds::ConcurrentSet;
-use mp_smr::{Config, OpStats, Smr, SmrHandle};
+use mp_smr::{Config, Smr, SmrHandle, Telemetry, TelemetrySnapshot};
 
 use crate::workload::{draw_key, thread_rng, Mix, Op};
 
@@ -113,8 +113,8 @@ pub struct BenchResult {
     pub total_ops: u64,
     /// Throughput in million operations per second.
     pub mops: f64,
-    /// Merged per-thread counters.
-    pub stats: OpStats,
+    /// Merged per-thread telemetry (counters + latency histograms).
+    pub telemetry: TelemetrySnapshot,
     /// Average retired-but-unreclaimed nodes at operation start
     /// (Figure 6's metric).
     pub avg_retired: f64,
@@ -193,7 +193,7 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
     ));
     let total_ops = Arc::new(AtomicU64::new(0));
 
-    let mut result_stats: Vec<OpStats> = Vec::new();
+    let mut result_stats: Vec<TelemetrySnapshot> = Vec::new();
     let mut peak_pending = 0usize;
 
     std::thread::scope(|scope| {
@@ -227,7 +227,7 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
                     ops += 1;
                 }
                 total_ops.fetch_add(ops, Ordering::AcqRel);
-                h.stats().clone()
+                h.snapshot()
             }));
         }
 
@@ -285,6 +285,7 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
         while Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10).min(p.duration));
             peak_pending = peak_pending.max(smr.retired_pending());
+            smr.sample_waste();
         }
         stop.store(true, Ordering::Release);
         for j in joins {
@@ -292,22 +293,22 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
         }
     });
 
-    let mut merged = OpStats::default();
+    let mut merged = TelemetrySnapshot::default();
     for s in &result_stats {
         merged.merge(s);
     }
     let total = total_ops.load(Ordering::Acquire);
-    let reads = merged.nodes_traversed.max(1);
+    let reads = merged.nodes_traversed().max(1);
     BenchResult {
         total_ops: total,
         mops: total as f64 / p.duration.as_secs_f64() / 1e6,
         avg_retired: merged.avg_retired_at_op_start(),
         fences_per_node: merged.fences_per_node(),
         peak_pending,
-        hp_fallback_rate: merged.hp_fallback_reads as f64 / reads as f64,
+        hp_fallback_rate: merged.hp_fallback_reads() as f64 / reads as f64,
         allocs_per_op: merged.allocs_per_op(),
         pool_hit_rate: merged.pool_hit_rate(),
-        stats: merged,
+        telemetry: merged,
     }
 }
 
@@ -332,7 +333,7 @@ pub fn run_avg<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams, n: usize) -> BenchR
         acc.hp_fallback_rate += r.hp_fallback_rate;
         acc.allocs_per_op += r.allocs_per_op;
         acc.pool_hit_rate += r.pool_hit_rate;
-        acc.stats.merge(&r.stats);
+        acc.telemetry.merge(&r.telemetry);
     }
     acc.mops /= n;
     acc.avg_retired /= n;
@@ -364,7 +365,7 @@ mod tests {
         let c = run::<Mp, NmTree<Mp>>(&p);
         for r in [&a, &b, &c] {
             assert!(r.total_ops > 0, "no progress: {r:?}");
-            assert!(r.stats.ops >= r.total_ops, "every op brackets start/end");
+            assert!(r.telemetry.ops() >= r.total_ops, "every op brackets start/end");
         }
     }
 
@@ -372,7 +373,7 @@ mod tests {
     fn read_only_workload_never_retires() {
         let p = quick(2, 100, READ_ONLY);
         let r = run::<Hp, LinkedList<Hp>>(&p);
-        assert_eq!(r.stats.retires, 0);
+        assert_eq!(r.telemetry.retires(), 0);
         assert_eq!(r.avg_retired, 0.0);
     }
 
@@ -397,7 +398,7 @@ mod tests {
         p.fault = FaultMode::MidOpPanic;
         let r = run::<Mp, LinkedList<Mp>>(&p);
         assert!(r.total_ops > 0, "workers stalled under fault injection: {r:?}");
-        assert!(r.stats.ops >= r.total_ops);
+        assert!(r.telemetry.ops() >= r.total_ops);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::sync::atomic::Ordering;
 
 use mp_smr::schemes::{Dta, DtaHandle, Freezer};
-use mp_smr::{Atomic, Shared, Smr, SmrHandle};
+use mp_smr::{Atomic, Shared, Smr, SmrHandle, Telemetry};
 
 /// Deleted-bit on a node's `next` pointer.
 const DELETED: u64 = 0b01;
@@ -264,7 +264,7 @@ impl DtaList {
                 }
                 let curr_clean = curr.unmarked();
                 debug_assert!(!curr_clean.is_null());
-                h.stats_mut().nodes_traversed += 1;
+                h.record_node_traversed();
                 // Safety: within `cadence` hops of our posted anchor, or
                 // reached via validated unmarked edges — DTA's contract.
                 let curr_node = unsafe { curr_clean.deref() }.data();

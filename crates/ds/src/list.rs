@@ -15,7 +15,7 @@
 use std::sync::Arc;
 use std::sync::atomic::Ordering;
 
-use mp_smr::{Atomic, Shared, Smr, SmrHandle};
+use mp_smr::{Atomic, Shared, Smr, SmrHandle, Telemetry};
 
 use crate::ConcurrentSet;
 
@@ -86,7 +86,7 @@ impl<S: Smr, V: Send + Sync + 'static> LinkedList<S, V> {
                 continue 'retry;
             }
             loop {
-                h.stats_mut().nodes_traversed += 1;
+                h.record_node_traversed();
                 debug_assert!(!curr.is_null(), "tail sentinel bounds every traversal");
                 // Safety: curr was returned by a protected read this op.
                 let curr_node = unsafe { curr.deref() }.data();

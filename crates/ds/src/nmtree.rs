@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::sync::atomic::Ordering;
 
 use mp_smr::node::USE_HP;
-use mp_smr::{Atomic, Shared, Smr, SmrHandle};
+use mp_smr::{Atomic, Shared, Smr, SmrHandle, Telemetry};
 
 use crate::ConcurrentSet;
 
@@ -187,7 +187,7 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
             let mut current = Prot { node: current_edge.unmarked(), slot: Some(cslot) };
 
             while !current.node.is_null() {
-                h.stats_mut().nodes_traversed += 1;
+                h.record_node_traversed();
                 if parent_edge.mark() & TAG == 0 {
                     pool.assign(&mut ancestor, parent);
                     pool.assign(&mut successor, leaf);

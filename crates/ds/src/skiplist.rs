@@ -16,7 +16,7 @@
 use std::sync::Arc;
 use std::sync::atomic::Ordering;
 
-use mp_smr::{Atomic, Shared, Smr, SmrHandle};
+use mp_smr::{Atomic, Shared, Smr, SmrHandle, Telemetry};
 
 use crate::ConcurrentSet;
 
@@ -138,7 +138,7 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
                     continue 'retry; // pred deleted under us
                 }
                 loop {
-                    h.stats_mut().nodes_traversed += 1;
+                    h.record_node_traversed();
                     debug_assert!(!curr.is_null(), "tail bounds every level");
                     // Safety: curr protected under curr_s.
                     let curr_node = unsafe { curr.deref() }.data();

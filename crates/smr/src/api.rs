@@ -9,9 +9,11 @@
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::packed::{Atomic, Shared};
 use crate::stats::OpStats;
+use crate::telemetry::{self, SchemeTelemetry, Telemetry};
 
 /// Tunable SMR parameters (paper §4.3 Listing 2 constants + §6 defaults).
 #[derive(Debug, Clone)]
@@ -239,9 +241,25 @@ pub trait Smr: Send + Sync + Sized + 'static {
     /// Human-readable scheme name (used by the benchmark harness).
     fn name() -> &'static str;
 
+    /// Scheme-wide telemetry: the pending-waste gauge and the waste
+    /// time-series (Fig. 6 as a live curve). Every scheme exposes the
+    /// same state, so consumers never match on scheme types.
+    fn telemetry(&self) -> &SchemeTelemetry;
+
     /// Global gauge: retired nodes not yet reclaimed, across all handles
     /// (the paper's *wasted memory*). Includes orphaned retired nodes.
-    fn retired_pending(&self) -> usize;
+    fn retired_pending(&self) -> usize {
+        self.telemetry().pending()
+    }
+
+    /// Appends one sample — (now, pending nodes, pending bytes) — to the
+    /// waste time-series. Allocation-free and lock-free; call it from a
+    /// poller loop or hand the scheme to a
+    /// [`WasteSampler`](crate::telemetry::WasteSampler).
+    fn sample_waste(&self) {
+        let t = self.telemetry();
+        t.waste().record(t.pending() as u64, crate::node::gauge::retired_bytes() as u64);
+    }
 }
 
 /// Per-thread SMR operations (paper Listing 1).
@@ -263,7 +281,7 @@ pub trait Smr: Send + Sync + Sized + 'static {
 /// [`start_op`]: SmrHandle::start_op
 /// [`end_op`]: SmrHandle::end_op
 /// [`read`]: SmrHandle::read
-pub trait SmrHandle: Send + 'static {
+pub trait SmrHandle: Send + Telemetry + 'static {
     /// Begins an operation and returns an RAII guard that ends it on drop.
     ///
     /// This is the preferred client entry point: the returned [`OpGuard`]
@@ -295,8 +313,11 @@ pub trait SmrHandle: Send + 'static {
     {
         #[cfg(feature = "oracle")]
         crate::oracle::pin_enter();
+        // When telemetry is armed the guard times the whole operation into
+        // the op-latency histogram; disarmed this is one relaxed load.
+        let t0 = telemetry::timer();
         self.start_op();
-        OpGuard { handle: self }
+        OpGuard { handle: self, t0 }
     }
 
     /// Begins a data-structure operation (announces epoch/activity).
@@ -356,12 +377,29 @@ pub trait SmrHandle: Send + 'static {
     /// MP extension: the search interval's upper endpoint moved to `node`.
     fn update_upper_bound<T: Send + Sync>(&mut self, _node: Shared<T>) {}
 
-    /// Immutable view of this handle's counters.
-    fn stats(&self) -> &OpStats;
+    /// Immutable view of this handle's counters. For a mergeable copy
+    /// that includes latency histograms, use
+    /// [`Telemetry::snapshot`](crate::telemetry::Telemetry::snapshot).
+    fn stats(&self) -> &OpStats {
+        self.tele().stats()
+    }
 
-    /// Mutable counters — used by client structures to bump
-    /// `nodes_traversed` (Figure 5's denominator).
-    fn stats_mut(&mut self) -> &mut OpStats;
+    /// Mutable counters.
+    ///
+    /// Deprecated: raw field pokes bypass event tracing and saturation.
+    /// Use the typed recorders on [`Telemetry`] instead —
+    /// [`record_node_traversed`](Telemetry::record_node_traversed) for
+    /// Figure 5's denominator,
+    /// [`reset_telemetry`](Telemetry::reset_telemetry) to zero a
+    /// measurement window.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the typed Telemetry recorders (record_node_traversed, \
+                reset_telemetry, …) instead of poking OpStats fields"
+    )]
+    fn stats_mut(&mut self) -> &mut OpStats {
+        self.tele_mut().stats_raw_mut()
+    }
 
     /// Current length of this handle's retired list (wasted memory held by
     /// this thread).
@@ -391,6 +429,8 @@ pub trait SmrHandle: Send + 'static {
 /// usage).
 pub struct OpGuard<'a, H: SmrHandle> {
     handle: &'a mut H,
+    /// Armed-telemetry op timer; `None` when telemetry is disarmed.
+    t0: Option<Instant>,
 }
 
 impl<H: SmrHandle> Deref for OpGuard<'_, H> {
@@ -412,6 +452,11 @@ impl<H: SmrHandle> DerefMut for OpGuard<'_, H> {
 impl<H: SmrHandle> Drop for OpGuard<'_, H> {
     fn drop(&mut self) {
         self.handle.end_op();
+        // Time after end_op so the sample includes the release fence —
+        // that is the latency a client actually observes per operation.
+        if let Some(t0) = self.t0 {
+            self.handle.tele_mut().record_op_nanos(t0.elapsed().as_nanos() as u64);
+        }
         #[cfg(feature = "oracle")]
         crate::oracle::pin_exit();
     }

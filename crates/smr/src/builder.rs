@@ -1,0 +1,221 @@
+//! One fluent constructor for every scheme: [`SmrBuilder`].
+//!
+//! Before this builder, examples and benches threaded three separate
+//! mechanisms to stand up a scheme: a [`Config`] value, the `MP_POOL` env
+//! var / `mp_util::pool::set_enabled` toggle, and (now) the
+//! `MP_TELEMETRY` arming flag. `SmrBuilder` folds them into one chain
+//! that ends in the scheme's `new`:
+//!
+//! ```
+//! use mp_smr::{schemes::Mp, SmrBuilder, Smr};
+//!
+//! let smr = SmrBuilder::new()
+//!     .max_threads(8)
+//!     .slots_per_thread(4)
+//!     .margin(1 << 20)
+//!     .telemetry(false) // disarm tracing/timing for this process
+//!     .pool(true)       // node-recycling block pool on
+//!     .build::<Mp>();
+//! let _h = smr.register();
+//! ```
+//!
+//! The pool and telemetry switches are **process-global** (they gate
+//! thread-local and per-handle state shared by every scheme instance);
+//! the builder applies them before construction so handles registered
+//! from the new scheme see the requested state. Leaving a switch unset
+//! keeps whatever the process already chose (env var or a previous
+//! override).
+
+use std::sync::Arc;
+
+use crate::api::{Config, IndexPolicy, Smr};
+use crate::telemetry;
+
+/// Fluent builder unifying [`Config`], the telemetry arming switch, and
+/// the node-pool toggle. Construct with [`SmrBuilder::new`] (paper §6
+/// defaults) or [`SmrBuilder::from_config`], chain setters, finish with
+/// [`build`](SmrBuilder::build).
+#[derive(Debug, Clone, Default)]
+pub struct SmrBuilder {
+    cfg: Config,
+    telemetry: Option<bool>,
+    event_capacity: Option<usize>,
+    pool: Option<bool>,
+}
+
+impl SmrBuilder {
+    /// A builder over the default [`Config`].
+    pub fn new() -> SmrBuilder {
+        SmrBuilder::default()
+    }
+
+    /// A builder starting from an existing [`Config`].
+    pub fn from_config(cfg: Config) -> SmrBuilder {
+        SmrBuilder { cfg, ..SmrBuilder::default() }
+    }
+
+    /// The configuration as currently accumulated.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Sets the maximum number of concurrently registered handles.
+    pub fn max_threads(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_max_threads(n);
+        self
+    }
+
+    /// Sets the number of protection slots per thread.
+    pub fn slots_per_thread(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_slots_per_thread(n);
+        self
+    }
+
+    /// Sets how many retires elapse between reclamation attempts.
+    pub fn empty_freq(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_empty_freq(n);
+        self
+    }
+
+    /// Sets how many allocations/unlinks elapse between epoch increments.
+    pub fn epoch_freq(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_epoch_freq(n);
+        self
+    }
+
+    /// Sets MP's margin (protected interval size). Must be > 2^16.
+    pub fn margin(mut self, margin: u32) -> Self {
+        self.cfg = self.cfg.with_margin(margin);
+        self
+    }
+
+    /// Sets the maximal assignable index.
+    pub fn max_index(mut self, n: u32) -> Self {
+        self.cfg = self.cfg.with_max_index(n);
+        self
+    }
+
+    /// Sets DTA's anchor distance.
+    pub fn anchor_hops(mut self, k: usize) -> Self {
+        self.cfg = self.cfg.with_anchor_hops(k);
+        self
+    }
+
+    /// Sets DTA's stall-detection patience.
+    pub fn stall_patience(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_stall_patience(n);
+        self
+    }
+
+    /// Disables the snapshot optimization in reclamation scans (ablation).
+    pub fn naive_scan(mut self, on: bool) -> Self {
+        self.cfg = self.cfg.with_naive_scan(on);
+        self
+    }
+
+    /// Fences per cleared slot in `end_op` (ablation).
+    pub fn per_slot_fence(mut self, on: bool) -> Self {
+        self.cfg = self.cfg.with_per_slot_fence(on);
+        self
+    }
+
+    /// Selects MP's index assignment policy (ablation).
+    pub fn index_policy(mut self, p: IndexPolicy) -> Self {
+        self.cfg = self.cfg.with_index_policy(p);
+        self
+    }
+
+    /// Arms (or disarms) timed/traced telemetry process-wide before
+    /// construction, overriding `MP_TELEMETRY`. Handles registered from
+    /// the built scheme then carry event rings and record latencies.
+    pub fn telemetry(mut self, armed: bool) -> Self {
+        self.telemetry = Some(armed);
+        self
+    }
+
+    /// Event-ring capacity (records) for handles registered after
+    /// `build`. Implies nothing about arming; combine with
+    /// [`telemetry(true)`](SmrBuilder::telemetry).
+    pub fn event_capacity(mut self, records: usize) -> Self {
+        self.event_capacity = Some(records);
+        self
+    }
+
+    /// Enables (or disables) the per-thread node block pool process-wide,
+    /// overriding `MP_POOL`.
+    pub fn pool(mut self, enabled: bool) -> Self {
+        self.pool = Some(enabled);
+        self
+    }
+
+    /// Applies the process-global switches and constructs the scheme
+    /// (which validates the accumulated [`Config`]).
+    pub fn build<S: Smr>(self) -> Arc<S> {
+        if let Some(cap) = self.event_capacity {
+            telemetry::set_event_capacity(cap);
+        }
+        if let Some(armed) = self.telemetry {
+            telemetry::set_armed(armed);
+        }
+        if let Some(pool_on) = self.pool {
+            mp_util::pool::set_enabled(pool_on);
+        }
+        S::new(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{Ebr, Mp};
+    use crate::SmrHandle;
+
+    #[test]
+    fn builder_accumulates_config_and_builds_any_scheme() {
+        let b = SmrBuilder::new()
+            .max_threads(3)
+            .slots_per_thread(5)
+            .empty_freq(11)
+            .epoch_freq(22)
+            .margin(1 << 18)
+            .max_index(1 << 24)
+            .anchor_hops(33)
+            .stall_patience(4)
+            .naive_scan(true)
+            .per_slot_fence(true)
+            .index_policy(IndexPolicy::AfterPred);
+        let c = b.config();
+        assert_eq!(c.max_threads, 3);
+        assert_eq!(c.slots_per_thread, 5);
+        assert_eq!(c.empty_freq, 11);
+        assert_eq!(c.epoch_freq, 22);
+        assert_eq!(c.margin, 1 << 18);
+        assert_eq!(c.max_index, 1 << 24);
+        assert_eq!(c.anchor_hops, 33);
+        assert_eq!(c.stall_patience, 4);
+        assert!(c.ablation_naive_scan);
+        assert!(c.ablation_per_slot_fence);
+        assert_eq!(c.index_policy, IndexPolicy::AfterPred);
+
+        let mp = b.clone().build::<Mp>();
+        let mut h = mp.register();
+        let op = h.pin();
+        assert_eq!(op.stats().ops, 1);
+        drop(op);
+
+        let ebr = b.build::<Ebr>();
+        let _h = ebr.register();
+    }
+
+    #[test]
+    fn from_config_preserves_the_seed_config() {
+        let cfg = Config::default().with_empty_freq(7);
+        assert_eq!(SmrBuilder::from_config(cfg).config().empty_freq, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must exceed")]
+    fn builder_rejects_invalid_margin_eagerly() {
+        let _ = SmrBuilder::new().margin(1 << 10);
+    }
+}

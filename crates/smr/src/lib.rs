@@ -43,6 +43,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod api;
+pub mod builder;
 pub mod node;
 #[cfg(feature = "oracle")]
 pub mod oracle;
@@ -50,8 +51,14 @@ pub mod packed;
 pub mod registry;
 pub mod schemes;
 pub mod stats;
+pub mod telemetry;
 
 pub use api::{Config, ConfigError, IndexPolicy, OpGuard, Smr, SmrHandle};
+pub use builder::SmrBuilder;
 pub use node::{gauge, SmrNode};
 pub use packed::{Atomic, Shared};
 pub use stats::OpStats;
+pub use telemetry::{
+    Counter, EventKind, EventRecord, EventRing, HandleTelemetry, SchemeTelemetry, Telemetry,
+    TelemetrySnapshot, WasteSample, WasteSampler, WasteSeries,
+};

@@ -99,10 +99,22 @@ pub mod gauge {
 
     pub(crate) static LIVE: AtomicUsize = AtomicUsize::new(0);
 
+    /// Bytes held by retired-but-unreclaimed nodes (headers + payloads),
+    /// process-wide. Maintained by `Retired::new` / `Retired::reclaim`,
+    /// so every scheme's waste is measured in bytes without per-scheme
+    /// size bookkeeping; the telemetry waste time-series samples it.
+    pub(crate) static RETIRED_BYTES: AtomicUsize = AtomicUsize::new(0);
+
     /// Number of SMR nodes currently allocated and not yet reclaimed
     /// (linked + retired-pending), across all schemes in the process.
     pub fn live_nodes() -> usize {
         LIVE.load(Ordering::Acquire)
+    }
+
+    /// Bytes of retired-but-unreclaimed node memory, process-wide (the
+    /// paper's wasted memory, in bytes instead of node counts).
+    pub fn retired_bytes() -> usize {
+        RETIRED_BYTES.load(Ordering::Acquire)
     }
 }
 
@@ -120,19 +132,20 @@ pub(crate) fn alloc_node<T>(data: T, index: u32, birth: u64) -> *mut SmrNode<T> 
     alloc_node_tracked(data, index, birth).0
 }
 
-/// [`alloc_node`] plus per-handle pool accounting: bumps `pool_hits` /
-/// `pool_misses` in `stats`. Every `SmrHandle::alloc` routes here.
+/// [`alloc_node`] plus per-handle telemetry: records the pool hit/miss
+/// split and traces the allocation event. Every `SmrHandle::alloc` routes
+/// here.
 pub(crate) fn alloc_node_in<T>(
     data: T,
     index: u32,
     birth: u64,
-    stats: &mut crate::stats::OpStats,
+    tele: &mut crate::telemetry::HandleTelemetry,
 ) -> *mut SmrNode<T> {
     let (ptr, from_pool) = alloc_node_tracked(data, index, birth);
     if from_pool {
-        stats.pool_hits += 1;
+        tele.record_pool_hit(ptr as u64);
     } else {
-        stats.pool_misses += 1;
+        tele.record_pool_miss(ptr as u64);
     }
     ptr
 }
@@ -250,6 +263,9 @@ pub(crate) struct Retired {
     /// depends on. Defaults to `retire` for schemes that don't need it.
     pub(crate) op_start: u64,
     pub(crate) index: u32,
+    /// Size of the node (header + payload) in bytes; keeps the global
+    /// retired-bytes gauge exact without re-deriving the erased layout.
+    bytes: u32,
     drop_fn: unsafe fn(*mut Header),
 }
 
@@ -268,12 +284,15 @@ impl Retired {
         #[cfg(feature = "oracle")]
         crate::oracle::on_retire(header as u64, birth);
         unsafe { (*header).retire.store(retire_epoch, Ordering::Release) };
+        let bytes = size_of::<SmrNode<T>>() as u32;
+        gauge::RETIRED_BYTES.fetch_add(bytes as usize, Ordering::AcqRel);
         Retired {
             ptr: header,
             birth,
             retire: retire_epoch,
             op_start: retire_epoch,
             index,
+            bytes,
             drop_fn: dealloc_erased::<T>,
         }
     }
@@ -283,6 +302,7 @@ impl Retired {
     /// # Safety
     /// No thread may hold a protected reference to the node.
     pub(crate) unsafe fn reclaim(self) {
+        gauge::RETIRED_BYTES.fetch_sub(self.bytes as usize, Ordering::AcqRel);
         unsafe { (self.drop_fn)(self.ptr) };
     }
 
@@ -353,6 +373,7 @@ mod tests {
         assert_eq!(retired.birth, 3);
         assert_eq!(retired.retire, 8);
         assert_eq!(retired.index, 11);
+        assert_eq!(retired.bytes as usize, size_of::<SmrNode<DropFlag>>());
         unsafe { retired.reclaim() };
         assert_eq!(flag.load(Ordering::Acquire), 1, "payload Drop must run");
     }
@@ -381,11 +402,11 @@ mod tests {
         assert_eq!(drops.load(Ordering::Acquire), 1, "first payload dropped once");
 
         // Same thread, same size class: the LIFO free list returns the block.
-        let mut stats = crate::stats::OpStats::default();
-        let b = alloc_node_in(DropFlag(drops.clone()), 2, 0, &mut stats);
+        let mut tele = crate::telemetry::HandleTelemetry::new(0);
+        let b = alloc_node_in(DropFlag(drops.clone()), 2, 0, &mut tele);
         assert_eq!(b as usize, a_addr, "reclaimed block must be recycled");
-        assert_eq!(stats.pool_hits, 1);
-        assert_eq!(stats.pool_misses, 0);
+        assert_eq!(tele.stats().pool_hits, 1);
+        assert_eq!(tele.stats().pool_misses, 0);
         assert_eq!(drops.load(Ordering::Acquire), 1, "recycling must not run drop glue");
         assert_eq!(unsafe { (*b).header.index }, 2, "header fully re-initialized");
 

@@ -2,7 +2,7 @@
 
 use core::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
-use crate::stats::OpStats;
+use crate::telemetry::HandleTelemetry;
 
 /// Sentinel announced-epoch value meaning "thread not inside an operation".
 pub const INACTIVE: u64 = u64::MAX;
@@ -16,9 +16,9 @@ pub const NO_MARGIN: u64 = u64::MAX;
 
 /// Issues a full sequentially consistent fence and counts it (Figure 5).
 #[inline]
-pub fn counted_fence(stats: &mut OpStats) {
+pub fn counted_fence(tele: &mut HandleTelemetry) {
     fence(Ordering::SeqCst);
-    stats.fences += 1;
+    tele.record_fence();
 }
 
 /// Global gauge shared by every scheme instance: retired-but-unreclaimed
@@ -93,9 +93,9 @@ mod tests {
 
     #[test]
     fn fence_counted() {
-        let mut s = OpStats::default();
-        counted_fence(&mut s);
-        counted_fence(&mut s);
-        assert_eq!(s.fences, 2);
+        let mut t = HandleTelemetry::new(0);
+        counted_fence(&mut t);
+        counted_fence(&mut t);
+        assert_eq!(t.stats().fences, 2);
     }
 }

@@ -30,8 +30,8 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, EpochClock, PendingGauge, INACTIVE};
-use crate::stats::OpStats;
+use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Data-structure-specific freezing callback (see module docs).
 ///
@@ -59,7 +59,7 @@ pub struct Dta {
     anchors: SlotArray,
     registry: Registry,
     cfg: Config,
-    pending: PendingGauge,
+    tele: SchemeTelemetry,
     /// Client-registered freezing procedure.
     freezer: RwLock<Option<Arc<dyn Freezer>>>,
     /// Stall bookkeeping: per-tid (last observed stamp, misses) plus the
@@ -105,7 +105,7 @@ pub struct DtaHandle {
     class_scratch: Vec<ThreadClass>,
     retire_counter: usize,
     alloc_counter: usize,
-    stats: CachePadded<OpStats>,
+    tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Dta {
@@ -125,22 +125,23 @@ impl Smr for Dta {
                 frozen: HashSet::new(),
             }),
             cfg,
-            pending: PendingGauge::default(),
+            tele: SchemeTelemetry::new(),
             freezer: RwLock::new(None),
         })
     }
 
     fn register(self: &Arc<Self>) -> DtaHandle {
+        let tid = self.registry.acquire();
         DtaHandle {
             scheme: self.clone(),
-            tid: self.registry.acquire(),
+            tid,
             stamp: 0,
             retired: CachePadded::new(Vec::new()),
             scan_scratch: Vec::new(),
             class_scratch: Vec::new(),
             retire_counter: 0,
             alloc_counter: 0,
-            stats: CachePadded::new(OpStats::default()),
+            tele: CachePadded::new(HandleTelemetry::new(tid)),
         }
     }
 
@@ -148,8 +149,18 @@ impl Smr for Dta {
         "DTA"
     }
 
-    fn retired_pending(&self) -> usize {
-        self.pending.get()
+    fn telemetry(&self) -> &SchemeTelemetry {
+        &self.tele
+    }
+}
+
+impl Telemetry for DtaHandle {
+    fn tele(&self) -> &HandleTelemetry {
+        &self.tele
+    }
+
+    fn tele_mut(&mut self) -> &mut HandleTelemetry {
+        &mut self.tele
     }
 }
 
@@ -183,7 +194,7 @@ impl Dta {
     /// present in the frozen set so concurrent `empty()` runs keep pinning
     /// any aliases of it.
     pub unsafe fn park_frozen<T: Send + Sync>(&self, node: Shared<T>) {
-        self.pending.add(1);
+        self.tele.pending.add(1);
         let retired = unsafe { Retired::new(node.as_raw(), u64::MAX) };
         self.registry.park_orphan(retired);
     }
@@ -276,7 +287,8 @@ impl DtaHandle {
     /// Reclamation scan; allocation-free in steady state (classification
     /// and retired list both cycle through handle-owned buffers).
     fn empty(&mut self) {
-        self.stats.empties += 1;
+        self.tele.record_empty();
+        let scan_t0 = telemetry::timer();
         let caps_before =
             self.retired.capacity() + self.scan_scratch.capacity() + self.class_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
@@ -318,18 +330,19 @@ impl DtaHandle {
                 }
             }
             // Safety: no thread class admits a reference to this node.
+            self.tele.record_free(r.addr());
             unsafe { r.reclaim() };
         }
         drop(rec);
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.stats.frees += freed as u64;
-        self.scheme.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed);
         if self.retired.capacity() + self.scan_scratch.capacity() + self.class_scratch.capacity()
             > caps_before
         {
-            self.stats.scan_heap_allocs += 1;
+            self.tele.record_scan_heap_alloc();
         }
+        self.tele.record_scan_elapsed(scan_t0);
     }
 
     /// The scheme this handle belongs to (used by the DTA list to register
@@ -346,7 +359,7 @@ impl DtaHandle {
     /// traversal steps — DTA's replacement for a hazard fence per read.
     pub fn post_anchor(&mut self, node_addr: u64) {
         self.scheme.anchors.get(self.tid, 0).store(node_addr, Ordering::Release);
-        counted_fence(&mut self.stats);
+        counted_fence(&mut self.tele);
     }
 
     /// The configured anchor cadence (hops between posts).
@@ -365,7 +378,7 @@ impl DtaHandle {
         self.stamp = e;
         self.scheme.announce.get(self.tid, 0).store(e, Ordering::Release);
         self.scheme.anchors.get(self.tid, 0).store(0, Ordering::Release);
-        counted_fence(&mut self.stats);
+        counted_fence(&mut self.tele);
     }
 
 }
@@ -377,12 +390,12 @@ impl SmrHandle for DtaHandle {
         // the waste-bound monitor.
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("DTA");
-        self.stats.ops += 1;
-        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        let retired_len = self.retired.len();
+        self.tele.record_op_start(retired_len);
         let e = self.scheme.clock.advance(); // fresh stamp ⇒ visible progress
         self.stamp = e;
         self.scheme.announce.get(self.tid, 0).store(e, Ordering::Release);
-        counted_fence(&mut self.stats);
+        counted_fence(&mut self.tele);
     }
 
     fn end_op(&mut self) {
@@ -401,18 +414,19 @@ impl SmrHandle for DtaHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
-        self.stats.allocs += 1;
+        self.tele.record_alloc();
         self.alloc_counter += 1;
         if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
-            self.scheme.clock.advance();
+            let e = self.scheme.clock.advance();
+            self.tele.record_epoch_advance(e);
         }
-        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.stats);
+        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.tele);
         unsafe { Shared::from_owned(ptr) }
     }
 
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.stats.retires += 1;
-        self.scheme.pending.add(1);
+        self.tele.record_retire(node.as_raw() as u64);
+        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         let mut r = unsafe { Retired::new(node.as_raw(), stamp) };
         // Record when the unlinking operation began (≤ the unlink itself);
@@ -423,14 +437,6 @@ impl SmrHandle for DtaHandle {
         if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
             self.empty();
         }
-    }
-
-    fn stats(&self) -> &OpStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut OpStats {
-        &mut self.stats
     }
 
     fn retired_len(&self) -> usize {

@@ -21,8 +21,8 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, EpochClock, PendingGauge, INACTIVE};
-use crate::stats::OpStats;
+use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Epoch-based reclamation scheme (shared state).
 pub struct Ebr {
@@ -31,7 +31,7 @@ pub struct Ebr {
     announce: SlotArray,
     registry: Registry,
     cfg: Config,
-    pending: PendingGauge,
+    tele: SchemeTelemetry,
 }
 
 /// Per-thread handle for [`Ebr`].
@@ -44,7 +44,7 @@ pub struct EbrHandle {
     scan_scratch: Vec<Retired>,
     retire_counter: usize,
     alloc_counter: usize,
-    stats: CachePadded<OpStats>,
+    tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Ebr {
@@ -57,19 +57,20 @@ impl Smr for Ebr {
             announce: SlotArray::new(cfg.max_threads, 1, INACTIVE),
             registry: Registry::new(cfg.max_threads),
             cfg,
-            pending: PendingGauge::default(),
+            tele: SchemeTelemetry::new(),
         })
     }
 
     fn register(self: &Arc<Self>) -> EbrHandle {
+        let tid = self.registry.acquire();
         EbrHandle {
             scheme: self.clone(),
-            tid: self.registry.acquire(),
+            tid,
             retired: CachePadded::new(Vec::new()),
             scan_scratch: Vec::new(),
             retire_counter: 0,
             alloc_counter: 0,
-            stats: CachePadded::new(OpStats::default()),
+            tele: CachePadded::new(HandleTelemetry::new(tid)),
         }
     }
 
@@ -77,8 +78,18 @@ impl Smr for Ebr {
         "EBR"
     }
 
-    fn retired_pending(&self) -> usize {
-        self.pending.get()
+    fn telemetry(&self) -> &SchemeTelemetry {
+        &self.tele
+    }
+}
+
+impl Telemetry for EbrHandle {
+    fn tele(&self) -> &HandleTelemetry {
+        &self.tele
+    }
+
+    fn tele_mut(&mut self) -> &mut HandleTelemetry {
+        &mut self.tele
     }
 }
 
@@ -108,7 +119,8 @@ impl EbrHandle {
     /// Reclamation scan; allocation-free in steady state (the retired list
     /// swaps through the retained `scan_scratch`).
     fn empty(&mut self) {
-        self.stats.empties += 1;
+        self.tele.record_empty();
+        let scan_t0 = telemetry::timer();
         let caps_before = self.retired.capacity() + self.scan_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
         let min = self.scheme.min_active_epoch();
@@ -126,6 +138,7 @@ impl EbrHandle {
             if safe {
                 // Safety: unreachable since retirement and, by the epoch
                 // argument, referenced by no active thread.
+                self.tele.record_free(r.addr());
                 unsafe { r.reclaim() };
             } else {
                 self.retired.push(r);
@@ -133,11 +146,11 @@ impl EbrHandle {
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.stats.frees += freed as u64;
-        self.scheme.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed);
         if self.retired.capacity() + self.scan_scratch.capacity() > caps_before {
-            self.stats.scan_heap_allocs += 1;
+            self.tele.record_scan_heap_alloc();
         }
+        self.tele.record_scan_elapsed(scan_t0);
     }
 }
 
@@ -147,12 +160,12 @@ impl SmrHandle for EbrHandle {
         // one stalled thread legitimately pins every later retiree (§1).
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("EBR");
-        self.stats.ops += 1;
-        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        let retired_len = self.retired.len();
+        self.tele.record_op_start(retired_len);
         let e = self.scheme.clock.now();
         self.scheme.announce.get(self.tid, 0).store(e, Ordering::Release);
         // The announcement must be visible before any data-structure read.
-        counted_fence(&mut self.stats);
+        counted_fence(&mut self.tele);
     }
 
     fn end_op(&mut self) {
@@ -169,32 +182,25 @@ impl SmrHandle for EbrHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
-        self.stats.allocs += 1;
+        self.tele.record_alloc();
         self.alloc_counter += 1;
         if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
-            self.scheme.clock.advance();
+            let e = self.scheme.clock.advance();
+            self.tele.record_epoch_advance(e);
         }
-        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.stats);
+        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.tele);
         unsafe { Shared::from_owned(ptr) }
     }
 
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.stats.retires += 1;
-        self.scheme.pending.add(1);
+        self.tele.record_retire(node.as_raw() as u64);
+        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
         self.retire_counter += 1;
         if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
             self.empty();
         }
-    }
-
-    fn stats(&self) -> &OpStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut OpStats {
-        &mut self.stats
     }
 
     fn retired_len(&self) -> usize {

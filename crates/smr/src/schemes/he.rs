@@ -23,8 +23,8 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, EpochClock, PendingGauge, INACTIVE};
-use crate::stats::OpStats;
+use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Hazard-eras SMR scheme (shared state).
 pub struct He {
@@ -33,7 +33,7 @@ pub struct He {
     era_slots: SlotArray,
     registry: Registry,
     cfg: Config,
-    pending: PendingGauge,
+    tele: SchemeTelemetry,
 }
 
 /// Per-thread handle for [`He`].
@@ -49,7 +49,7 @@ pub struct HeHandle {
     /// Retained era-snapshot buffer, refilled in place per scan.
     era_scratch: Vec<u64>,
     retire_counter: usize,
-    stats: CachePadded<OpStats>,
+    tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for He {
@@ -62,20 +62,21 @@ impl Smr for He {
             era_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, INACTIVE),
             registry: Registry::new(cfg.max_threads),
             cfg,
-            pending: PendingGauge::default(),
+            tele: SchemeTelemetry::new(),
         })
     }
 
     fn register(self: &Arc<Self>) -> HeHandle {
+        let tid = self.registry.acquire();
         HeHandle {
             scheme: self.clone(),
-            tid: self.registry.acquire(),
+            tid,
             local: vec![INACTIVE; self.cfg.slots_per_thread],
             retired: CachePadded::new(Vec::new()),
             scan_scratch: Vec::new(),
             era_scratch: Vec::new(),
             retire_counter: 0,
-            stats: CachePadded::new(OpStats::default()),
+            tele: CachePadded::new(HandleTelemetry::new(tid)),
         }
     }
 
@@ -83,8 +84,18 @@ impl Smr for He {
         "HE"
     }
 
-    fn retired_pending(&self) -> usize {
-        self.pending.get()
+    fn telemetry(&self) -> &SchemeTelemetry {
+        &self.tele
+    }
+}
+
+impl Telemetry for HeHandle {
+    fn tele(&self) -> &HandleTelemetry {
+        &self.tele
+    }
+
+    fn tele_mut(&mut self) -> &mut HandleTelemetry {
+        &mut self.tele
     }
 }
 
@@ -123,7 +134,8 @@ impl HeHandle {
     /// Reclamation scan; allocation-free in steady state (era snapshot and
     /// retired list both cycle through handle-owned buffers).
     fn empty(&mut self) {
-        self.stats.empties += 1;
+        self.tele.record_empty();
+        let scan_t0 = telemetry::timer();
         let caps_before =
             self.retired.capacity() + self.scan_scratch.capacity() + self.era_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
@@ -138,18 +150,19 @@ impl HeHandle {
             } else {
                 // Safety: no announced era overlaps the node's lifetime, so
                 // no thread can have validated a protection for it (§3.3).
+                self.tele.record_free(r.addr());
                 unsafe { r.reclaim() };
             }
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.stats.frees += freed as u64;
-        self.scheme.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed);
         if self.retired.capacity() + self.scan_scratch.capacity() + self.era_scratch.capacity()
             > caps_before
         {
-            self.stats.scan_heap_allocs += 1;
+            self.tele.record_scan_heap_alloc();
         }
+        self.tele.record_scan_elapsed(scan_t0);
         // Oracle: era-pile conformance bound. At most T·H distinct eras are
         // announced; each pins retirees whose lifetime contains it, and the
         // era clock advances every `epoch_freq` allocations per thread, so
@@ -174,8 +187,8 @@ impl SmrHandle for HeHandle {
     fn start_op(&mut self) {
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("HE");
-        self.stats.ops += 1;
-        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        let retired_len = self.retired.len();
+        self.tele.record_op_start(retired_len);
     }
 
     fn end_op(&mut self) {
@@ -200,7 +213,7 @@ impl SmrHandle for HeHandle {
             }
             self.scheme.era_slots.get(self.tid, refno).store(era, Ordering::Release);
             self.local[refno] = era;
-            counted_fence(&mut self.stats);
+            counted_fence(&mut self.tele);
             prev = era;
         }
     }
@@ -215,32 +228,25 @@ impl SmrHandle for HeHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
-        self.stats.allocs += 1;
-        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.stats);
+        self.tele.record_alloc();
+        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.tele);
         unsafe { Shared::from_owned(ptr) }
     }
 
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.stats.retires += 1;
-        self.scheme.pending.add(1);
+        self.tele.record_retire(node.as_raw() as u64);
+        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
         self.retire_counter += 1;
         // HE advances the era every constant number of deletions (§3.3).
         if self.retire_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
-            self.scheme.clock.advance();
+            let e = self.scheme.clock.advance();
+            self.tele.record_epoch_advance(e);
         }
         if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
             self.empty();
         }
-    }
-
-    fn stats(&self) -> &OpStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut OpStats {
-        &mut self.stats
     }
 
     fn retired_len(&self) -> usize {

@@ -23,16 +23,16 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::Registry;
-use crate::schemes::common::{counted_fence, PendingGauge, NO_HAZARD};
 use crate::registry::SlotArray;
-use crate::stats::OpStats;
+use crate::schemes::common::{counted_fence, NO_HAZARD};
+use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Hazard-pointer SMR scheme (shared state).
 pub struct Hp {
     hp_slots: SlotArray,
     registry: Registry,
     cfg: Config,
-    pending: PendingGauge,
+    tele: SchemeTelemetry,
 }
 
 /// Per-thread handle for [`Hp`].
@@ -51,7 +51,7 @@ pub struct HpHandle {
     /// Retained hazard-snapshot buffer, refilled in place per scan.
     hazard_scratch: Vec<u64>,
     retire_counter: usize,
-    stats: CachePadded<OpStats>,
+    tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Hp {
@@ -63,20 +63,21 @@ impl Smr for Hp {
             hp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_HAZARD),
             registry: Registry::new(cfg.max_threads),
             cfg,
-            pending: PendingGauge::default(),
+            tele: SchemeTelemetry::new(),
         })
     }
 
     fn register(self: &Arc<Self>) -> HpHandle {
+        let tid = self.registry.acquire();
         HpHandle {
             scheme: self.clone(),
-            tid: self.registry.acquire(),
+            tid,
             local: vec![NO_HAZARD; self.cfg.slots_per_thread],
             retired: CachePadded::new(Vec::new()),
             scan_scratch: Vec::new(),
             hazard_scratch: Vec::new(),
             retire_counter: 0,
-            stats: CachePadded::new(OpStats::default()),
+            tele: CachePadded::new(HandleTelemetry::new(tid)),
         }
     }
 
@@ -84,8 +85,18 @@ impl Smr for Hp {
         "HP"
     }
 
-    fn retired_pending(&self) -> usize {
-        self.pending.get()
+    fn telemetry(&self) -> &SchemeTelemetry {
+        &self.tele
+    }
+}
+
+impl Telemetry for HpHandle {
+    fn tele(&self) -> &HandleTelemetry {
+        &self.tele
+    }
+
+    fn tele_mut(&mut self) -> &mut HandleTelemetry {
+        &mut self.tele
     }
 }
 
@@ -93,7 +104,7 @@ impl Drop for Hp {
     fn drop(&mut self) {
         // Safety: no handle outlives the scheme.
         unsafe { self.registry.reclaim_orphans() };
-        self.pending.sub(self.pending.get());
+        self.tele.pending.sub(self.tele.pending.get());
     }
 }
 
@@ -134,7 +145,8 @@ impl HpHandle {
     /// snapshot and the retired list both cycle through handle-owned
     /// buffers).
     fn empty(&mut self) {
-        self.stats.empties += 1;
+        self.tele.record_empty();
+        let scan_t0 = telemetry::timer();
         let caps_before =
             self.retired.capacity() + self.scan_scratch.capacity() + self.hazard_scratch.capacity();
         // Ensure retirements we are about to judge are ordered after any
@@ -162,18 +174,19 @@ impl HpHandle {
                 // Safety: the node is retired (unreachable) and no hazard
                 // slot held its address after the fence, so no thread can
                 // have validated a protection for it.
+                self.tele.record_free(r.addr());
                 unsafe { r.reclaim() };
             }
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.stats.frees += freed as u64;
-        self.scheme.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed);
         let caps_after =
             self.retired.capacity() + self.scan_scratch.capacity() + self.hazard_scratch.capacity();
         if caps_after > caps_before {
-            self.stats.scan_heap_allocs += 1;
+            self.tele.record_scan_heap_alloc();
         }
+        self.tele.record_scan_elapsed(scan_t0);
         // Oracle: every kept node is pinned by some announced hazard, so a
         // handle's list can never exceed the total slot budget (the paper's
         // Table 1 bound for HP).
@@ -193,8 +206,8 @@ impl SmrHandle for HpHandle {
     fn start_op(&mut self) {
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("HP");
-        self.stats.ops += 1;
-        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        let retired_len = self.retired.len();
+        self.tele.record_op_start(retired_len);
     }
 
     fn end_op(&mut self) {
@@ -202,7 +215,7 @@ impl SmrHandle for HpHandle {
             // Unoptimized baseline: fence after clearing each slot.
             for slot in self.scheme.hp_slots.row(self.tid) {
                 slot.store(NO_HAZARD, Ordering::Release);
-                counted_fence(&mut self.stats);
+                counted_fence(&mut self.tele);
             }
             self.local.fill(NO_HAZARD);
             return;
@@ -210,7 +223,7 @@ impl SmrHandle for HpHandle {
         // Paper optimization: clear all slots, then a single fence.
         self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
         self.local.fill(NO_HAZARD);
-        counted_fence(&mut self.stats);
+        counted_fence(&mut self.tele);
     }
 
     fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
@@ -226,7 +239,7 @@ impl SmrHandle for HpHandle {
             }
             self.scheme.hp_slots.get(self.tid, refno).store(addr, Ordering::Release);
             self.local[refno] = addr;
-            counted_fence(&mut self.stats);
+            counted_fence(&mut self.tele);
             // Validate the node is still reachable from `src`: success means
             // the announcement happened while the node was linked (§3.1).
             if src.load(Ordering::Acquire) == w {
@@ -248,27 +261,19 @@ impl SmrHandle for HpHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
-        self.stats.allocs += 1;
-        let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.stats);
+        self.tele.record_alloc();
+        let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.tele);
         unsafe { Shared::from_owned(ptr) }
     }
 
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.stats.retires += 1;
-        self.scheme.pending.add(1);
+        self.tele.record_retire(node.as_raw() as u64);
+        self.scheme.tele.pending.add(1);
         self.retired.push(unsafe { Retired::new(node.as_raw(), 0) });
         self.retire_counter += 1;
         if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
             self.empty();
         }
-    }
-
-    fn stats(&self) -> &OpStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut OpStats {
-        &mut self.stats
     }
 
     fn retired_len(&self) -> usize {

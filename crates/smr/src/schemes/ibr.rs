@@ -29,8 +29,8 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, EpochClock, PendingGauge, INACTIVE};
-use crate::stats::OpStats;
+use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 const LOWER: usize = 0;
 const UPPER: usize = 1;
@@ -42,7 +42,7 @@ pub struct Ibr {
     reservations: SlotArray,
     registry: Registry,
     cfg: Config,
-    pending: PendingGauge,
+    tele: SchemeTelemetry,
 }
 
 /// Per-thread handle for [`Ibr`].
@@ -58,7 +58,7 @@ pub struct IbrHandle {
     interval_scratch: Vec<(u64, u64)>,
     retire_counter: usize,
     alloc_counter: usize,
-    stats: CachePadded<OpStats>,
+    tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Ibr {
@@ -71,21 +71,22 @@ impl Smr for Ibr {
             reservations: SlotArray::new(cfg.max_threads, 2, INACTIVE),
             registry: Registry::new(cfg.max_threads),
             cfg,
-            pending: PendingGauge::default(),
+            tele: SchemeTelemetry::new(),
         })
     }
 
     fn register(self: &Arc<Self>) -> IbrHandle {
+        let tid = self.registry.acquire();
         IbrHandle {
             scheme: self.clone(),
-            tid: self.registry.acquire(),
+            tid,
             upper_local: INACTIVE,
             retired: CachePadded::new(Vec::new()),
             scan_scratch: Vec::new(),
             interval_scratch: Vec::new(),
             retire_counter: 0,
             alloc_counter: 0,
-            stats: CachePadded::new(OpStats::default()),
+            tele: CachePadded::new(HandleTelemetry::new(tid)),
         }
     }
 
@@ -93,8 +94,18 @@ impl Smr for Ibr {
         "IBR"
     }
 
-    fn retired_pending(&self) -> usize {
-        self.pending.get()
+    fn telemetry(&self) -> &SchemeTelemetry {
+        &self.tele
+    }
+}
+
+impl Telemetry for IbrHandle {
+    fn tele(&self) -> &HandleTelemetry {
+        &self.tele
+    }
+
+    fn tele_mut(&mut self) -> &mut HandleTelemetry {
+        &mut self.tele
     }
 }
 
@@ -110,7 +121,8 @@ impl IbrHandle {
     /// snapshot and the retired list both cycle through handle-owned
     /// buffers).
     fn empty(&mut self) {
-        self.stats.empties += 1;
+        self.tele.record_empty();
+        let scan_t0 = telemetry::timer();
         let caps_before = self.retired.capacity()
             + self.scan_scratch.capacity()
             + self.interval_scratch.capacity();
@@ -137,18 +149,19 @@ impl IbrHandle {
                 // Safety: every active interval either began after the node
                 // was retired or ended before it was born, so no thread's
                 // reservation admits a reference to it.
+                self.tele.record_free(r.addr());
                 unsafe { r.reclaim() };
             }
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.stats.frees += freed as u64;
-        self.scheme.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed);
         if self.retired.capacity() + self.scan_scratch.capacity() + self.interval_scratch.capacity()
             > caps_before
         {
-            self.stats.scan_heap_allocs += 1;
+            self.tele.record_scan_heap_alloc();
         }
+        self.tele.record_scan_elapsed(scan_t0);
     }
 }
 
@@ -159,14 +172,14 @@ impl SmrHandle for IbrHandle {
         // whose intervals overlap it.
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("IBR");
-        self.stats.ops += 1;
-        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        let retired_len = self.retired.len();
+        self.tele.record_op_start(retired_len);
         let e = self.scheme.clock.now();
         self.scheme.reservations.get(self.tid, LOWER).store(e, Ordering::Release);
         self.scheme.reservations.get(self.tid, UPPER).store(e, Ordering::Release);
         self.upper_local = e;
         // Reservation must be visible before any data-structure read.
-        counted_fence(&mut self.stats);
+        counted_fence(&mut self.tele);
     }
 
     fn end_op(&mut self) {
@@ -187,7 +200,7 @@ impl SmrHandle for IbrHandle {
             self.scheme.reservations.get(self.tid, UPPER).store(e, Ordering::Release);
             self.upper_local = e;
             // The epoch changed under us — IBR's rare per-read cost.
-            counted_fence(&mut self.stats);
+            counted_fence(&mut self.tele);
         }
     }
 
@@ -196,33 +209,26 @@ impl SmrHandle for IbrHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
-        self.stats.allocs += 1;
+        self.tele.record_alloc();
         self.alloc_counter += 1;
         // IBR advances the epoch every constant number of allocations (§3.3).
         if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
-            self.scheme.clock.advance();
+            let e = self.scheme.clock.advance();
+            self.tele.record_epoch_advance(e);
         }
-        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.stats);
+        let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.tele);
         unsafe { Shared::from_owned(ptr) }
     }
 
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.stats.retires += 1;
-        self.scheme.pending.add(1);
+        self.tele.record_retire(node.as_raw() as u64);
+        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
         self.retire_counter += 1;
         if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
             self.empty();
         }
-    }
-
-    fn stats(&self) -> &OpStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut OpStats {
-        &mut self.stats
     }
 
     fn retired_len(&self) -> usize {

@@ -15,13 +15,12 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::Registry;
-use crate::schemes::common::PendingGauge;
-use crate::stats::OpStats;
+use crate::telemetry::{HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// The leaky "scheme": never reclaims (see module docs).
 pub struct Leaky {
     registry: Registry,
-    pending: PendingGauge,
+    tele: SchemeTelemetry,
 }
 
 /// Per-thread handle for [`Leaky`].
@@ -30,7 +29,7 @@ pub struct LeakyHandle {
     tid: usize,
     /// Cache-padded retired-list head (no false sharing between handles).
     retired: CachePadded<Vec<Retired>>,
-    stats: CachePadded<OpStats>,
+    tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Leaky {
@@ -38,15 +37,16 @@ impl Smr for Leaky {
 
     fn new(cfg: Config) -> Arc<Self> {
         cfg.validate().expect("invalid SMR Config");
-        Arc::new(Leaky { registry: Registry::new(cfg.max_threads), pending: PendingGauge::default() })
+        Arc::new(Leaky { registry: Registry::new(cfg.max_threads), tele: SchemeTelemetry::new() })
     }
 
     fn register(self: &Arc<Self>) -> LeakyHandle {
+        let tid = self.registry.acquire();
         LeakyHandle {
             scheme: self.clone(),
-            tid: self.registry.acquire(),
+            tid,
             retired: CachePadded::new(Vec::new()),
-            stats: CachePadded::new(OpStats::default()),
+            tele: CachePadded::new(HandleTelemetry::new(tid)),
         }
     }
 
@@ -54,8 +54,18 @@ impl Smr for Leaky {
         "Leaky"
     }
 
-    fn retired_pending(&self) -> usize {
-        self.pending.get()
+    fn telemetry(&self) -> &SchemeTelemetry {
+        &self.tele
+    }
+}
+
+impl Telemetry for LeakyHandle {
+    fn tele(&self) -> &HandleTelemetry {
+        &self.tele
+    }
+
+    fn tele_mut(&mut self) -> &mut HandleTelemetry {
+        &mut self.tele
     }
 }
 
@@ -72,8 +82,8 @@ impl SmrHandle for LeakyHandle {
         // but its allocations and retires are still lifecycle-tracked.
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("Leaky");
-        self.stats.ops += 1;
-        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        let retired_len = self.retired.len();
+        self.tele.record_op_start(retired_len);
     }
 
     fn end_op(&mut self) {}
@@ -88,23 +98,15 @@ impl SmrHandle for LeakyHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
-        self.stats.allocs += 1;
-        let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.stats);
+        self.tele.record_alloc();
+        let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.tele);
         unsafe { Shared::from_owned(ptr) }
     }
 
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.stats.retires += 1;
-        self.scheme.pending.add(1);
+        self.tele.record_retire(node.as_raw() as u64);
+        self.scheme.tele.pending.add(1);
         self.retired.push(unsafe { Retired::new(node.as_raw(), 0) });
-    }
-
-    fn stats(&self) -> &OpStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut OpStats {
-        &mut self.stats
     }
 
     fn retired_len(&self) -> usize {
@@ -113,7 +115,7 @@ impl SmrHandle for LeakyHandle {
 
     fn force_empty(&mut self) {
         // Leaky never reclaims.
-        self.stats.empties += 1;
+        self.tele.record_empty();
     }
 }
 

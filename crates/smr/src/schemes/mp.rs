@@ -47,8 +47,8 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::{is_use_hp_class, Retired, USE_HP};
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, PendingGauge, INACTIVE, NO_HAZARD, NO_MARGIN};
-use crate::stats::OpStats;
+use crate::schemes::common::{counted_fence, INACTIVE, NO_HAZARD, NO_MARGIN};
+use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Margin-pointers SMR scheme (shared state).
 pub struct Mp {
@@ -62,7 +62,7 @@ pub struct Mp {
     local_epochs: SlotArray,
     registry: Registry,
     cfg: Config,
-    pending: PendingGauge,
+    tele: SchemeTelemetry,
 }
 
 /// Per-thread handle for [`Mp`].
@@ -96,7 +96,7 @@ pub struct MpHandle {
     snaps: Vec<ThreadSnap>,
     retire_counter: usize,
     unlink_counter: usize,
-    stats: CachePadded<OpStats>,
+    tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Mp {
@@ -111,14 +111,15 @@ impl Smr for Mp {
             local_epochs: SlotArray::new(cfg.max_threads, 1, INACTIVE),
             registry: Registry::new(cfg.max_threads),
             cfg,
-            pending: PendingGauge::default(),
+            tele: SchemeTelemetry::new(),
         })
     }
 
     fn register(self: &Arc<Self>) -> MpHandle {
+        let tid = self.registry.acquire();
         MpHandle {
             scheme: self.clone(),
-            tid: self.registry.acquire(),
+            tid,
             local_mps: vec![NO_MARGIN; self.cfg.slots_per_thread],
             local_hps: vec![NO_HAZARD; self.cfg.slots_per_thread],
             lower_bound: 0,
@@ -131,7 +132,7 @@ impl Smr for Mp {
             snaps: Vec::new(),
             retire_counter: 0,
             unlink_counter: 0,
-            stats: CachePadded::new(OpStats::default()),
+            tele: CachePadded::new(HandleTelemetry::new(tid)),
         }
     }
 
@@ -139,8 +140,18 @@ impl Smr for Mp {
         "MP"
     }
 
-    fn retired_pending(&self) -> usize {
-        self.pending.get()
+    fn telemetry(&self) -> &SchemeTelemetry {
+        &self.tele
+    }
+}
+
+impl Telemetry for MpHandle {
+    fn tele(&self) -> &HandleTelemetry {
+        &self.tele
+    }
+
+    fn tele_mut(&mut self) -> &mut HandleTelemetry {
+        &mut self.tele
     }
 }
 
@@ -249,7 +260,8 @@ impl MpHandle {
     /// refill handle-owned buffers, and the retired list is swapped through
     /// the retained `scan_scratch` instead of draining into a fresh `Vec`.
     fn empty(&mut self) {
-        self.stats.empties += 1;
+        self.tele.record_empty();
+        let scan_t0 = telemetry::timer();
         let caps_before = self.scan_caps();
         core::sync::atomic::fence(Ordering::SeqCst);
         let naive = self.scheme.cfg.ablation_naive_scan;
@@ -299,15 +311,16 @@ impl MpHandle {
             // Safety: no HP holds the address and no margin (of a thread
             // whose epoch admits the node's lifetime) covers its index, so
             // no thread can have validated protection for it (Theorem 4.3).
+            self.tele.record_free(r.addr());
             unsafe { r.reclaim() };
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.stats.frees += freed as u64;
-        self.scheme.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed);
         if self.scan_caps() > caps_before {
-            self.stats.scan_heap_allocs += 1;
+            self.tele.record_scan_heap_alloc();
         }
+        self.tele.record_scan_elapsed(scan_t0);
         // Oracle: Theorem 4.2's predetermined bound. Each kept node is held
         // by a hazard (≤ T·H in total) or by a margin of a thread whose
         // epoch admits its lifetime; a margin spans at most margin + 2^16
@@ -339,7 +352,7 @@ impl MpHandle {
         }
         self.scheme.hp_slots.get(self.tid, refno).store(addr, Ordering::Release);
         self.local_hps[refno] = addr;
-        counted_fence(&mut self.stats);
+        counted_fence(&mut self.tele);
         if src.load(Ordering::Acquire) == w {
             Some(w)
         } else {
@@ -352,8 +365,8 @@ impl SmrHandle for MpHandle {
     fn start_op(&mut self) {
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("MP");
-        self.stats.ops += 1;
-        self.stats.retired_sampled_sum += self.retired.len() as u64;
+        let retired_len = self.retired.len();
+        self.tele.record_op_start(retired_len);
         self.epoch = self.scheme.global_epoch.load(Ordering::SeqCst);
         self.scheme.local_epochs.get(self.tid, 0).store(self.epoch, Ordering::Release);
         self.lower_bound = 0;
@@ -361,7 +374,7 @@ impl SmrHandle for MpHandle {
         self.use_hp_mode = false;
         // Announcement must be visible before any data-structure read
         // (Listing 10 start_op's memory_fence).
-        counted_fence(&mut self.stats);
+        counted_fence(&mut self.tele);
     }
 
     fn end_op(&mut self) {
@@ -369,14 +382,14 @@ impl SmrHandle for MpHandle {
             // Unoptimized baseline: fence after clearing each slot.
             for i in 0..self.local_mps.len() {
                 self.scheme.mp_slots.get(self.tid, i).store(NO_MARGIN, Ordering::Release);
-                counted_fence(&mut self.stats);
+                counted_fence(&mut self.tele);
                 self.scheme.hp_slots.get(self.tid, i).store(NO_HAZARD, Ordering::Release);
-                counted_fence(&mut self.stats);
+                counted_fence(&mut self.tele);
             }
             self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
             self.local_mps.fill(NO_MARGIN);
             self.local_hps.fill(NO_HAZARD);
-            counted_fence(&mut self.stats);
+            counted_fence(&mut self.tele);
             return;
         }
         // Clear margins + hazards + epoch, then a single fence (§6 opt).
@@ -385,7 +398,7 @@ impl SmrHandle for MpHandle {
         self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
         self.local_mps.fill(NO_MARGIN);
         self.local_hps.fill(NO_HAZARD);
-        counted_fence(&mut self.stats);
+        counted_fence(&mut self.tele);
     }
 
     fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
@@ -400,7 +413,7 @@ impl SmrHandle for MpHandle {
             // Collision / USE_HP-class / fallback-mode reads go through HP
             // (§4.3.2).
             if idx_hi == USE_HP || self.use_hp_mode {
-                self.stats.hp_fallback_reads += 1;
+                self.tele.record_hp_fallback(w.as_raw() as u64);
                 match self.hp_protect(src, refno, w) {
                     Some(w) => return w,
                     None => {
@@ -438,7 +451,7 @@ impl SmrHandle for MpHandle {
             let mid = (idx_lo + (1u32 << 15)) as u64;
             self.scheme.mp_slots.get(self.tid, refno).store(mid, Ordering::Release);
             self.local_mps[refno] = mid;
-            counted_fence(&mut self.stats);
+            counted_fence(&mut self.tele);
             // Validate the node is still reachable from `src`: the margin
             // was announced while the node was linked.
             if src.load(Ordering::Acquire) == w {
@@ -467,7 +480,7 @@ impl SmrHandle for MpHandle {
         let lo = self.lower_bound.min(self.upper_bound);
         let hi = self.lower_bound.max(self.upper_bound);
         let index = if hi - lo <= 1 {
-            self.stats.collision_allocs += 1;
+            self.tele.record_collision_alloc(lo);
             USE_HP
         } else {
             match self.scheme.cfg.index_policy {
@@ -479,26 +492,23 @@ impl SmrHandle for MpHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
-        self.stats.allocs += 1;
-        if index == USE_HP {
-            // count explicit collisions routed through alloc() above or by
-            // sentinel setup; do not double count
-        }
+        self.tele.record_alloc();
         let birth = self.scheme.global_epoch.load(Ordering::SeqCst);
-        let ptr = crate::node::alloc_node_in(data, index, birth, &mut self.stats);
+        let ptr = crate::node::alloc_node_in(data, index, birth, &mut self.tele);
         unsafe { Shared::from_owned(ptr) }
     }
 
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.stats.retires += 1;
-        self.scheme.pending.add(1);
+        self.tele.record_retire(node.as_raw() as u64);
+        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.global_epoch.load(Ordering::SeqCst);
         self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
         self.unlink_counter += 1;
         // §4.3.2: each thread increments the global epoch once every
         // `epoch_freq` node unlinks — the F of Theorem 4.2's bound.
         if self.unlink_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
-            self.scheme.global_epoch.fetch_add(1, Ordering::SeqCst);
+            let e = self.scheme.global_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            self.tele.record_epoch_advance(e);
         }
         self.retire_counter += 1;
         if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
@@ -516,14 +526,6 @@ impl SmrHandle for MpHandle {
     fn update_upper_bound<T: Send + Sync>(&mut self, node: Shared<T>) {
         let idx = unsafe { node.deref() }.index();
         self.upper_bound = idx;
-    }
-
-    fn stats(&self) -> &OpStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut OpStats {
-        &mut self.stats
     }
 
     fn retired_len(&self) -> usize {

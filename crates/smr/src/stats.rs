@@ -48,20 +48,27 @@ pub struct OpStats {
 
 impl OpStats {
     /// Merges `other` into `self` (used when aggregating across handles).
+    ///
+    /// Every field accumulates with `u64::saturating_add`: on a soak run
+    /// long enough to approach the counter range, a merged total pins at
+    /// `u64::MAX` instead of wrapping into a small nonsense value (debug
+    /// builds would panic on the wrap; release builds would silently
+    /// corrupt every derived ratio).
     pub fn merge(&mut self, other: &OpStats) {
-        self.fences += other.fences;
-        self.nodes_traversed += other.nodes_traversed;
-        self.ops += other.ops;
-        self.retired_sampled_sum += other.retired_sampled_sum;
-        self.allocs += other.allocs;
-        self.retires += other.retires;
-        self.frees += other.frees;
-        self.empties += other.empties;
-        self.hp_fallback_reads += other.hp_fallback_reads;
-        self.collision_allocs += other.collision_allocs;
-        self.pool_hits += other.pool_hits;
-        self.pool_misses += other.pool_misses;
-        self.scan_heap_allocs += other.scan_heap_allocs;
+        self.fences = self.fences.saturating_add(other.fences);
+        self.nodes_traversed = self.nodes_traversed.saturating_add(other.nodes_traversed);
+        self.ops = self.ops.saturating_add(other.ops);
+        self.retired_sampled_sum =
+            self.retired_sampled_sum.saturating_add(other.retired_sampled_sum);
+        self.allocs = self.allocs.saturating_add(other.allocs);
+        self.retires = self.retires.saturating_add(other.retires);
+        self.frees = self.frees.saturating_add(other.frees);
+        self.empties = self.empties.saturating_add(other.empties);
+        self.hp_fallback_reads = self.hp_fallback_reads.saturating_add(other.hp_fallback_reads);
+        self.collision_allocs = self.collision_allocs.saturating_add(other.collision_allocs);
+        self.pool_hits = self.pool_hits.saturating_add(other.pool_hits);
+        self.pool_misses = self.pool_misses.saturating_add(other.pool_misses);
+        self.scan_heap_allocs = self.scan_heap_allocs.saturating_add(other.scan_heap_allocs);
     }
 
     /// Fences issued per traversed node (Figure 5's y-axis).
@@ -139,6 +146,36 @@ mod tests {
         assert_eq!(a.pool_hits, 110);
         assert_eq!(a.pool_misses, 120);
         assert_eq!(a.scan_heap_allocs, 130);
+    }
+
+    /// Soak-run wrap audit: merging into a counter near `u64::MAX`
+    /// saturates instead of wrapping — on every field, including both
+    /// operands pre-saturated.
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let near_max = OpStats {
+            fences: u64::MAX - 1,
+            nodes_traversed: u64::MAX,
+            ops: u64::MAX - 5,
+            retired_sampled_sum: u64::MAX,
+            allocs: u64::MAX,
+            retires: u64::MAX,
+            frees: u64::MAX,
+            empties: u64::MAX,
+            hp_fallback_reads: u64::MAX,
+            collision_allocs: u64::MAX,
+            pool_hits: u64::MAX,
+            pool_misses: u64::MAX,
+            scan_heap_allocs: u64::MAX,
+        };
+        let mut acc = near_max.clone();
+        acc.merge(&OpStats { fences: 10, ops: 3, ..Default::default() });
+        assert_eq!(acc.fences, u64::MAX, "fences pinned at MAX, not wrapped");
+        assert_eq!(acc.ops, u64::MAX - 2, "headroom consumed exactly");
+        acc.merge(&near_max);
+        assert_eq!(acc, OpStats { ops: u64::MAX, fences: u64::MAX, ..near_max.clone() });
+        // Ratios remain finite and sane at saturation.
+        assert!(acc.fences_per_node() <= 1.0 + 1e-12);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`Backoff`] — exponential spin backoff for contended retry loops.
 //! * [`check`] — a seeded, shrinking property-test runner whose failures
 //!   replay from a printed seed.
+//! * [`ring`] / [`RingBuffer`] — a bounded lock-free MPMC ring (Vyukov's
+//!   bounded queue) carrying fixed-size telemetry event records.
+//! * [`hist`] / [`Histogram`] — a 64-bucket power-of-two latency
+//!   histogram, mergeable and allocation-free.
 //! * [`pool`] — per-thread segregated block pool (size-class free lists,
 //!   bounded caps, global overflow shard) recycling SMR node memory.
 //! * [`shadow`] — a sharded shadow table (key → state record with atomic
@@ -28,12 +32,16 @@
 pub mod backoff;
 pub mod cache_padded;
 pub mod check;
+pub mod hist;
 pub mod pool;
+pub mod ring;
 pub mod rng;
 pub mod shadow;
 
 pub use backoff::Backoff;
 pub use cache_padded::CachePadded;
 pub use check::Checker;
+pub use hist::Histogram;
+pub use ring::RingBuffer;
 pub use shadow::{ShadowSlot, ShadowTable};
 pub use rng::{rng, RngCore, RngExt, SeedableRng, SmallRng, SplitMix64, UniformInt, Xoshiro256pp};

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use margin_pointers::ds::{skiplist, ConcurrentSet, SkipList};
-use margin_pointers::smr::{schemes::Mp, Atomic, Config, Shared, Smr, SmrHandle};
+use margin_pointers::smr::{schemes::Mp, Atomic, Config, Shared, Smr, SmrHandle, Telemetry};
 
 fn main() {
     // 1. Configure the SMR scheme. The margin (2^20 here, the paper's
@@ -47,12 +47,13 @@ fn main() {
                         }
                     }
                 }
+                let snap = handle.snapshot();
                 println!(
                     "thread {t}: {} ops, {} fences, {} nodes retired, {} reclaimed",
-                    handle.stats().ops,
-                    handle.stats().fences,
-                    handle.stats().retires,
-                    handle.stats().frees,
+                    snap.ops(),
+                    snap.fences(),
+                    snap.retires(),
+                    snap.frees(),
                 );
             });
         }

@@ -14,18 +14,18 @@ use std::time::{Duration, Instant};
 
 use margin_pointers::ds::{skiplist, ConcurrentSet, NmTree};
 use margin_pointers::smr::schemes::{Ebr, He, Hp, Ibr, Leaky, Mp};
-use margin_pointers::smr::{Config, OpStats, Smr, SmrHandle};
+use margin_pointers::smr::{Smr, SmrBuilder, Telemetry, TelemetrySnapshot};
 
 const THREADS: usize = 4;
 const PREFILL: u64 = 20_000;
 const RUN: Duration = Duration::from_millis(400);
 
-fn bench<S: Smr>() -> (f64, usize, OpStats) {
-    let cfg = Config::default()
-        .with_max_threads(THREADS + 1)
-        .with_slots_per_thread(skiplist::SLOTS_NEEDED)
-        .with_margin(1 << 27); // margin sized for PREFILL's index density
-    let smr = S::new(cfg);
+fn bench<S: Smr>() -> (f64, usize, TelemetrySnapshot) {
+    let smr = SmrBuilder::new()
+        .max_threads(THREADS + 1)
+        .slots_per_thread(skiplist::SLOTS_NEEDED)
+        .margin(1 << 27) // margin sized for PREFILL's index density
+        .build::<S>();
     let set: Arc<NmTree<S>> = Arc::new(NmTree::new(&smr));
     {
         // Uniform random prefill (§6): the NM tree is unbalanced, so random
@@ -44,7 +44,7 @@ fn bench<S: Smr>() -> (f64, usize, OpStats) {
     }
     let stop = Arc::new(AtomicBool::new(false));
     let mut ops_total = 0u64;
-    let mut merged = OpStats::default();
+    let mut merged = TelemetrySnapshot::default();
     let mut peak_pending = 0usize;
     std::thread::scope(|s| {
         let mut joins = Vec::new();
@@ -72,13 +72,14 @@ fn bench<S: Smr>() -> (f64, usize, OpStats) {
                     }
                     ops += 1;
                 }
-                (ops, h.stats().clone())
+                (ops, h.snapshot())
             }));
         }
         let deadline = Instant::now() + RUN;
         while Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
             peak_pending = peak_pending.max(smr.retired_pending());
+            smr.sample_waste();
         }
         stop.store(true, Ordering::Release);
         for j in joins {
@@ -99,7 +100,7 @@ fn main() {
         "{:>6}  {:>8}  {:>12}  {:>12}  {:>9}  {:>10}  {:>11}",
         "scheme", "Mops/s", "fences/node", "peak wasted", "pool-hit", "allocs/op", "scan-allocs"
     );
-    for (name, (mops, peak, stats)) in [
+    for (name, (mops, peak, snap)) in [
         ("MP", bench::<Mp>()),
         ("HP", bench::<Hp>()),
         ("EBR", bench::<Ebr>()),
@@ -107,12 +108,12 @@ fn main() {
         ("IBR", bench::<Ibr>()),
         ("Leaky", bench::<Leaky>()),
     ] {
-        let fpn = stats.fences_per_node();
+        let fpn = snap.fences_per_node();
         println!(
             "{name:>6}  {mops:>8.3}  {fpn:>12.4}  {peak:>12}  {:>9.3}  {:>10.4}  {:>11}",
-            stats.pool_hit_rate(),
-            stats.allocs_per_op(),
-            stats.scan_heap_allocs,
+            snap.pool_hit_rate(),
+            snap.allocs_per_op(),
+            snap.scan_heap_allocs(),
         );
     }
     println!("\nMP: bounded wasted memory at epoch-scheme-like cost (Table 1).");

@@ -42,4 +42,22 @@ cargo clippy --offline -p mp-smr --all-targets --features oracle -- -D warnings
 echo "==> scripts/bench.sh --smoke"
 ./scripts/bench.sh --smoke
 
+# Telemetry smoke: run the exporter example with telemetry armed and
+# check the artifacts parse — Prometheus text exposition with the
+# expected metric families, and JSON accepted by a strict parser (the
+# example runs both through mp-smr's validators and exits nonzero on
+# any malformed output).
+echo "==> telemetry smoke (exporters must emit parseable artifacts)"
+TELEMETRY_SMOKE_DIR=target/telemetry-smoke
+rm -rf "$TELEMETRY_SMOKE_DIR"
+MP_TELEMETRY=1 MP_BENCH_DIR="$TELEMETRY_SMOKE_DIR" \
+  cargo run -q --release --offline --example telemetry_export >/dev/null
+for family in mp_ops_total mp_op_latency_nanos_bucket mp_scan_latency_nanos_bucket \
+              mp_wasted_nodes mp_wasted_bytes; do
+  grep -q "^$family" "$TELEMETRY_SMOKE_DIR/telemetry_mp.prom" \
+    || { echo "!! telemetry smoke: $family missing from Prometheus output" >&2; exit 1; }
+done
+grep -q '"schema": *"mp-telemetry/v1"' "$TELEMETRY_SMOKE_DIR/telemetry_mp.json" \
+  || { echo "!! telemetry smoke: JSON schema marker missing" >&2; exit 1; }
+
 echo "==> OK"

@@ -1,0 +1,110 @@
+//! Telemetry integration: armed tracing on a real workload, exporter
+//! validity, and the disarmed zero-ring contract.
+//!
+//! Arming is process-global state (like `MP_POOL`), so this binary holds a
+//! single `#[test]` that covers both armed and disarmed phases in a fixed
+//! order — the same discipline as `leak_check` and `zero_alloc`.
+
+use std::sync::Arc;
+
+use margin_pointers::ds::{ConcurrentSet, LinkedList};
+use margin_pointers::smr::schemes::{Ebr, Mp};
+use margin_pointers::smr::telemetry::export;
+use margin_pointers::smr::{
+    telemetry, EventKind, Smr, SmrBuilder, SmrHandle, Telemetry, TelemetrySnapshot,
+};
+
+fn churn<S: Smr>(smr: &Arc<S>, threads: u64, ops: u64) -> TelemetrySnapshot {
+    let set: Arc<LinkedList<S>> = Arc::new(LinkedList::new(smr));
+    let mut merged = TelemetrySnapshot::default();
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let (smr, set) = (smr.clone(), set.clone());
+            joins.push(s.spawn(move || {
+                let mut h = smr.register();
+                for i in 0..ops {
+                    let key = (i * 17 + t) % 512;
+                    match i % 3 {
+                        0 => {
+                            set.insert(&mut h, key);
+                        }
+                        1 => {
+                            set.contains(&mut h, key);
+                        }
+                        _ => {
+                            set.remove(&mut h, key);
+                        }
+                    }
+                }
+                h.snapshot()
+            }));
+        }
+        for j in joins {
+            merged.merge(&j.join().expect("worker panicked"));
+        }
+    });
+    merged
+}
+
+#[test]
+fn armed_run_traces_exports_and_disarmed_run_has_no_ring() {
+    // --- Phase 1: armed. Handles carry rings, ops are timed, waste sampled.
+    let smr = SmrBuilder::new()
+        .max_threads(4)
+        .empty_freq(32)
+        .telemetry(true)
+        .event_capacity(1 << 14)
+        .build::<Mp>();
+
+    // Tracing sanity on a single handle before the multithreaded churn.
+    {
+        let mut h = smr.register();
+        assert!(h.events().is_some(), "armed handles must carry an event ring");
+        let mut op = h.pin();
+        let n = op.alloc_with_index(7u64, 21 << 16);
+        unsafe { op.retire(n) };
+        drop(op);
+        h.force_empty();
+        let ring = h.events().expect("ring");
+        let mut kinds = Vec::new();
+        ring.drain(|rec| kinds.push(rec.kind().expect("valid kind")));
+        assert!(kinds.contains(&EventKind::Retire), "retire must be traced, got {kinds:?}");
+        assert!(kinds.contains(&EventKind::Free), "free must be traced, got {kinds:?}");
+        let snap = h.snapshot();
+        assert!(snap.op_latency().count() >= 1, "pin() ops are timed when armed");
+    }
+
+    let merged = churn(&smr, 3, 4_000);
+    smr.sample_waste();
+    assert!(merged.ops() >= 3 * 4_000, "every op counted");
+    assert!(merged.op_latency().count() == 0, "ds ops use raw start_op, not pin()");
+    assert!(merged.retires() > 0 && merged.frees() > 0, "churn reclaims");
+    assert!(merged.scan_latency().count() > 0, "armed scans are timed");
+
+    let waste = smr.telemetry().waste().samples();
+    assert!(!waste.is_empty(), "sample_waste records into the series");
+
+    // Exporters round-trip through their own validators on real data.
+    let prom = export::prometheus_text("MP", &merged, &waste);
+    let n = export::validate_prometheus(&prom).expect("valid Prometheus exposition");
+    assert!(n > 10, "expected a full metric family set, got {n} samples");
+    assert!(prom.contains("mp_ops_total"), "counter families present");
+    assert!(prom.contains("mp_scan_latency_nanos_bucket"), "histogram families present");
+    export::validate_json(&export::json("MP", &merged, &waste)).expect("valid JSON");
+
+    // --- Phase 2: disarmed. Counters still tick; no ring, no timing.
+    telemetry::set_armed(false);
+    let smr2 = Ebr::new(Default::default());
+    {
+        let mut h = smr2.register();
+        assert!(h.events().is_none(), "disarmed handles must not allocate a ring");
+        let mut op = h.pin();
+        let n = op.alloc(1u32);
+        unsafe { op.retire(n) };
+        drop(op);
+        let snap = h.snapshot();
+        assert_eq!(snap.ops(), 1, "counters are always on");
+        assert_eq!(snap.op_latency().count(), 0, "no timing when disarmed");
+    }
+}

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use margin_pointers::smr::node::gauge;
 use margin_pointers::smr::schemes::Mp;
-use margin_pointers::smr::{Config, OpStats, Smr, SmrHandle};
+use margin_pointers::smr::{telemetry, Config, Smr, SmrHandle, Telemetry};
 
 /// Counts every heap allocation made by the process.
 struct CountingAlloc;
@@ -47,6 +47,10 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 #[test]
 fn steady_state_churn_does_not_allocate() {
     mp_util::pool::set_enabled(true);
+    // Telemetry compiled in but disarmed: counters tick, but no event ring
+    // is allocated and no latency timing runs — the hot path must stay
+    // allocation-free with the subsystem present.
+    telemetry::set_armed(false);
     let live_baseline = gauge::live_nodes();
 
     let smr = Mp::new(
@@ -70,7 +74,7 @@ fn steady_state_churn_does_not_allocate() {
     h.force_empty();
 
     // Measure pool efficacy over the steady phase only.
-    *h.stats_mut() = OpStats::default();
+    h.reset_telemetry();
 
     let heap_allocs_before = ALLOCS.load(Ordering::Relaxed);
     for _ in 0..64 {
@@ -84,23 +88,24 @@ fn steady_state_churn_does_not_allocate() {
     }
     let heap_allocs = ALLOCS.load(Ordering::Relaxed) - heap_allocs_before;
 
-    let stats = h.stats().clone();
+    let snap = h.snapshot();
     assert_eq!(
         heap_allocs, 0,
         "steady-state churn (alloc/retire/empty) must not touch the heap \
          (saw {heap_allocs} allocations over {} ops)",
-        stats.ops
+        snap.ops()
     );
-    assert_eq!(stats.scan_heap_allocs, 0, "no scan grew a scratch buffer in steady state");
-    assert_eq!(stats.allocs, 64 * 128, "every allocation accounted");
-    assert_eq!(stats.pool_hits + stats.pool_misses, stats.allocs);
+    assert_eq!(snap.scan_heap_allocs(), 0, "no scan grew a scratch buffer in steady state");
+    assert_eq!(snap.allocs(), 64 * 128, "every allocation accounted");
+    assert_eq!(snap.pool_hits() + snap.pool_misses(), snap.allocs());
     assert!(
-        stats.pool_hit_rate() > 0.9,
+        snap.pool_hit_rate() > 0.9,
         "pool hit rate {:.3} should exceed 0.9 under churn (hits {}, misses {})",
-        stats.pool_hit_rate(),
-        stats.pool_hits,
-        stats.pool_misses
+        snap.pool_hit_rate(),
+        snap.pool_hits(),
+        snap.pool_misses()
     );
+    assert!(h.events().is_none(), "disarmed handles must not carry an event ring");
 
     // Everything retired was reclaimed or is still on the handle; dropping
     // handle + scheme returns the gauge to its baseline (no pool leak —
