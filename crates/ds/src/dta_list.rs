@@ -38,7 +38,10 @@ pub struct DtaList {
     smr: Arc<Dta>,
 }
 
+// SAFETY: [INV-07] all node access goes through `Shared`/`Atomic` words under
+// a DTA handle; the payload is plain `u64` keys.
 unsafe impl Send for DtaList {}
+// SAFETY: [INV-07] see above.
 unsafe impl Sync for DtaList {}
 
 struct Position {
@@ -53,10 +56,15 @@ struct ListFreezer {
     scheme: std::sync::Weak<Dta>,
 }
 
+// SAFETY: [INV-07] holds only an immortal sentinel word and a Weak scheme
+// reference; all node access happens under the recovery lock.
 unsafe impl Send for ListFreezer {}
+// SAFETY: [INV-07] see above.
 unsafe impl Sync for ListFreezer {}
 
 impl Freezer for ListFreezer {
+    // PROTECTION: caller — invoked by the stall classifier under the
+    // recovery lock; the stalled thread's stamp pins every node walked here.
     fn freeze_from(&self, anchor_addr: u64, old_quota: usize, older_than: u64) -> Vec<u64> {
         let Some(scheme) = self.scheme.upgrade() else {
             return Vec::new();
@@ -78,7 +86,7 @@ impl Freezer for ListFreezer {
             if node.is_null() {
                 break;
             }
-            // Safety: pinned as argued above (or an immortal sentinel).
+            // SAFETY: [INV-01] pinned as argued above (or an immortal sentinel).
             let node_smr = unsafe { node.deref() };
             let node_ref = node_smr.data();
             if node.as_raw() == self.head.as_raw() {
@@ -92,11 +100,11 @@ impl Freezer for ListFreezer {
             if node_ref.key == u64::MAX {
                 // Never freeze the tail (its null next must stay readable);
                 // record it so a thread parked on it counts as covered.
-                frozen.push(node.as_raw() as u64);
+                frozen.push(node.addr());
                 break;
             }
             let prev_word = node_ref.next.fetch_or_mark(FROZEN, Ordering::AcqRel);
-            frozen.push(node.as_raw() as u64);
+            frozen.push(node.addr());
             if node_smr.birth() < older_than {
                 old_frozen += 1;
             }
@@ -122,12 +130,14 @@ impl ListFreezer {
     /// The walking thread runs inside an active operation (`empty()` runs
     /// within one), so its EBR stamp pins every node retired from here on —
     /// plain loads are safe.
+    // PROTECTION: caller — runs under the recovery lock inside an active
+    // operation; the walker's EBR stamp pins every node retired from here on.
     fn replace_reachable_segment(&self, scheme: &Arc<Dta>, frozen: &[u64]) {
-        let in_zone = |s: Shared<Node>| frozen.contains(&(s.as_raw() as u64));
+        let in_zone = |s: Shared<Node>| frozen.contains(&(s.addr()));
         'retry: loop {
             let mut prev = self.head;
             loop {
-                // Safety: prev is the head or a node reached via clean edges.
+                // SAFETY: [INV-01] prev is the head or a node reached via clean edges.
                 let prev_field = &unsafe { prev.deref() }.data().next;
                 let w = prev_field.load(Ordering::Acquire);
                 if w.mark() != 0 {
@@ -148,7 +158,7 @@ impl ListFreezer {
                         if n.is_null() || !in_zone(n) {
                             break n;
                         }
-                        // Safety: zone nodes are pinned and immutable.
+                        // SAFETY: [INV-01] zone nodes are pinned and immutable.
                         let n_ref = unsafe { n.deref() }.data();
                         if n_ref.key == u64::MAX {
                             break n; // tail recorded in zone, never frozen
@@ -181,8 +191,8 @@ impl ListFreezer {
                         // have retired them (splicing inside a frozen zone
                         // is impossible), so we own their reclamation.
                         for s in seg {
-                            // Safety: unlinked by our CAS, never retired,
-                            // and in the frozen set.
+                            // SAFETY: [INV-04] unlinked by our CAS, never
+                            // retired, and in the frozen set.
                             unsafe { scheme.park_frozen(s) };
                         }
                         return;
@@ -190,15 +200,18 @@ impl ListFreezer {
                     // Interference: discard unpublished copies and retry.
                     let mut cc = chain;
                     while cc.as_raw() != after_zone.as_raw() && !cc.is_null() {
-                        // Safety: copies were never published.
-                        let nx =
-                            unsafe { cc.deref() }.data().next.load(Ordering::Relaxed);
+                        // SAFETY: [INV-03] copies were never published.
+                        let cc_node = unsafe { cc.deref() }.data();
+                        // ORDERING: owned — the copy chain was never
+                        // published, so no other thread can observe it.
+                        let nx = cc_node.next.load(Ordering::Relaxed);
+                        // SAFETY: [INV-03] never published; freed once here.
                         unsafe { cc.drop_owned() };
                         cc = nx;
                     }
                     continue 'retry;
                 }
-                // Safety: c reachable via a clean edge; pinned once retired.
+                // SAFETY: [INV-01] c reachable via a clean edge; pinned once retired.
                 let c_ref = unsafe { c.deref() }.data();
                 let nw = c_ref.next.load(Ordering::Acquire);
                 if nw.mark() & DELETED != 0 {
@@ -215,7 +228,7 @@ impl ListFreezer {
                     {
                         // We won the physical removal: its deleter's splice
                         // will fail and it will never retire — we own it.
-                        // Safety: unlinked by our CAS, never retired.
+                        // SAFETY: [INV-04] unlinked by our CAS, never retired.
                         unsafe { scheme.park_frozen(c) };
                         continue; // re-read prev_field
                     }
@@ -239,6 +252,8 @@ impl DtaList {
     }
 
     /// The traversal: Michael's seek + anchor cadence + frozen-zone restart.
+    // PROTECTION: caller — seek runs inside the caller's start_op span;
+    // derefs are covered by the posted-anchor contract (§3.1).
     fn seek(&self, h: &mut DtaHandle, key: u64) -> Position {
         let cadence = h.anchor_hops();
         let mut saw_frozen = false;
@@ -254,8 +269,8 @@ impl DtaList {
             let mut prev = self.head;
             // Anchor the operation start at the head: a stall anywhere in
             // the first `cadence` hops is covered by the head's zone.
-            h.post_anchor(prev.as_raw() as u64);
-            // Safety: head sentinel.
+            h.post_anchor(prev.addr());
+            // SAFETY: [INV-01] head sentinel, never retired.
             let mut curr = h.read(unsafe { &prev.deref().data().next }, 0);
             loop {
                 if curr.mark() & FROZEN != 0 {
@@ -265,8 +280,8 @@ impl DtaList {
                 let curr_clean = curr.unmarked();
                 debug_assert!(!curr_clean.is_null());
                 h.record_node_traversed();
-                // Safety: within `cadence` hops of our posted anchor, or
-                // reached via validated unmarked edges — DTA's contract.
+                // SAFETY: [INV-01] within `cadence` hops of our posted anchor,
+                // or reached via validated unmarked edges — DTA's contract.
                 let curr_node = unsafe { curr_clean.deref() }.data();
                 let next = h.read(&curr_node.next, 0);
                 if next.mark() & FROZEN != 0 {
@@ -275,7 +290,7 @@ impl DtaList {
                 }
                 if next.mark() & DELETED != 0 {
                     // splice out the deleted node
-                    // Safety: prev protected by the anchor contract.
+                    // SAFETY: [INV-01] prev protected by the anchor contract.
                     let prev_node = unsafe { prev.deref() }.data();
                     if prev_node
                         .next
@@ -289,6 +304,7 @@ impl DtaList {
                     {
                         continue 'retry;
                     }
+                    // SAFETY: [INV-04] the winning splice uniquely retires it.
                     unsafe { h.retire(curr_clean) };
                     curr = next.unmarked();
                     continue;
@@ -302,9 +318,10 @@ impl DtaList {
                 if hops.is_multiple_of(cadence) {
                     // Post the anchor on the predecessor: every reference we
                     // hold until the next post lies within `cadence` hops.
-                    h.post_anchor(prev.as_raw() as u64);
+                    h.post_anchor(prev.addr());
                     // Validate prev is still linked & unfrozen: its next
                     // field must not have gained a freeze bit.
+                    // SAFETY: [INV-01] prev covered by the anchor just posted.
                     let check = unsafe { prev.deref() }.data().next.load(Ordering::Acquire);
                     if check.mark() & FROZEN != 0 {
                         saw_frozen = true;
@@ -326,7 +343,7 @@ impl DtaList {
                 return false;
             }
             let new = h.alloc(Node { key, next: Atomic::new(pos.curr) });
-            // Safety: prev covered by the anchor contract.
+            // SAFETY: [INV-01] prev covered by the anchor contract.
             let prev_node = unsafe { pos.prev.deref() }.data();
             match prev_node.next.compare_exchange(
                 pos.curr,
@@ -338,6 +355,7 @@ impl DtaList {
                     h.end_op();
                     return true;
                 }
+                // SAFETY: [INV-03] CAS failed: never published, still ours.
                 Err(_) => unsafe { new.drop_owned() },
             }
         }
@@ -352,7 +370,7 @@ impl DtaList {
                 h.end_op();
                 return false;
             }
-            // Safety: anchor contract.
+            // SAFETY: [INV-01] curr covered by the anchor contract.
             let curr_node = unsafe { pos.curr.deref() }.data();
             let next = h.read(&curr_node.next, 0);
             if next.mark() != 0 {
@@ -365,12 +383,14 @@ impl DtaList {
             {
                 continue;
             }
+            // SAFETY: [INV-01] prev covered by the anchor contract.
             let prev_node = unsafe { pos.prev.deref() }.data();
             if prev_node
                 .next
                 .compare_exchange(pos.curr, next, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                // SAFETY: [INV-04] the winning splice uniquely retires it.
                 unsafe { h.retire(pos.curr) };
             } else {
                 let _ = self.seek(h, key);
@@ -428,13 +448,19 @@ impl crate::ConcurrentSet<Dta> for DtaList {
 }
 
 impl Drop for DtaList {
+    // PROTECTION: exclusive — `&mut self` in drop: no handle can still hold a
+    // protected reference, so the walk needs no pin span.
     fn drop(&mut self) {
         // The freezer walks our nodes; disarm it before freeing them.
         self.smr.clear_freezer();
         let mut curr = self.head;
         while !curr.is_null() {
-            // Safety: exclusive during drop.
-            let next = unsafe { curr.deref() }.data().next.load(Ordering::Relaxed).unmarked();
+            // SAFETY: [INV-03] exclusive access during drop; nodes freed once.
+            let node = unsafe { curr.deref() }.data();
+            // ORDERING: exclusive teardown — `&mut self` rules out concurrent
+            // writers, so the Relaxed load cannot race.
+            let next = node.next.load(Ordering::Relaxed).unmarked();
+            // SAFETY: [INV-03] exclusive access; each node freed exactly once.
             unsafe { curr.drop_owned() };
             curr = next;
         }
@@ -542,7 +568,7 @@ mod tests {
         // The stalled thread starts an op and posts an anchor at the head,
         // then stops taking steps.
         stalled.start_op();
-        stalled.post_anchor(list.head.as_raw() as u64);
+        stalled.post_anchor(list.head.addr());
 
         // Worker churns with short ops until the stall is detected, frozen,
         // and reclamation resumes.

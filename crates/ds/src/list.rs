@@ -54,7 +54,10 @@ pub struct LinkedList<S: Smr, V = ()> {
     smr: Arc<S>,
 }
 
+// SAFETY: [INV-07] all node access goes through `Shared`/`Atomic` words under
+// an SMR handle, and the payload type is required `Send + Sync`.
 unsafe impl<S: Smr, V: Send + Sync> Send for LinkedList<S, V> {}
+// SAFETY: [INV-07] see above.
 unsafe impl<S: Smr, V: Send + Sync> Sync for LinkedList<S, V> {}
 
 /// Result of a successful `seek`: `curr` is the first node with
@@ -73,12 +76,14 @@ impl<S: Smr, V: Send + Sync + 'static> LinkedList<S, V> {
     /// Searches for the first node with key ≥ `key`, splicing out any
     /// marked nodes encountered (Listing 7). On return, MP's search
     /// interval is `(prev.key, curr.key)`.
+    // PROTECTION: caller — seek runs inside the caller's start_op/end_op
+    // span; every deref below is of a slot-protected read made in this op.
     fn seek(&self, h: &mut S::Handle, key: u64) -> Position<V> {
         'retry: loop {
             // Slot roles rotate: prev, curr, next.
             let (mut prev_s, mut curr_s, mut next_s) = (SLOTS[0], SLOTS[1], SLOTS[2]);
             let mut prev = self.head;
-            // Safety: head is a sentinel, never retired.
+            // SAFETY: [INV-01] head is a sentinel, never retired.
             let mut curr = h.read(unsafe { &prev.deref().data().next }, curr_s);
             if curr.mark() != 0 {
                 // Head can never be deleted; a marked value here means we
@@ -88,13 +93,13 @@ impl<S: Smr, V: Send + Sync + 'static> LinkedList<S, V> {
             loop {
                 h.record_node_traversed();
                 debug_assert!(!curr.is_null(), "tail sentinel bounds every traversal");
-                // Safety: curr was returned by a protected read this op.
+                // SAFETY: [INV-01] curr was returned by a protected read this op.
                 let curr_node = unsafe { curr.deref() }.data();
                 let next = h.read(&curr_node.next, next_s);
                 if next.mark() != 0 {
                     // curr is logically deleted: splice it out of the list.
                     let next_clean = next.unmarked();
-                    // Safety: prev is protected (or the head sentinel).
+                    // SAFETY: [INV-01] prev is protected (or the head sentinel).
                     let prev_node = unsafe { prev.deref() }.data();
                     if prev_node
                         .next
@@ -103,7 +108,7 @@ impl<S: Smr, V: Send + Sync + 'static> LinkedList<S, V> {
                     {
                         continue 'retry;
                     }
-                    // Safety: the winning splice uniquely retires curr.
+                    // SAFETY: [INV-04] the winning splice uniquely retires curr.
                     unsafe { h.retire(curr) };
                     // next_clean was protected under next_s; it becomes curr.
                     std::mem::swap(&mut curr_s, &mut next_s);
@@ -145,7 +150,7 @@ impl<S: Smr, V: Send + Sync + 'static> LinkedList<S, V> {
             // MP assigns the midpoint index of (pred, succ) — the bounds
             // seek just maintained (Listing 5).
             let new = h.alloc(Node { key, value, next: Atomic::new(pos.curr) });
-            // Safety: prev is protected (or the head sentinel).
+            // SAFETY: [INV-01] prev is protected (or the head sentinel).
             let prev_node = unsafe { pos.prev.deref() }.data();
             match prev_node.next.compare_exchange(
                 pos.curr,
@@ -159,8 +164,8 @@ impl<S: Smr, V: Send + Sync + 'static> LinkedList<S, V> {
                 }
                 Err(_) => {
                     // Never published; the node is exclusively ours.
-                    // Safety: the CAS failed, so no other thread saw `new`.
-                    // Recover the value for the next attempt.
+                    // SAFETY: [INV-03] the CAS failed, so no other thread
+                    // ever saw `new`. Recover the value for the next attempt.
                     value = unsafe { new.take_owned() }.value;
                 }
             }
@@ -177,7 +182,7 @@ impl<S: Smr, V: Send + Sync + 'static> LinkedList<S, V> {
         h.start_op();
         let pos = self.seek(h, key);
         let out = if pos.curr_key == key {
-            // Safety: curr is protected by seek until end_op.
+            // SAFETY: [INV-01] curr is protected by seek until end_op.
             Some(unsafe { pos.curr.deref() }.data().value.clone())
         } else {
             None
@@ -250,7 +255,7 @@ impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for LinkedList
                 h.end_op();
                 return false;
             }
-            // Safety: curr is protected by seek.
+            // SAFETY: [INV-01] curr is protected by seek.
             let curr_node = unsafe { pos.curr.deref() }.data();
             let next = h.read(&curr_node.next, pos.free_slot);
             if next.mark() != 0 {
@@ -265,14 +270,14 @@ impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for LinkedList
                 continue;
             }
             // Physical removal: try to splice; on failure, a seek does it.
-            // Safety: prev is protected by seek (or the head sentinel).
+            // SAFETY: [INV-01] prev is protected by seek (or the head sentinel).
             let prev_node = unsafe { pos.prev.deref() }.data();
             if prev_node
                 .next
                 .compare_exchange(pos.curr, next, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                // Safety: the winning splice uniquely retires the node.
+                // SAFETY: [INV-04] the winning splice uniquely retires the node.
                 unsafe { h.retire(pos.curr) };
             } else {
                 let _ = self.seek(h, key); // helper splice + retire
@@ -295,12 +300,18 @@ impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for LinkedList
 }
 
 impl<S: Smr, V> Drop for LinkedList<S, V> {
+    // PROTECTION: exclusive — `&mut self` in drop: no handle can still hold a
+    // protected reference, so the walk needs no pin span.
     fn drop(&mut self) {
         // Exclusive access: free every node still linked, sentinels included.
         let mut curr = self.head;
         while !curr.is_null() {
-            // Safety: exclusive access during drop; nodes freed once.
-            let next = unsafe { curr.deref() }.data().next.load(Ordering::Relaxed).unmarked();
+            // SAFETY: [INV-03] exclusive access during drop; nodes freed once.
+            let node = unsafe { curr.deref() }.data();
+            // ORDERING: exclusive teardown — `&mut self` rules out concurrent
+            // writers, so the Relaxed load cannot race.
+            let next = node.next.load(Ordering::Relaxed).unmarked();
+            // SAFETY: [INV-03] exclusive access; each node freed exactly once.
             unsafe { curr.drop_owned() };
             curr = next;
         }
@@ -431,6 +442,7 @@ mod tests {
         let mut pos = self_seek(&list, &mut h, 0);
         let mut last_idx = 0u32;
         while pos.curr_key != u64::MAX {
+            // SAFETY: [INV-12] test-controlled: protected by the open span.
             let idx = unsafe { pos.curr.deref() }.index();
             if idx != mp_smr::node::USE_HP {
                 assert!(idx >= last_idx, "indices must respect key order");

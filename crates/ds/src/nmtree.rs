@@ -82,7 +82,10 @@ pub struct NmTree<S: Smr, V = ()> {
     smr: Arc<S>,
 }
 
+// SAFETY: [INV-07] all node access goes through `Shared`/`Atomic` words under
+// an SMR handle, and the payload type is required `Send + Sync`.
 unsafe impl<S: Smr, V: Send + Sync> Send for NmTree<S, V> {}
+// SAFETY: [INV-07] see above.
 unsafe impl<S: Smr, V: Send + Sync> Sync for NmTree<S, V> {}
 
 /// A protected node: the packed word plus the slot (refno) guarding it.
@@ -161,13 +164,15 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
     /// Navigates from the root to the leaf where `key`'s search terminates
     /// (Listing 9), maintaining the MP search interval along the way.
     /// All four record roles remain protected until the next seek/`end_op`.
+    // PROTECTION: caller — seek runs inside the caller's start_op/end_op
+    // span; every deref below is of a slot-protected read made in this op.
     fn seek(&self, h: &mut S::Handle, key: u64) -> SeekRecord<V> {
         'restart: loop {
             let pool = &mut SlotPool::new();
             let mut ancestor = Prot { node: self.root, slot: None };
             let mut successor = Prot { node: self.s, slot: None };
             let mut parent = Prot { node: self.s, slot: None };
-            // Safety: S is a sentinel, never reclaimed.
+            // SAFETY: [INV-01] S is a sentinel, never reclaimed.
             let s_node = unsafe { self.s.deref() }.data();
             let lslot = pool.acquire();
             // parent (S) → leaf edge.
@@ -177,11 +182,11 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
 
             // current = leaf.left (unconditionally: the subtree root under S
             // always carries key ∞₀, greater than every client key).
-            // Safety: leaf protected under lslot.
             if is_dead(parent_edge) {
                 continue 'restart;
             }
             let cslot = pool.acquire();
+            // SAFETY: [INV-01] leaf protected under lslot.
             let mut current_edge =
                 h.read(&unsafe { leaf.node.deref() }.data().left, cslot as usize);
             let mut current = Prot { node: current_edge.unmarked(), slot: Some(cslot) };
@@ -197,7 +202,7 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
                 pool.assign(&mut leaf, current);
                 parent_edge = current_edge;
 
-                // Safety: current protected under its slot.
+                // SAFETY: [INV-01] current protected under its slot.
                 let cur_node = unsafe { current.node.deref() }.data();
                 let next_slot = pool.acquire();
                 let next_edge = if key < cur_node.key {
@@ -237,8 +242,10 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
     /// winner retires the whole detached region exactly once.
     ///
     /// Returns true iff this call performed the swing.
+    // PROTECTION: caller — runs inside the caller's start_op span; all seek
+    // record roles stay protected under their slots until the next seek.
     fn cleanup(&self, h: &mut S::Handle, key: u64, sr: &SeekRecord<V>) -> bool {
-        // Safety: all record roles are protected (or sentinels).
+        // SAFETY: [INV-01] all record roles are protected (or sentinels).
         let parent_node = unsafe { sr.parent.node.deref() }.data();
         let (child_field, sibling_field) = if key < parent_node.key {
             (&parent_node.left, &parent_node.right)
@@ -259,6 +266,7 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
         // leaf may itself be under deletion), TAG cleared.
         let new_edge = sibling.with_mark(prev.mark() & FLAG);
 
+        // SAFETY: [INV-01] ancestor protected by the seek record (or root).
         let ancestor_node = unsafe { sr.ancestor.node.deref() }.data();
         let anc_field = if key < ancestor_node.key {
             &ancestor_node.left
@@ -270,8 +278,8 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
             .compare_exchange(expected, new_edge, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
-            // Safety: the swing detached the region rooted at successor
-            // (minus the sibling subtree); we are its unique owner.
+            // SAFETY: [INV-04] the swing detached the region rooted at
+            // successor (minus the sibling subtree); we are its unique owner.
             unsafe { self.retire_region(h, sr.successor.node, sibling) };
             true
         } else {
@@ -299,6 +307,10 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
     /// Must be called exactly once per successful cleanup swing, by the
     /// winning thread. The region is unreachable and its edges are all
     /// marked (immutable to every other writer).
+    // SAFETY: [INV-11] unsafe fn: contract stated in `# Safety` above,
+    // discharged at the single call site in `cleanup`.
+    // PROTECTION: caller — the region is detached and we are its unique
+    // retirer; its nodes cannot be reclaimed before the retires below.
     unsafe fn retire_region(
         &self,
         h: &mut S::Handle,
@@ -310,8 +322,8 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
             if n.as_raw() == keep.as_raw() {
                 continue; // the surviving sibling subtree
             }
-            // Safety: region nodes cannot be reclaimed before *we* retire
-            // them — we are the unique retirer.
+            // SAFETY: [INV-01] region nodes cannot be reclaimed before *we*
+            // retire them — we are the unique retirer.
             let node = unsafe { n.deref() }.data();
             let l = node.left.load(Ordering::Acquire);
             let r = node.right.load(Ordering::Acquire);
@@ -323,6 +335,8 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
             if !r.is_null() {
                 stack.push(r.unmarked());
             }
+            // SAFETY: [INV-04] detached region: each node retired exactly
+            // once by the unique swing winner (this fn's contract).
             unsafe { h.retire(n) };
         }
     }
@@ -330,9 +344,11 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
     /// In-order key collection. Requires `&mut self`: callers must be
     /// quiescent (no concurrent operations), which exclusive access
     /// enforces statically. Test/diagnostic helper.
+    // PROTECTION: quiescent — `&mut self` rules out concurrent operations,
+    // so derefs need no pin span.
     pub fn collect_quiescent(&mut self) -> Vec<u64> {
         let mut out = Vec::new();
-        // Safety: exclusive access; no mutation in flight.
+        // SAFETY: [INV-03] exclusive access; no mutation in flight.
         let s_node = unsafe { self.s.deref() }.data();
         let sub = s_node.left.load(Ordering::Acquire);
         let mut stack = vec![sub.unmarked()];
@@ -340,9 +356,12 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
             if n.is_null() {
                 continue;
             }
+            // SAFETY: [INV-03] exclusive access; the tree is quiescent.
             let node = unsafe { n.deref() }.data();
+            // ORDERING: exclusive — `&mut self` enforces quiescence; these
+            // loads have no concurrent writer to race with.
             let l = node.left.load(Ordering::Relaxed);
-            let r = node.right.load(Ordering::Relaxed);
+            let r = node.right.load(Ordering::Relaxed); // ORDERING: exclusive, as above.
             if l.is_null() && r.is_null() {
                 if node.key < INF0 {
                     out.push(node.key);
@@ -401,7 +420,7 @@ impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for NmTree<S, 
     fn contains(&self, h: &mut S::Handle, key: u64) -> bool {
         h.start_op();
         let sr = self.seek(h, key);
-        // Safety: leaf protected by the seek record.
+        // SAFETY: [INV-01] leaf protected by the seek record.
         let found = unsafe { sr.leaf.node.deref() }.data().key == key;
         h.end_op();
         found
@@ -424,7 +443,7 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
         let mut value = value;
         loop {
             let sr = self.seek(h, key);
-            // Safety: leaf protected by the seek record.
+            // SAFETY: [INV-01] leaf protected by the seek record.
             let leaf_node = unsafe { sr.leaf.node.deref() };
             let leaf_key = leaf_node.data().key;
             if leaf_key == key {
@@ -435,7 +454,7 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
             // index, and give the routing internal the same index (they are
             // adjacent in key order).
             let new_leaf = h.alloc(Node::leaf(key, value));
-            // Safety: just allocated, exclusively ours.
+            // SAFETY: [INV-02] just allocated, exclusively ours.
             let leaf_idx = unsafe { new_leaf.deref() }.index();
             let leaf_edge_clean = sr.leaf_edge.unmarked();
             let (lc, rc) =
@@ -450,7 +469,7 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
                 leaf_idx,
             );
 
-            // Safety: parent protected by the seek record (or sentinel S).
+            // SAFETY: [INV-01] parent protected by the seek record (or S).
             let parent_node = unsafe { sr.parent.node.deref() }.data();
             let edge =
                 if key < parent_node.key { &parent_node.left } else { &parent_node.right };
@@ -465,7 +484,8 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
                     return true;
                 }
                 Err(actual) => {
-                    // Safety: never published; recover the value for retry.
+                    // SAFETY: [INV-03] never published; recover the value
+                    // for the retry.
                     unsafe {
                         value = new_leaf.take_owned().value;
                         internal.drop_owned();
@@ -488,7 +508,7 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
     {
         h.start_op();
         let sr = self.seek(h, key);
-        // Safety: leaf protected by the seek record.
+        // SAFETY: [INV-01] leaf protected by the seek record.
         let leaf = unsafe { sr.leaf.node.deref() }.data();
         let out = if leaf.key == key { Some(leaf.value.clone()) } else { None };
         h.end_op();
@@ -503,12 +523,13 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
             let sr = self.seek(h, key);
             if !injected {
                 // INJECTION mode: flag the parent→leaf edge.
-                // Safety: record roles protected.
+                // SAFETY: [INV-01] record roles protected.
                 let leaf_key = unsafe { sr.leaf.node.deref() }.data().key;
                 if leaf_key != key {
                     h.end_op();
                     return false;
                 }
+                // SAFETY: [INV-01] parent protected by the seek record.
                 let parent_node = unsafe { sr.parent.node.deref() }.data();
                 let edge =
                     if key < parent_node.key { &parent_node.left } else { &parent_node.right };
@@ -552,6 +573,8 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
 }
 
 impl<S: Smr, V> Drop for NmTree<S, V> {
+    // PROTECTION: exclusive — `&mut self` in drop: no handle can still hold a
+    // protected reference, so the walk needs no pin span.
     fn drop(&mut self) {
         // Exclusive access: free the whole tree.
         let mut stack = vec![self.root];
@@ -559,10 +582,14 @@ impl<S: Smr, V> Drop for NmTree<S, V> {
             if n.is_null() {
                 continue;
             }
-            // Safety: exclusive during drop; nodes freed once (tree shape).
+            // SAFETY: [INV-03] exclusive during drop; nodes freed once
+            // (tree shape: every node has a single parent edge).
             let node = unsafe { n.deref() }.data();
+            // ORDERING: exclusive teardown — `&mut self` rules out
+            // concurrent writers, so the Relaxed loads cannot race.
             stack.push(node.left.load(Ordering::Relaxed).unmarked());
-            stack.push(node.right.load(Ordering::Relaxed).unmarked());
+            stack.push(node.right.load(Ordering::Relaxed).unmarked()); // ORDERING: exclusive, as above.
+            // SAFETY: [INV-03] exclusive access; each node freed exactly once.
             unsafe { n.drop_owned() };
         }
         let _ = &self.smr;
@@ -608,11 +635,12 @@ mod tests {
         smoke::<Ibr>();
     }
 
+    // PROTECTION: quiescent — single-threaded test; nothing is retired.
     #[test]
     fn initial_state_matches_figure_1() {
         let smr = Mp::new(cfg());
         let tree = NmTree::<Mp>::new(&smr);
-        // Safety: quiescent.
+        // SAFETY: [INV-12] test-controlled: quiescent, nothing retired.
         unsafe {
             let r = tree.root.deref();
             assert_eq!(r.data().key, INF2);

@@ -78,7 +78,10 @@ pub struct SkipList<S: Smr, V = ()> {
     smr: Arc<S>,
 }
 
+// SAFETY: [INV-07] all node access goes through `Shared`/`Atomic` words under
+// an SMR handle, and the payload type is required `Send + Sync`.
 unsafe impl<S: Smr, V: Send + Sync> Send for SkipList<S, V> {}
+// SAFETY: [INV-07] see above.
 unsafe impl<S: Smr, V: Send + Sync> Sync for SkipList<S, V> {}
 
 /// Per-level predecessor/successor pairs produced by `find`. Each level's
@@ -102,6 +105,7 @@ fn random_height() -> usize {
         if x == 0 {
             // First use on this thread: derive a distinct stream from the
             // TLS slot's address.
+            // CAST-OK: the address is a seed (entropy only), never decoded.
             x = 0x9e37_79b9_7f4a_7c15 ^ (s as *const _ as u64);
         }
         x ^= x << 13;
@@ -117,6 +121,8 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
     /// `pred.key < key ≤ succ.key` at every level, splicing marked nodes
     /// encountered along the way. Maintains the MP search interval across
     /// the whole descent (§5.2).
+    // PROTECTION: caller — find runs inside the caller's start_op/end_op
+    // span; every deref below is of a slot-protected read made in this op.
     fn find(&self, h: &mut S::Handle, key: u64) -> FindResult<V> {
         'retry: loop {
             let mut preds = [self.head; MAX_HEIGHT];
@@ -131,7 +137,7 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
                 // lower levels — and the caller — do further reads.
                 let (mut pred_s, mut curr_s, mut next_s) =
                     (slot(level, 0), slot(level, 1), slot(level, 2));
-                // Safety: pred is protected (sentinel or upper-level slot).
+                // SAFETY: [INV-01] pred is protected (sentinel or upper-level slot).
                 let mut pred_node = unsafe { pred.deref() }.data();
                 let mut curr = h.read(&pred_node.next[level], curr_s);
                 if curr.mark() != 0 {
@@ -140,7 +146,7 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
                 loop {
                     h.record_node_traversed();
                     debug_assert!(!curr.is_null(), "tail bounds every level");
-                    // Safety: curr protected under curr_s.
+                    // SAFETY: [INV-01] curr protected under curr_s.
                     let curr_node = unsafe { curr.deref() }.data();
                     let next = h.read(&curr_node.next[level], next_s);
                     if next.mark() != 0 {
@@ -184,7 +190,7 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
                 }
             }
             let found = {
-                // Safety: succs[0] protected by level 0's slot.
+                // SAFETY: [INV-01] succs[0] protected by level 0's slot.
                 unsafe { succs[0].deref() }.data().key == key
             };
             return FindResult { preds, succs, found };
@@ -194,6 +200,8 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
     /// Links `new` at levels `from..height`, re-finding on interference.
     /// Returns once linking is complete or the node was concurrently
     /// removed. `new` must be pinned under [`PIN`].
+    // PROTECTION: caller — runs inside the caller's start_op span; `new` is
+    // pinned under PIN and preds stay protected by the most recent find.
     fn link_upper_levels(
         &self,
         h: &mut S::Handle,
@@ -204,7 +212,7 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
     ) {
         let mut level = 1;
         while level < height {
-            // Safety: new pinned under PIN.
+            // SAFETY: [INV-01] new pinned under PIN.
             let new_node = unsafe { new.deref() }.data();
             let cur_fwd = new_node.next[level].load(Ordering::Acquire);
             if cur_fwd.mark() != 0 {
@@ -219,7 +227,7 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
             {
                 return; // marked concurrently
             }
-            // Safety: pred protected by the most recent find.
+            // SAFETY: [INV-01] pred protected by the most recent find.
             let pred_node = unsafe { r.preds[level].deref() }.data();
             if pred_node.next[level]
                 .compare_exchange(succ, new, Ordering::AcqRel, Ordering::Acquire)
@@ -252,6 +260,8 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
             // Midpoint index of the search interval find just maintained.
             let payload = Node::new(key, value, height);
             for (l, succ) in r.succs.iter().enumerate().take(height) {
+                // ORDERING: owned — the node is unpublished; the level-0
+                // AcqRel CAS below is what publishes these stores.
                 payload.next[l].store(*succ, Ordering::Relaxed);
             }
             let new = h.alloc(payload);
@@ -262,15 +272,15 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
             let new = h.read(&pin_cell, PIN);
 
             // Level-0 link is the linearization point.
-            // Safety: preds are protected by find (or sentinels).
+            // SAFETY: [INV-01] preds are protected by find (or sentinels).
             let pred0 = unsafe { r.preds[0].deref() }.data();
             if pred0
                 .next[0]
                 .compare_exchange(r.succs[0], new, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
             {
-                // Safety: never published; exclusively ours. Recover the
-                // value for the next attempt.
+                // SAFETY: [INV-03] never published; exclusively ours.
+                // Recover the value for the next attempt.
                 value = unsafe { new.take_owned() }.value;
                 continue;
             }
@@ -289,7 +299,7 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
         h.start_op();
         let r = self.find(h, key);
         let out = if r.found {
-            // Safety: succs[0] protected by find until end_op.
+            // SAFETY: [INV-01] succs[0] protected by find until end_op.
             Some(unsafe { r.succs[0].deref() }.data().value.clone())
         } else {
             None
@@ -305,7 +315,7 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
         let mut cursor = 0u64;
         loop {
             let r = self.find(h, cursor);
-            // Safety: protected by find.
+            // SAFETY: [INV-01] protected by find.
             let key = unsafe { r.succs[0].deref() }.data().key;
             if key == u64::MAX {
                 break;
@@ -336,6 +346,8 @@ impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for SkipList<S
             h.alloc_with_index(Node::new(u64::MAX, V::default(), MAX_HEIGHT), u32::MAX - 1);
         let head_payload = Node::new(0, V::default(), MAX_HEIGHT);
         for l in 0..MAX_HEIGHT {
+            // ORDERING: owned — head is unpublished until the constructor
+            // returns; the structure is handed out via &self afterwards.
             head_payload.next[l].store(tail, Ordering::Relaxed);
         }
         let head = h.alloc_with_index(head_payload, 0);
@@ -353,7 +365,7 @@ impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for SkipList<S
             return false;
         }
         let victim = r.succs[0];
-        // Safety: victim protected by find (level-0 slot, untouched below
+        // SAFETY: [INV-01] victim protected by find (level-0 slot, untouched below
         // until the unlink loop's finds, by which point we only compare
         // addresses and, as unique retirer, know it cannot be freed).
         let victim_node = unsafe { victim.deref() }.data();
@@ -408,8 +420,8 @@ impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for SkipList<S
                 break;
             }
         }
-        // Safety: fully unlinked and we won the level-0 mark — unique
-        // retirer.
+        // SAFETY: [INV-04] fully unlinked and we won the level-0 mark —
+        // unique retirer.
         unsafe { h.retire(victim) };
         h.end_op();
         true
@@ -428,13 +440,18 @@ impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for SkipList<S
 }
 
 impl<S: Smr, V> Drop for SkipList<S, V> {
+    // PROTECTION: exclusive — `&mut self` in drop: no handle can still hold a
+    // protected reference, so the walk needs no pin span.
     fn drop(&mut self) {
         // Exclusive access: walk level 0 and free everything.
         let mut curr = self.head;
         while !curr.is_null() {
-            // Safety: exclusive during drop; each node freed once.
-            let next =
-                unsafe { curr.deref() }.data().next[0].load(Ordering::Relaxed).unmarked();
+            // SAFETY: [INV-03] exclusive during drop; each node freed once.
+            let node = unsafe { curr.deref() }.data();
+            // ORDERING: exclusive teardown — `&mut self` rules out concurrent
+            // writers, so the Relaxed load cannot race.
+            let next = node.next[0].load(Ordering::Relaxed).unmarked();
+            // SAFETY: [INV-03] exclusive access; each node freed exactly once.
             unsafe { curr.drop_owned() };
             curr = next;
         }

@@ -1,0 +1,22 @@
+//! Negative fixture — pass 4 (forbidden): one hit per denied API.
+//! Linted by `tests/lint_fixtures.rs` under the display path
+//! `crates/smr/src/forbidden_api.rs` — non-test code, outside both the
+//! `stats_mut` shim (`api.rs`) and the cast sanctum (`packed.rs`).
+
+use core::mem;
+
+pub fn leak_guard(guard: OpGuard) {
+    mem::forget(guard); //~ ERROR[forbidden]: forgetting an OpGuard
+}
+
+pub fn raw_counters(api: &mut Api) -> &mut Stats {
+    api.stats_mut() //~ ERROR[forbidden]: deprecated shim
+}
+
+pub fn unfinished() {
+    todo!("wire this up") //~ ERROR[forbidden]: stub reachable at
+}
+
+pub fn pun(node_ptr: *const u8) -> usize {
+    node_ptr as usize //~ ERROR[forbidden]: raw pointer-width
+}

@@ -1,0 +1,18 @@
+//! Positive fixture — pass 2 (ordering): counter-role sites are not gated,
+//! so bare Relaxed is fine. Linted under the display path
+//! `crates/smr/src/schemes/common.rs`, whose `add`/`get` rules classify
+//! these functions as `counter`; must be clean.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,27 @@
+//! Positive fixture — pass 2 (ordering): gated sites with strong orderings
+//! or pairing-fence justifications. Linted under the display path
+//! `crates/smr/src/schemes/hp.rs` (publish/retire_load rules apply); must
+//! be clean.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Slot(AtomicUsize);
+
+impl Slot {
+    /// Strong ordering at a publish site needs no justification.
+    pub fn read(&self) -> usize {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Relaxed at a publish site, justified by naming the pairing fence.
+    pub fn start_op(&self) {
+        // ORDERING: Release publish; pairs with the Acquire snapshot load
+        // on the reclamation-scan side.
+        self.0.store(1, Ordering::Relaxed);
+    }
+
+    /// Trailing-comment form of the justification.
+    pub fn empty(&self) -> bool {
+        self.0.load(Ordering::Relaxed) == 0 // ORDERING: exclusive — caller holds &mut.
+    }
+}

@@ -1,0 +1,17 @@
+//! Positive fixture — pass 3 (scope): every way a deref can be covered.
+//! Linted under `crates/ds/src/scope_ok.rs`; must be clean.
+
+pub fn lookup(smr: &Smr, shared: Shared<'_, Node>) -> u64 {
+    let _op = smr.pin();
+    shared.deref().key
+}
+
+pub fn lookup_handle(h: &Handle, shared: Shared<'_, Node>) -> u64 {
+    let _g = h.start_op();
+    shared.as_ref().unwrap().key
+}
+
+// PROTECTION: caller — runs inside the caller's start_op/end_op span.
+pub fn helper(shared: Shared<'_, Node>) -> u64 {
+    shared.deref().key
+}

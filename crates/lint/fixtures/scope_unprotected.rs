@@ -1,0 +1,13 @@
+//! Negative fixture — pass 3 (scope): derefs with no protection span.
+//! Linted by `tests/lint_fixtures.rs` under the display path
+//! `crates/ds/src/scope_unprotected.rs`, which puts it inside the
+//! protection-scope heuristic's territory.
+
+pub fn lookup(shared: Shared<'_, Node>) -> u64 {
+    let node = shared.deref(); //~ ERROR[scope]: no preceding pin()/start_op()
+    node.key
+}
+
+pub fn peek(shared: Shared<'_, Node>) -> Option<u64> {
+    shared.as_ref().map(|n| n.key) //~ ERROR[scope]: no preceding pin()/start_op()
+}

@@ -1,0 +1,4 @@
+pub mod forbidden;
+pub mod ordering;
+pub mod safety;
+pub mod scope;

@@ -1,0 +1,84 @@
+//! Pass 2 — memory-ordering gate.
+//!
+//! Re-derives the paper's §4.3 fence placement mechanically: every
+//! `Ordering::*` call site in a rule-scoped file is classified by protocol
+//! role via `ordering.rules`, and `Relaxed` at a `publish`, `cas`, or
+//! `retire_load` site is an error unless the site carries an
+//! `// ORDERING:` justification naming its pairing fence (or why none is
+//! needed — exclusive access, quiescence). Unclassified sites in scoped
+//! files are errors too, so new atomics cannot dodge classification.
+
+use crate::lexer::{enclosing_fn, FnSpan, LexFile};
+use crate::rules::RuleSet;
+use crate::{Diagnostic, PASS_ORDERING};
+
+/// Words one of which the justification must contain: the pairing fence /
+/// ordering, or the structural reason no pairing is needed.
+const PAIRING_WORDS: &[&str] = &[
+    "fence", "SeqCst", "Acquire", "Release", "AcqRel", "exclusive", "single-thread",
+    "quiescent", "owned", "monotonic",
+];
+
+pub fn run(
+    file: &str,
+    f: &LexFile,
+    spans: &[FnSpan],
+    rules: &RuleSet,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !rules.in_scope(file) {
+        return;
+    }
+    for i in 0..f.code.len() {
+        if !(f.is_ident(i, "Ordering") && f.is_punct(i + 1, ':') && f.is_punct(i + 2, ':')) {
+            continue;
+        }
+        let name = match f.tok(i + 3) {
+            Some(crate::lexer::Tok::Ident(id)) => id.clone(),
+            _ => continue,
+        };
+        let fn_name = enclosing_fn(spans, i).map(|s| s.name.clone());
+        let rule = match rules.classify(file, fn_name.as_deref()) {
+            Some(r) => r,
+            None => {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: f.line_of(i),
+                    col: f.col_of(i),
+                    pass: PASS_ORDERING,
+                    msg: format!(
+                        "unclassified Ordering::{name} site in `{}` — add a \
+                         (path, fn, role) rule to crates/lint/ordering.rules",
+                        fn_name.as_deref().unwrap_or("<no fn>"),
+                    ),
+                });
+                continue;
+            }
+        };
+        if name == "Relaxed" && rule.role.gates_relaxed() {
+            let just = f.attached_comment(i) + &f.trailing_comment(i);
+            let ok = just
+                .find("ORDERING:")
+                .map(|p| {
+                    let tail = &just[p..];
+                    tail.len() > 12 && PAIRING_WORDS.iter().any(|w| tail.contains(w))
+                })
+                .unwrap_or(false);
+            if !ok {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: f.line_of(i),
+                    col: f.col_of(i),
+                    pass: PASS_ORDERING,
+                    msg: format!(
+                        "Ordering::Relaxed at a {} site (rule {}:{}) — strengthen the \
+                         ordering or attach `// ORDERING:` naming the pairing fence",
+                        rule.role.name(),
+                        rule.path_suffix,
+                        rule.line,
+                    ),
+                });
+            }
+        }
+    }
+}

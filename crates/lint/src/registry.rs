@@ -1,0 +1,79 @@
+//! Parser for the machine-readable invariant registry (`INVARIANTS.md`).
+//!
+//! The registry is ordinary Markdown constrained to one convention: every
+//! invariant is introduced by a level-2 heading of the form
+//! `## INV-xx — title`. The linter only needs the set of declared IDs; the
+//! prose (statement, paper citation, discharge obligations) is for humans.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// The set of declared invariant IDs (`INV-01`, `INV-02`, …).
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub ids: BTreeSet<String>,
+}
+
+impl Registry {
+    /// Parses `INVARIANTS.md`. Returns an error string when the file is
+    /// missing or declares no invariants — an empty registry would silently
+    /// accept nothing and reject everything.
+    pub fn load(path: &Path) -> Result<Registry, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read invariant registry {}: {e}", path.display()))?;
+        let mut ids = BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("## ") {
+                let id: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                    .collect();
+                if id.starts_with("INV-") && id.len() > 4 {
+                    ids.insert(id);
+                }
+            }
+        }
+        if ids.is_empty() {
+            return Err(format!(
+                "invariant registry {} declares no `## INV-xx` headings",
+                path.display()
+            ));
+        }
+        Ok(Registry { ids })
+    }
+
+    pub fn contains(&self, id: &str) -> bool {
+        self.ids.contains(id)
+    }
+}
+
+/// Extracts every `[INV-xx]` citation from a comment block.
+pub fn cited_invariants(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("[INV-") {
+        let tail = &rest[pos + 1..];
+        let id: String =
+            tail.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-').collect();
+        if let Some(after) = tail.get(id.len()..) {
+            if after.starts_with(']') && id.len() > 4 {
+                out.push(id);
+            }
+        }
+        rest = &rest[pos + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn citations_extracted() {
+        let c = "// SAFETY: [INV-01] protected read; see also [INV-12].";
+        assert_eq!(cited_invariants(c), vec!["INV-01", "INV-12"]);
+        assert!(cited_invariants("// SAFETY: no citation").is_empty());
+        assert!(cited_invariants("// [INV-] malformed").is_empty());
+    }
+}

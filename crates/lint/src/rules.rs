@@ -1,0 +1,184 @@
+//! Parser for the memory-ordering rule file (`crates/lint/ordering.rules`).
+//!
+//! Each non-comment line classifies the `Ordering::*` call sites of one
+//! (file, function) bucket by protocol role:
+//!
+//! ```text
+//! # path-suffix        fn-glob      role
+//! schemes/hp.rs        read         publish
+//! schemes/hp.rs        empty        retire_load
+//! schemes/hp.rs        *            counter
+//! ```
+//!
+//! * `path-suffix` — matched against the end of the normalized (`/`) path.
+//! * `fn-glob` — exact function name, `*` (any), or `prefix*`.
+//! * `role` — one of `publish`, `cas`, `retire_load`, `counter`, `exempt`.
+//!
+//! Rules apply top-down, first match wins. A file with at least one rule is
+//! *in scope*: every `Ordering::*` site in it must match some rule, so the
+//! rule file cannot silently rot as functions are added.
+
+use std::path::Path;
+
+/// Protocol role of an `Ordering::*` call site (paper §4.3 fence placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Protection-publish store (hazard slot, margin announcement, epoch
+    /// pin): `Relaxed` here lets the scan miss the announcement.
+    Publish,
+    /// CAS linearization point of a data-structure transition.
+    Cas,
+    /// Load of retire-era/epoch state judged by a reclamation scan.
+    RetireLoad,
+    /// Statistics / diagnostics counter: any ordering is fine.
+    Counter,
+    /// Explicitly out of protocol scope (tests, debug impls).
+    Exempt,
+}
+
+impl Role {
+    fn parse(s: &str) -> Option<Role> {
+        Some(match s {
+            "publish" => Role::Publish,
+            "cas" => Role::Cas,
+            "retire_load" => Role::RetireLoad,
+            "counter" => Role::Counter,
+            "exempt" => Role::Exempt,
+            _ => return None,
+        })
+    }
+
+    /// Roles where a `Relaxed` ordering requires an `// ORDERING:`
+    /// justification naming the pairing fence.
+    pub fn gates_relaxed(self) -> bool {
+        matches!(self, Role::Publish | Role::Cas | Role::RetireLoad)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Publish => "publish",
+            Role::Cas => "cas",
+            Role::RetireLoad => "retire_load",
+            Role::Counter => "counter",
+            Role::Exempt => "exempt",
+        }
+    }
+}
+
+/// One classification rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    pub path_suffix: String,
+    pub fn_glob: String,
+    pub role: Role,
+    pub line: usize,
+}
+
+/// The parsed rule file.
+#[derive(Debug, Default)]
+pub struct RuleSet {
+    pub rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    pub fn load(path: &Path) -> Result<RuleSet, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read ordering rules {}: {e}", path.display()))?;
+        Self::parse(&text, &path.display().to_string())
+    }
+
+    pub fn parse(text: &str, origin: &str) -> Result<RuleSet, String> {
+        let mut rules = Vec::new();
+        for (lno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (p, f, r) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(p), Some(f), Some(r)) => (p, f, r),
+                _ => {
+                    return Err(format!(
+                        "{origin}:{}: rule needs `path-suffix fn-glob role`, got `{line}`",
+                        lno + 1
+                    ))
+                }
+            };
+            let role = Role::parse(r).ok_or_else(|| {
+                format!("{origin}:{}: unknown role `{r}` (publish|cas|retire_load|counter|exempt)", lno + 1)
+            })?;
+            rules.push(Rule {
+                path_suffix: p.to_string(),
+                fn_glob: f.to_string(),
+                role,
+                line: lno + 1,
+            });
+        }
+        if rules.is_empty() {
+            return Err(format!("{origin}: rule file declares no rules"));
+        }
+        Ok(RuleSet { rules })
+    }
+
+    /// True if `file` (normalized with `/`) has at least one rule.
+    pub fn in_scope(&self, file: &str) -> bool {
+        self.rules.iter().any(|r| file.ends_with(&r.path_suffix))
+    }
+
+    /// First rule matching (file, fn). `fn_name` is `None` for sites outside
+    /// any function (statics, consts), matched only by `*`.
+    pub fn classify(&self, file: &str, fn_name: Option<&str>) -> Option<&Rule> {
+        self.rules.iter().find(|r| {
+            file.ends_with(&r.path_suffix) && glob_match(&r.fn_glob, fn_name)
+        })
+    }
+}
+
+fn glob_match(glob: &str, name: Option<&str>) -> bool {
+    if glob == "*" {
+        return true;
+    }
+    let name = match name {
+        Some(n) => n,
+        None => return false,
+    };
+    if let Some(prefix) = glob.strip_suffix('*') {
+        name.starts_with(prefix)
+    } else {
+        name == glob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_classify_first_match_wins() {
+        let rs = RuleSet::parse(
+            "# comment\nschemes/hp.rs read publish\nschemes/hp.rs * counter\n",
+            "test",
+        )
+        .unwrap();
+        assert!(rs.in_scope("crates/smr/src/schemes/hp.rs"));
+        assert!(!rs.in_scope("crates/smr/src/schemes/mp.rs"));
+        let r = rs.classify("crates/smr/src/schemes/hp.rs", Some("read")).unwrap();
+        assert_eq!(r.role, Role::Publish);
+        let r = rs.classify("crates/smr/src/schemes/hp.rs", Some("other")).unwrap();
+        assert_eq!(r.role, Role::Counter);
+    }
+
+    #[test]
+    fn bad_role_rejected() {
+        assert!(RuleSet::parse("a.rs f sloppy\n", "test").is_err());
+        assert!(RuleSet::parse("a.rs f\n", "test").is_err());
+        assert!(RuleSet::parse("# only comments\n", "test").is_err());
+    }
+
+    #[test]
+    fn prefix_glob() {
+        let rs = RuleSet::parse("a.rs snapshot_* retire_load\na.rs * exempt\n", "t").unwrap();
+        assert_eq!(rs.classify("a.rs", Some("snapshot_hazards")).unwrap().role, Role::RetireLoad);
+        assert_eq!(rs.classify("a.rs", None).unwrap().role, Role::Exempt);
+    }
+}

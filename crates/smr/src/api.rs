@@ -368,6 +368,8 @@ pub trait SmrHandle: Send + Telemetry + 'static {
     /// # Safety
     /// `node` must be *removed* (no shared pointer leads to it), non-null,
     /// and retired at most once (§2 model).
+    // SAFETY: [INV-11] trait declaration: obligation stated in `# Safety`
+    // above, discharged by every caller ([INV-04]).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>);
 
     /// MP extension: the search interval's lower endpoint moved to `node`
@@ -561,7 +563,7 @@ mod tests {
         let mut op = h.pin();
         assert_eq!(op.stats().ops, 1, "pin must start_op");
         let n = op.alloc_with_index(1u8, 5 << 16);
-        unsafe { op.retire(n) };
+        unsafe { op.retire(n) }; // SAFETY: [INV-12] never published, retired once.
         drop(op);
         // start_op and end_op each fence once under MP's default config.
         assert_eq!(h.stats().fences, fences_before + 2, "drop must end_op");

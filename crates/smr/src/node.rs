@@ -54,7 +54,11 @@ pub struct Header {
 /// `h` must point to memory that is still mapped — guaranteed for any node
 /// the oracle has seen, since reclaimed nodes sit in quarantine.
 #[cfg(feature = "oracle")]
+// SAFETY: [INV-11] the mapped-memory obligation is stated in `# Safety`
+// above and discharged by each caller (deref sites in packed.rs).
 pub(crate) unsafe fn oracle_check_canary(h: *const Header) {
+    // SAFETY: [INV-10] quarantined memory stays mapped until eviction, so
+    // this header read is in-bounds even for an already-reclaimed node.
     let canary = unsafe { (*h).canary };
     if canary != crate::oracle::CANARY_ALIVE {
         crate::oracle::uaf_panic(h as u64, canary);
@@ -142,10 +146,11 @@ pub(crate) fn alloc_node_in<T>(
     tele: &mut crate::telemetry::HandleTelemetry,
 ) -> *mut SmrNode<T> {
     let (ptr, from_pool) = alloc_node_tracked(data, index, birth);
+    let addr = ptr as u64; // CAST-OK: opaque event payload for telemetry, never decoded back.
     if from_pool {
-        tele.record_pool_hit(ptr as u64);
+        tele.record_pool_hit(addr);
     } else {
-        tele.record_pool_miss(ptr as u64);
+        tele.record_pool_miss(addr);
     }
     ptr
 }
@@ -153,8 +158,8 @@ pub(crate) fn alloc_node_in<T>(
 fn alloc_node_tracked<T>(data: T, index: u32, birth: u64) -> (*mut SmrNode<T>, bool) {
     gauge::LIVE.fetch_add(1, Ordering::AcqRel);
     let (raw, from_pool) = mp_util::pool::alloc(node_layout::<T>());
-    let ptr = raw as *mut SmrNode<T>;
-    // SAFETY: `raw` is an exclusively owned block of `SmrNode<T>`'s layout;
+    let ptr = raw as *mut SmrNode<T>; // CAST-OK: pool block served for exactly node_layout::<T>().
+    // SAFETY: [INV-08] `raw` is an exclusively owned block of `SmrNode<T>`'s layout;
     // `write` fully initializes it (recycled pool blocks may hold stale or
     // oracle-poisoned bytes, which `write` overwrites without reading).
     unsafe {
@@ -170,7 +175,7 @@ fn alloc_node_tracked<T>(data: T, index: u32, birth: u64) -> (*mut SmrNode<T>, b
         });
     }
     #[cfg(feature = "oracle")]
-    crate::oracle::on_alloc(ptr as u64, birth);
+    crate::oracle::on_alloc(ptr as u64, birth); // CAST-OK: shadow-table key; oracle tracks addresses as u64.
     (ptr, from_pool)
 }
 
@@ -181,12 +186,20 @@ fn alloc_node_tracked<T>(data: T, index: u32, birth: u64) -> (*mut SmrNode<T>, b
 /// # Safety
 /// Same contract as [`dealloc_node`].
 #[cfg(feature = "oracle")]
+// SAFETY: [INV-11] contract inherited from `dealloc_node` (see `# Safety`);
+// each call site cites its own exclusive-ownership argument.
 unsafe fn poison_and_quarantine<T>(ptr: *mut SmrNode<T>) {
+    // SAFETY: [INV-03] the reclaiming thread owns `ptr` exclusively (scan
+    // approved it, per the caller's contract), so dropping the payload and
+    // overwriting the bytes races with nothing; [INV-10] the block then
+    // transfers to quarantine, keeping it mapped for canary validation.
     unsafe {
         let data = core::ptr::addr_of_mut!((*ptr).data);
         core::ptr::drop_in_place(data);
+        // CAST-OK: byte-wise poison fill of the payload we just dropped.
         core::ptr::write_bytes(data as *mut u8, crate::oracle::POISON_BYTE, size_of::<T>());
         (*ptr).header.canary = crate::oracle::CANARY_POISON;
+        // CAST-OK: quarantine parks the block as untyped bytes + layout.
         crate::oracle::quarantine_node(ptr as *mut u8, core::alloc::Layout::new::<SmrNode<T>>());
     }
 }
@@ -198,16 +211,24 @@ unsafe fn poison_and_quarantine<T>(ptr: *mut SmrNode<T>) {
 ///
 /// # Safety
 /// `ptr` must have come from [`alloc_node`] and must not be accessed again.
+// SAFETY: [INV-11] obligation stated in `# Safety` above; every caller
+// (Retired::reclaim via dealloc_erased, tests) cites how it is met.
 pub(crate) unsafe fn dealloc_node<T>(ptr: *mut SmrNode<T>) {
     gauge::LIVE.fetch_sub(1, Ordering::AcqRel);
     #[cfg(feature = "oracle")]
+    // SAFETY: [INV-03] per this fn's contract the node is scan-approved and
+    // never accessed again — the reclaiming thread has exclusive access.
     unsafe {
+        // CAST-OK: shadow-table key; oracle tracks addresses as u64.
         crate::oracle::on_free(ptr as u64, (*ptr).header.birth);
         poison_and_quarantine(ptr);
     }
     #[cfg(not(feature = "oracle"))]
+    // SAFETY: [INV-03] exclusive access per this fn's contract; [INV-08] the
+    // block is returned with the exact layout class it was served for.
     unsafe {
         core::ptr::drop_in_place(ptr);
+        // CAST-OK: pool stores free blocks as untyped bytes + layout.
         mp_util::pool::dealloc(ptr as *mut u8, node_layout::<T>());
     }
 }
@@ -216,24 +237,35 @@ pub(crate) unsafe fn dealloc_node<T>(ptr: *mut SmrNode<T>) {
 ///
 /// # Safety
 /// Same as [`dealloc_node`].
+// SAFETY: [INV-11] obligation stated in `# Safety` above, discharged at the
+// call sites (failed-publication paths that still own the fresh node).
 pub(crate) unsafe fn take_node<T>(ptr: *mut SmrNode<T>) -> T {
     gauge::LIVE.fetch_sub(1, Ordering::AcqRel);
     #[cfg(feature = "oracle")]
+    // SAFETY: [INV-03] exclusive access per this fn's contract: the payload
+    // is moved out exactly once, the bytes poisoned, and the block handed to
+    // quarantine ([INV-10]) without further access through `ptr`.
     unsafe {
+        // CAST-OK: shadow-table key; oracle tracks addresses as u64.
         crate::oracle::on_free(ptr as u64, (*ptr).header.birth);
         let data = core::ptr::read(core::ptr::addr_of!((*ptr).data));
         core::ptr::write_bytes(
+            // CAST-OK: byte-wise poison fill of the payload just moved out.
             core::ptr::addr_of_mut!((*ptr).data) as *mut u8,
             crate::oracle::POISON_BYTE,
             size_of::<T>(),
         );
         (*ptr).header.canary = crate::oracle::CANARY_POISON;
+        // CAST-OK: quarantine parks the block as untyped bytes + layout.
         crate::oracle::quarantine_node(ptr as *mut u8, core::alloc::Layout::new::<SmrNode<T>>());
         data
     }
     #[cfg(not(feature = "oracle"))]
+    // SAFETY: [INV-03] exclusive access per this fn's contract; the payload
+    // is moved out once and the block ([INV-08], same layout class) freed.
     unsafe {
         let data = core::ptr::read(core::ptr::addr_of!((*ptr).data));
+        // CAST-OK: pool stores free blocks as untyped bytes + layout.
         mp_util::pool::dealloc(ptr as *mut u8, node_layout::<T>());
         data
     }
@@ -247,8 +279,18 @@ pub fn alloc_bare<T>(data: T) -> *mut SmrNode<T> {
     alloc_node(data, 0, 0)
 }
 
+/// Monomorphized eraser stored in [`Retired::drop_fn`].
+///
+/// # Safety
+/// `ptr` must be the header of an `SmrNode<T>` of this exact `T` (recorded
+/// at retire time), under [`dealloc_node`]'s contract.
+// SAFETY: [INV-11] obligation stated above; Retired::reclaim's call site
+// carries the scan-approval argument.
 unsafe fn dealloc_erased<T>(ptr: *mut Header) {
-    unsafe { dealloc_node(ptr as *mut SmrNode<T>) }
+    // SAFETY: [INV-09] header is at offset 0 of the #[repr(C)] node, so the
+    // erased header pointer converts back to the `*mut SmrNode<T>` that
+    // `Retired::new` erased; contract then forwards to `dealloc_node`.
+    unsafe { dealloc_node(ptr as *mut SmrNode<T>) } // CAST-OK: [INV-09] pun, see SAFETY above.
 }
 
 /// A type-erased retired node, buffered until reclamation is safe.
@@ -266,11 +308,14 @@ pub(crate) struct Retired {
     /// Size of the node (header + payload) in bytes; keeps the global
     /// retired-bytes gauge exact without re-deriving the erased layout.
     bytes: u32,
+    // SAFETY: [INV-11] unsafe fn *type*: the pointee-type obligation is
+    // carried by `dealloc_erased`, the only value ever stored here.
     drop_fn: unsafe fn(*mut Header),
 }
 
-// Retired nodes are unreachable from the structure; ownership is transferred
-// to the retiring thread's list and possibly to the scheme's orphan list.
+// SAFETY: [INV-07] a `Retired` is a plain word bundle; the raw pointer moves
+// between threads (retiring thread's list → scheme orphan list) but is only
+// dereferenced by `reclaim`, whose call sites carry the [INV-05] argument.
 unsafe impl Send for Retired {}
 
 impl Retired {
@@ -278,11 +323,18 @@ impl Retired {
     ///
     /// # Safety
     /// `ptr` must be a removed (unreachable) node retired exactly once.
+    // SAFETY: [INV-11] obligation stated above; each scheme's `retire`
+    // cites the winning unlink CAS ([INV-04]) at its call site.
     pub(crate) unsafe fn new<T>(ptr: *mut SmrNode<T>, retire_epoch: u64) -> Self {
-        let header = ptr as *mut Header;
+        let header = ptr as *mut Header; // CAST-OK: [INV-09] header-at-offset-0 pun.
+        // SAFETY: [INV-09] in-bounds header reads through the repr(C) pun;
+        // [INV-04] the node is removed, so the retiring thread may read it.
         let (birth, index) = unsafe { ((*header).birth, (*header).index) };
         #[cfg(feature = "oracle")]
         crate::oracle::on_retire(header as u64, birth);
+        // SAFETY: [INV-04] exactly one thread retires the node, and the
+        // field is atomic — concurrent scans of foreign retired state stay
+        // well-defined while this store publishes the retire epoch.
         unsafe { (*header).retire.store(retire_epoch, Ordering::Release) };
         let bytes = size_of::<SmrNode<T>>() as u32;
         gauge::RETIRED_BYTES.fetch_add(bytes as usize, Ordering::AcqRel);
@@ -301,15 +353,19 @@ impl Retired {
     ///
     /// # Safety
     /// No thread may hold a protected reference to the node.
+    // SAFETY: [INV-11] obligation stated above; every scheme's `empty()`
+    // call site points at the scan that approved the node ([INV-05]).
     pub(crate) unsafe fn reclaim(self) {
         gauge::RETIRED_BYTES.fetch_sub(self.bytes as usize, Ordering::AcqRel);
+        // SAFETY: [INV-05] caller's scan approved the node; `drop_fn` is the
+        // monomorphized eraser recorded by `Retired::new` for this node.
         unsafe { (self.drop_fn)(self.ptr) };
     }
 
     /// The node address as a u64 (for comparison against hazard slots).
     #[inline]
     pub(crate) fn addr(&self) -> u64 {
-        self.ptr as u64
+        self.ptr as u64 // CAST-OK: compared against announced slot words, never decoded.
     }
 }
 
@@ -320,8 +376,9 @@ mod tests {
     #[test]
     fn header_is_at_offset_zero() {
         let node = alloc_node(0u128, 9, 4);
+        // SAFETY: [INV-12] node is live and owned by this test thread.
         assert_eq!(node as usize, unsafe { &(*node).header } as *const _ as usize);
-        unsafe { dealloc_node(node) };
+        unsafe { dealloc_node(node) }; // SAFETY: [INV-12] unpublished, test-owned node.
     }
 
     /// Zero-cost-when-off witness: without the oracle feature the header
@@ -341,8 +398,9 @@ mod tests {
     fn header_gains_exactly_one_canary_word_under_the_oracle() {
         assert_eq!(core::mem::size_of::<Header>(), 4 * core::mem::size_of::<u64>());
         let node = alloc_node(7u32, 0, 0);
+        // SAFETY: [INV-12] node is live and owned by this test thread.
         assert_eq!(unsafe { (*node).header.canary }, crate::oracle::CANARY_ALIVE);
-        unsafe { dealloc_node(node) };
+        unsafe { dealloc_node(node) }; // SAFETY: [INV-12] unpublished, test-owned node.
     }
 
     #[test]
@@ -353,6 +411,7 @@ mod tests {
         let a = alloc_node(vec![1u8, 2, 3], 1, 0);
         let b = alloc_node("hello".to_string(), 2, 0);
         assert!(gauge::live_nodes() >= 2, "our two live nodes must be counted");
+        // SAFETY: [INV-12] both nodes are unpublished and test-owned.
         unsafe {
             dealloc_node(a);
             dealloc_node(b);
@@ -369,12 +428,12 @@ mod tests {
         }
         let flag = std::sync::Arc::new(AtomicUsize::new(0));
         let node = alloc_node(DropFlag(flag.clone()), 11, 3);
-        let retired = unsafe { Retired::new(node, 8) };
+        let retired = unsafe { Retired::new(node, 8) }; // SAFETY: [INV-12] never published, retired once.
         assert_eq!(retired.birth, 3);
         assert_eq!(retired.retire, 8);
         assert_eq!(retired.index, 11);
         assert_eq!(retired.bytes as usize, size_of::<SmrNode<DropFlag>>());
-        unsafe { retired.reclaim() };
+        unsafe { retired.reclaim() }; // SAFETY: [INV-12] no other thread ever saw the node.
         assert_eq!(flag.load(Ordering::Acquire), 1, "payload Drop must run");
     }
 
@@ -398,7 +457,7 @@ mod tests {
 
         let a = alloc_node(DropFlag(drops.clone()), 1, 0);
         let a_addr = a as usize;
-        unsafe { dealloc_node(a) };
+        unsafe { dealloc_node(a) }; // SAFETY: [INV-12] unpublished, test-owned node.
         assert_eq!(drops.load(Ordering::Acquire), 1, "first payload dropped once");
 
         // Same thread, same size class: the LIFO free list returns the block.
@@ -408,9 +467,10 @@ mod tests {
         assert_eq!(tele.stats().pool_hits, 1);
         assert_eq!(tele.stats().pool_misses, 0);
         assert_eq!(drops.load(Ordering::Acquire), 1, "recycling must not run drop glue");
+        // SAFETY: [INV-12] `b` is live and owned by this test thread.
         assert_eq!(unsafe { (*b).header.index }, 2, "header fully re-initialized");
 
-        unsafe { dealloc_node(b) };
+        unsafe { dealloc_node(b) }; // SAFETY: [INV-12] unpublished, test-owned node.
         assert_eq!(drops.load(Ordering::Acquire), 2, "each payload dropped exactly once");
         // Gauge exactness under recycling is asserted in the single-test
         // `zero_alloc` process (the gauge is global; tests here run in

@@ -207,8 +207,9 @@ struct Quarantined {
     layout: Layout,
 }
 
-// The pointers are exclusively owned by the quarantine (the nodes were
-// reclaimed); moving them between threads is sound.
+// SAFETY: [INV-07] the pointer is exclusively owned by the quarantine (the
+// node was reclaimed); the only deref-like use is the eviction dealloc,
+// which [INV-10] covers.
 unsafe impl Send for Quarantined {}
 
 static QUARANTINE: Mutex<VecDeque<Quarantined>> = Mutex::new(VecDeque::new());
@@ -227,6 +228,8 @@ static QUARANTINE: Mutex<VecDeque<Quarantined>> = Mutex::new(VecDeque::new());
 /// # Safety
 /// `ptr` must be the start of a live allocation of `layout` that no other
 /// owner will deallocate.
+// SAFETY: [INV-11] obligation stated in `# Safety` above; discharged by
+// the poison-and-quarantine paths in node.rs ([INV-10]).
 pub(crate) unsafe fn quarantine_node(ptr: *mut u8, layout: Layout) {
     let evicted = {
         let mut q = QUARANTINE.lock().unwrap_or_else(|p| p.into_inner());
@@ -240,11 +243,13 @@ pub(crate) unsafe fn quarantine_node(ptr: *mut u8, layout: Layout) {
     if let Some(old) = evicted {
         // Prune the shadow entry: the address may now be legitimately
         // reused by the pool or the allocator.
+        // CAST-OK: shadow-table key; oracle tracks addresses as u64.
         let _ = table().transition(old.ptr as u64, |_| Ok(None));
-        // Safety: the entry owned this allocation exclusively. Handing it to
-        // the pool (not straight to `std::alloc`) is what lets recycled
-        // blocks flow back to `alloc_node` under the oracle; the shadow
-        // entry was pruned first, so `on_alloc` sees an untracked address.
+        // SAFETY: [INV-10] the quarantine entry owned this allocation
+        // exclusively. Handing it to the pool (not straight to `std::alloc`)
+        // is what lets recycled blocks flow back to `alloc_node` under the
+        // oracle; the shadow entry was pruned first, so `on_alloc` sees an
+        // untracked address.
         unsafe { mp_util::pool::dealloc(old.ptr, old.layout) };
     }
 }

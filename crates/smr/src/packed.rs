@@ -96,7 +96,11 @@ impl<T> Shared<T> {
     /// `ptr` must point to a live `SmrNode<T>` (typically just allocated and
     /// exclusively owned by the caller).
     #[inline]
+    // SAFETY: [INV-11] obligation (live node) stated in `# Safety` above;
+    // every caller packs a pointer the node allocator just returned.
     pub unsafe fn from_owned(ptr: *mut SmrNode<T>) -> Self {
+        // SAFETY: [INV-02] `ptr` is live per this fn's contract, so the
+        // header read is in-bounds.
         let index = unsafe { (*ptr).index() };
         Self::pack(ptr, index)
     }
@@ -121,6 +125,16 @@ impl<T> Shared<T> {
     #[inline]
     pub fn as_raw(self) -> *mut SmrNode<T> {
         (self.word & ADDR_MASK & !MARK_MASK) as *mut SmrNode<T>
+    }
+
+    /// The node address as a bare `u64` (index and mark bits stripped) —
+    /// the form announced in hazard/anchor slots and compared by
+    /// reclamation scans. This accessor is the one sanctioned
+    /// pointer→integer pun for protocol code outside this module; the
+    /// linter's forbidden-API pass rejects raw `as` casts elsewhere.
+    #[inline]
+    pub fn addr(self) -> u64 {
+        self.word & ADDR_MASK & !MARK_MASK
     }
 
     /// The 16 packed index bits (i.e. `index >> 16` of the pointee).
@@ -165,15 +179,21 @@ impl<T> Shared<T> {
     /// operation, just allocated and not yet published, or owned exclusively
     /// (e.g. during `Drop` of the whole structure). Must not be null.
     #[inline]
+    // SAFETY: [INV-11] obligation (protected pointee) stated in `# Safety`
+    // above; every call site cites [INV-01] or [INV-03].
     pub unsafe fn deref<'a>(self) -> &'a SmrNode<T> {
         debug_assert!(!self.is_null());
         // Oracle: reclaimed nodes stay mapped (quarantined) with a poisoned
         // header canary, so a protection bug panics here deterministically
         // instead of reading freed memory.
         #[cfg(feature = "oracle")]
+        // SAFETY: [INV-10] quarantined memory stays mapped, so the canary
+        // check may read the header even if protection was violated.
         unsafe {
             crate::node::oracle_check_canary(self.as_raw() as *const crate::node::Header)
         };
+        // SAFETY: [INV-02] the word decodes to a live (protected, per this
+        // fn's contract) allocation, so the reference is valid for 'a.
         unsafe { &*self.as_raw() }
     }
 
@@ -184,7 +204,10 @@ impl<T> Shared<T> {
     /// # Safety
     /// No other thread can hold any reference to the node, and it must not
     /// have been retired.
+    // SAFETY: [INV-11] obligation stated in `# Safety` above; call sites
+    // cite [INV-03] (failed publication or structure teardown).
     pub unsafe fn drop_owned(self) {
+        // SAFETY: [INV-03] forwarded from this fn's own contract.
         unsafe { crate::node::dealloc_node(self.as_raw()) };
     }
 
@@ -193,7 +216,10 @@ impl<T> Shared<T> {
     ///
     /// # Safety
     /// Same contract as [`drop_owned`](Shared::drop_owned).
+    // SAFETY: [INV-11] obligation stated in `# Safety` above; call sites
+    // cite [INV-03] (failed publication or structure teardown).
     pub unsafe fn take_owned(self) -> T {
+        // SAFETY: [INV-03] forwarded from this fn's own contract.
         unsafe { crate::node::take_node(self.as_raw()) }
     }
 }
@@ -207,11 +233,15 @@ pub struct Atomic<T> {
     _marker: PhantomData<*mut SmrNode<T>>,
 }
 
-// The packed word is just a number; thread safety of dereferencing is
-// governed by the SMR protocol, not by this cell.
+// SAFETY: [INV-07] the packed word is just a number; every deref site is
+// separately guarded ([INV-01]/[INV-03]), so sharing the cell transfers no
+// access rights. Same argument for all four impls below.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: [INV-07] see above.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+// SAFETY: [INV-07] see above.
 unsafe impl<T: Send + Sync> Send for Shared<T> {}
+// SAFETY: [INV-07] see above.
 unsafe impl<T: Send + Sync> Sync for Shared<T> {}
 
 impl<T> Atomic<T> {
@@ -308,20 +338,20 @@ mod tests {
     #[test]
     fn pack_preserves_address_and_index() {
         let ptr = alloc_node(123u64, 0xdead_beef, 0);
-        let s = unsafe { Shared::from_owned(ptr) };
+        let s = unsafe { Shared::from_owned(ptr) }; // SAFETY: [INV-12] just allocated.
         assert_eq!(s.as_raw(), ptr);
         assert_eq!(s.packed_index(), 0xdead);
         let (lo, hi) = s.index_bounds();
         assert_eq!(lo, 0xdead_0000);
         assert_eq!(hi, 0xdead_ffff);
         assert!(lo <= 0xdead_beef && 0xdead_beef <= hi);
-        unsafe { crate::node::dealloc_node(ptr) };
+        unsafe { crate::node::dealloc_node(ptr) }; // SAFETY: [INV-12] test-owned node.
     }
 
     #[test]
     fn marks_do_not_disturb_address_or_index() {
         let ptr = alloc_node(7u8, 42 << PRECISION, 0);
-        let s = unsafe { Shared::from_owned(ptr) };
+        let s = unsafe { Shared::from_owned(ptr) }; // SAFETY: [INV-12] just allocated.
         let m = s.with_mark(1);
         assert_eq!(m.mark(), 1);
         assert_eq!(m.as_raw(), ptr);
@@ -331,7 +361,7 @@ mod tests {
         assert_eq!(m3.mark(), 3);
         assert_eq!(m3.unmarked(), s);
         assert!(!m3.is_null());
-        unsafe { crate::node::dealloc_node(ptr) };
+        unsafe { crate::node::dealloc_node(ptr) }; // SAFETY: [INV-12] test-owned node.
     }
 
     #[test]
@@ -345,8 +375,8 @@ mod tests {
     fn atomic_cas_full_word() {
         let a = alloc_node(1u32, 5 << PRECISION, 0);
         let b = alloc_node(2u32, 9 << PRECISION, 0);
-        let sa = unsafe { Shared::from_owned(a) };
-        let sb = unsafe { Shared::from_owned(b) };
+        let sa = unsafe { Shared::from_owned(a) }; // SAFETY: [INV-12] just allocated.
+        let sb = unsafe { Shared::from_owned(b) }; // SAFETY: [INV-12] just allocated.
         let cell = Atomic::new(sa);
         // CAS with wrong expected fails and reports the live value.
         assert_eq!(
@@ -366,6 +396,7 @@ mod tests {
         assert_eq!(now.mark(), 1);
         assert_eq!(now.as_raw(), b);
         assert_eq!(now.packed_index(), 9);
+        // SAFETY: [INV-12] both nodes are test-owned.
         unsafe {
             crate::node::dealloc_node(a);
             crate::node::dealloc_node(b);
@@ -377,9 +408,9 @@ mod tests {
         // A node whose index lies in the top 64K maps to packed 0xffff and
         // reconstructs to an upper bound of u32::MAX — the USE_HP class.
         let ptr = alloc_node((), u32::MAX - 5, 0);
-        let s = unsafe { Shared::from_owned(ptr) };
+        let s = unsafe { Shared::from_owned(ptr) }; // SAFETY: [INV-12] just allocated.
         let (_, hi) = s.index_bounds();
         assert_eq!(hi, u32::MAX);
-        unsafe { crate::node::dealloc_node(ptr) };
+        unsafe { crate::node::dealloc_node(ptr) }; // SAFETY: [INV-12] test-owned node.
     }
 }

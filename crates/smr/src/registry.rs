@@ -136,9 +136,13 @@ impl Registry {
     /// Caller must guarantee no thread can still dereference orphaned nodes
     /// (true during scheme teardown: handles hold an `Arc` to the scheme, so
     /// none remain).
+    // SAFETY: [INV-11] obligation stated in `# Safety` above; every scheme
+    // `Drop` cites the teardown argument ([INV-06]) at its call site.
     pub(crate) unsafe fn reclaim_orphans(&self) {
         let orphans = std::mem::take(&mut self.locked().orphans);
         for r in orphans {
+            // SAFETY: [INV-06] forwarded from this fn's contract: teardown,
+            // no handle left to protect any orphan.
             unsafe { r.reclaim() };
         }
     }
@@ -195,10 +199,10 @@ mod tests {
         let r = Registry::new(1);
         let tid = r.acquire();
         let node = crate::node::alloc_node(5u32, 0, 0);
-        let retired = unsafe { Retired::new(node, 1) };
+        let retired = unsafe { Retired::new(node, 1) }; // SAFETY: [INV-12] never published.
         r.release(tid, vec![retired]);
         assert_eq!(r.orphan_count(), 1);
-        unsafe { r.reclaim_orphans() };
+        unsafe { r.reclaim_orphans() }; // SAFETY: [INV-12] single-threaded test.
         assert_eq!(r.orphan_count(), 0);
     }
 }

@@ -166,8 +166,9 @@ impl Telemetry for DtaHandle {
 
 impl Drop for Dta {
     fn drop(&mut self) {
-        // Safety: no handle outlives the scheme. Frozen nodes were retired
-        // by the freezer and sit in some retired/orphan list like any other.
+        // SAFETY: [INV-06] teardown: every handle holds an `Arc` to the
+        // scheme, so no handle exists and orphans are unprotectable. Frozen
+        // nodes were parked by the freezer and sit in the orphan list too.
         unsafe { self.registry.reclaim_orphans() };
     }
 }
@@ -193,8 +194,12 @@ impl Dta {
     /// `node` must be removed (unreachable), never retired before, and
     /// present in the frozen set so concurrent `empty()` runs keep pinning
     /// any aliases of it.
+    // SAFETY: [INV-11] obligation stated in `# Safety` above; the freezer's
+    // replace_reachable_segment cites the winning splice at the call site.
     pub unsafe fn park_frozen<T: Send + Sync>(&self, node: Shared<T>) {
         self.tele.pending.add(1);
+        // SAFETY: [INV-04] forwarded from this fn's own contract (removed,
+        // never retired before).
         let retired = unsafe { Retired::new(node.as_raw(), u64::MAX) };
         self.registry.park_orphan(retired);
     }
@@ -329,8 +334,10 @@ impl DtaHandle {
                     continue 'next;
                 }
             }
-            // Safety: no thread class admits a reference to this node.
             self.tele.record_free(r.addr());
+            // SAFETY: [INV-05] the classification above (under the recovery
+            // lock, after the SeqCst fence) admits no thread class that can
+            // still reference this node.
             unsafe { r.reclaim() };
         }
         drop(rec);
@@ -421,13 +428,17 @@ impl SmrHandle for DtaHandle {
             self.tele.record_epoch_advance(e);
         }
         let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.tele);
+        // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
         unsafe { Shared::from_owned(ptr) }
     }
 
+    // SAFETY: [INV-11] trait contract: the caller retires a removed node
+    // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.tele.record_retire(node.as_raw() as u64);
+        self.tele.record_retire(node.addr());
         self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
+        // SAFETY: [INV-04] forwarded from this fn's own contract.
         let mut r = unsafe { Retired::new(node.as_raw(), stamp) };
         // Record when the unlinking operation began (≤ the unlink itself);
         // the neutralization window is keyed on this (see `empty`).
@@ -483,7 +494,7 @@ mod tests {
             // thread's stale stamp can pin memory.
             worker.start_op();
             let n = worker.alloc(i);
-            unsafe { worker.retire(n) };
+            unsafe { worker.retire(n) }; // SAFETY: [INV-12] never published, retired once.
             worker.end_op();
         }
         assert!(worker.retired_len() >= 100, "no freezer ⇒ stall pins everything (EBR)");
@@ -507,11 +518,11 @@ mod tests {
         }
         assert_eq!(h.stats().fences, f0, "reads must not fence");
         assert_eq!(h.anchor_hops(), 3);
-        h.post_anchor(n.as_raw() as u64);
+        h.post_anchor(n.addr());
         assert_eq!(h.stats().fences, f0 + 1, "anchor post costs one fence");
-        assert_eq!(smr.anchors.get(0, 0).load(Ordering::Relaxed), n.as_raw() as u64);
+        assert_eq!(smr.anchors.get(0, 0).load(Ordering::Relaxed), n.addr());
         h.end_op();
-        unsafe { h.retire(n) };
+        unsafe { h.retire(n) }; // SAFETY: [INV-12] test-owned, retired once.
         h.force_empty();
     }
 
@@ -536,11 +547,11 @@ mod tests {
         let anchor_node = worker.alloc(0u32);
         let cell = Atomic::new(anchor_node);
         let _ = stalled.read(&cell, 0);
-        stalled.post_anchor(anchor_node.as_raw() as u64);
+        stalled.post_anchor(anchor_node.addr());
         assert_ne!(smr.anchors.get(0, 0).load(Ordering::Relaxed), 0);
 
         // Freezer will claim the anchor node as frozen.
-        smr.set_freezer(Arc::new(FakeFreezer { to_freeze: vec![anchor_node.as_raw() as u64] }));
+        smr.set_freezer(Arc::new(FakeFreezer { to_freeze: vec![anchor_node.addr()] }));
 
         // Churn with short operations until stall detection (patience=2)
         // kicks in; the worker's own fresh stamps never pin old nodes.
@@ -548,7 +559,7 @@ mod tests {
             worker.end_op();
             worker.start_op();
             let n = worker.alloc(i);
-            unsafe { worker.retire(n) };
+            unsafe { worker.retire(n) }; // SAFETY: [INV-12] never published, retired once.
         }
         assert!(
             worker.retired_len() < 50,
@@ -560,7 +571,7 @@ mod tests {
         // The frozen node itself must never be reclaimed while the scheme
         // lives, even when retired.
         cell.store(Shared::null(), Ordering::Release);
-        unsafe { worker.retire(anchor_node) };
+        unsafe { worker.retire(anchor_node) }; // SAFETY: [INV-12] unlinked above, retired once.
         stalled.end_op();
         worker.end_op();
         worker.force_empty();

@@ -95,7 +95,9 @@ impl Telemetry for EbrHandle {
 
 impl Drop for Ebr {
     fn drop(&mut self) {
-        // Safety: no handle outlives the scheme.
+        // SAFETY: [INV-06] teardown: every handle holds an `Arc` to the
+        // scheme, so `&mut self` here proves no handle exists and orphaned
+        // retired lists can no longer be protected by anyone.
         unsafe { self.registry.reclaim_orphans() };
     }
 }
@@ -136,9 +138,10 @@ impl EbrHandle {
                 Some(m) => r.retire < m,
             };
             if safe {
-                // Safety: unreachable since retirement and, by the epoch
-                // argument, referenced by no active thread.
                 self.tele.record_free(r.addr());
+                // SAFETY: [INV-05] unreachable since retirement and, by the
+                // epoch argument above (every active announcement is newer
+                // than the retire stamp), referenced by no active thread.
                 unsafe { r.reclaim() };
             } else {
                 self.retired.push(r);
@@ -189,13 +192,17 @@ impl SmrHandle for EbrHandle {
             self.tele.record_epoch_advance(e);
         }
         let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.tele);
+        // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
         unsafe { Shared::from_owned(ptr) }
     }
 
+    // SAFETY: [INV-11] trait contract: the caller retires a removed node
+    // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.tele.record_retire(node.as_raw() as u64);
+        self.tele.record_retire(node.addr());
         self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
+        // SAFETY: [INV-04] forwarded from this fn's own contract.
         self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
         self.retire_counter += 1;
         if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
@@ -235,7 +242,7 @@ mod tests {
         h.start_op();
         let n = h.alloc(1u32);
         h.end_op(); // no active threads now
-        unsafe { h.retire(n) };
+        unsafe { h.retire(n) }; // SAFETY: [INV-12] test-owned, retired once.
         assert_eq!(h.retired_len(), 0);
     }
 
@@ -249,7 +256,7 @@ mod tests {
 
         worker.start_op();
         let n = worker.alloc(5u64); // advances epoch (epoch_freq=1)
-        unsafe { worker.retire(n) };
+        unsafe { worker.retire(n) }; // SAFETY: [INV-12] never published, retired once.
         worker.end_op();
         assert!(
             worker.retired_len() >= 1,
@@ -273,7 +280,7 @@ mod tests {
         worker.start_op();
         for i in 0..500u32 {
             let n = worker.alloc(i);
-            unsafe { worker.retire(n) };
+            unsafe { worker.retire(n) }; // SAFETY: [INV-12] never published, retired once.
         }
         assert!(
             worker.retired_len() >= 500,
@@ -294,7 +301,7 @@ mod tests {
         // b retires a node at an old epoch while a is inactive.
         b.start_op();
         let old = b.alloc(1u32);
-        unsafe { b.retire(old) };
+        unsafe { b.retire(old) }; // SAFETY: [INV-12] never published, retired once.
         // Advance epochs past the retirement stamp (epoch_freq = 1).
         let fillers: Vec<_> = (0..4).map(|_| b.alloc(0u8)).collect();
         b.end_op();
@@ -304,13 +311,13 @@ mod tests {
         b.start_op();
         b.force_empty();
         assert!(
-            !b.retired.iter().any(|r| r.addr() == old.as_raw() as u64),
+            !b.retired.iter().any(|r| r.addr() == old.addr()),
             "old node freed despite active thread"
         );
         a.end_op();
         b.end_op();
         for f in fillers {
-            unsafe { b.retire(f) };
+            unsafe { b.retire(f) }; // SAFETY: [INV-12] never published, retired once.
         }
         b.force_empty();
         assert_eq!(b.retired_len(), 0);

@@ -101,7 +101,9 @@ impl Telemetry for HeHandle {
 
 impl Drop for He {
     fn drop(&mut self) {
-        // Safety: no handle outlives the scheme.
+        // SAFETY: [INV-06] teardown: every handle holds an `Arc` to the
+        // scheme, so `&mut self` here proves no handle exists and orphaned
+        // retired lists can no longer be protected by anyone.
         unsafe { self.registry.reclaim_orphans() };
     }
 }
@@ -148,9 +150,10 @@ impl HeHandle {
             if interval_hit(&self.era_scratch, r.birth, r.retire) {
                 self.retired.push(r);
             } else {
-                // Safety: no announced era overlaps the node's lifetime, so
-                // no thread can have validated a protection for it (§3.3).
                 self.tele.record_free(r.addr());
+                // SAFETY: [INV-05] the snapshot taken after the SeqCst fence
+                // shows no announced era overlapping the node's lifetime, so
+                // no thread can have validated a protection for it (§3.3).
                 unsafe { r.reclaim() };
             }
         }
@@ -230,13 +233,17 @@ impl SmrHandle for HeHandle {
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
         self.tele.record_alloc();
         let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.tele);
+        // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
         unsafe { Shared::from_owned(ptr) }
     }
 
+    // SAFETY: [INV-11] trait contract: the caller retires a removed node
+    // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.tele.record_retire(node.as_raw() as u64);
+        self.tele.record_retire(node.addr());
         self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
+        // SAFETY: [INV-04] forwarded from this fn's own contract.
         self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
         self.retire_counter += 1;
         // HE advances the era every constant number of deletions (§3.3).
@@ -300,9 +307,10 @@ mod tests {
         assert_eq!(got, n);
 
         cell.store(Shared::null(), Ordering::Release);
-        unsafe { writer.retire(n) };
+        unsafe { writer.retire(n) }; // SAFETY: [INV-12] unlinked above, retired once.
         writer.force_empty();
         assert_eq!(writer.retired_len(), 1, "announced era within [birth,retire] pins node");
+        // SAFETY: [INV-12] reader's announced era still pins the node.
         assert_eq!(unsafe { *got.deref().data() }, 1);
 
         // Lazy eras: ending the operation keeps the era announced; only
@@ -329,7 +337,7 @@ mod tests {
         // Churn: every alloc is born after the era advanced (epoch_freq=1).
         for i in 0..100u32 {
             let churn = worker.alloc(i);
-            unsafe { worker.retire(churn) };
+            unsafe { worker.retire(churn) }; // SAFETY: [INV-12] never published, retired once.
         }
         worker.force_empty();
         assert!(
@@ -341,7 +349,7 @@ mod tests {
         drop(stalled); // lazy eras: deregistration releases the stale era
         worker.end_op();
         cell.store(Shared::null(), Ordering::Release);
-        unsafe { worker.retire(pin) };
+        unsafe { worker.retire(pin) }; // SAFETY: [INV-12] unlinked above, retired once.
         worker.force_empty();
         assert_eq!(worker.retired_len(), 0);
     }
@@ -361,7 +369,7 @@ mod tests {
         }
         assert_eq!(h.stats().fences, after_first, "unchanged era ⇒ no fence");
         h.end_op();
-        unsafe { h.retire(n) };
+        unsafe { h.retire(n) }; // SAFETY: [INV-12] test-owned, retired once.
         h.force_empty();
     }
 }

@@ -102,7 +102,9 @@ impl Telemetry for HpHandle {
 
 impl Drop for Hp {
     fn drop(&mut self) {
-        // Safety: no handle outlives the scheme.
+        // SAFETY: [INV-06] teardown: every handle holds an `Arc` to the
+        // scheme, so `&mut self` here proves no handle exists and orphaned
+        // retired lists can no longer be protected by anyone.
         unsafe { self.registry.reclaim_orphans() };
         self.tele.pending.sub(self.tele.pending.get());
     }
@@ -171,10 +173,10 @@ impl HpHandle {
             if protected {
                 self.retired.push(r);
             } else {
-                // Safety: the node is retired (unreachable) and no hazard
-                // slot held its address after the fence, so no thread can
-                // have validated a protection for it.
                 self.tele.record_free(r.addr());
+                // SAFETY: [INV-05] the node is retired (unreachable) and no
+                // hazard slot held its address after the SeqCst fence, so no
+                // thread can have validated a protection for it.
                 unsafe { r.reclaim() };
             }
         }
@@ -230,7 +232,7 @@ impl SmrHandle for HpHandle {
         let mut backoff = mp_util::Backoff::new();
         loop {
             let w = src.load(Ordering::Acquire);
-            let addr = w.as_raw() as u64;
+            let addr = w.addr();
             if addr == 0 {
                 return w; // null (possibly marked-null): nothing to protect
             }
@@ -263,12 +265,16 @@ impl SmrHandle for HpHandle {
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
         self.tele.record_alloc();
         let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.tele);
+        // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
         unsafe { Shared::from_owned(ptr) }
     }
 
+    // SAFETY: [INV-11] trait contract: the caller retires a removed node
+    // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.tele.record_retire(node.as_raw() as u64);
+        self.tele.record_retire(node.addr());
         self.scheme.tele.pending.add(1);
+        // SAFETY: [INV-04] forwarded from this fn's own contract.
         self.retired.push(unsafe { Retired::new(node.as_raw(), 0) });
         self.retire_counter += 1;
         if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
@@ -307,6 +313,7 @@ mod tests {
         let mut h = smr.register();
         h.start_op();
         let n = h.alloc(1u32);
+        // SAFETY: [INV-12] never published, retired once by the test.
         unsafe { h.retire(n) }; // empty_freq=1 → immediate empty()
         assert_eq!(h.retired_len(), 0);
         assert_eq!(smr.retired_pending(), 0);
@@ -329,9 +336,10 @@ mod tests {
 
         // Writer unlinks and retires; reader's hazard must block reclamation.
         cell.store(Shared::null(), Ordering::Release);
-        unsafe { writer.retire(n) };
+        unsafe { writer.retire(n) }; // SAFETY: [INV-12] unlinked above, retired once.
         writer.force_empty();
         assert_eq!(writer.retired_len(), 1, "hazard must block reclamation");
+        // SAFETY: [INV-12] reader's hazard span is still open and pins the node.
         assert_eq!(unsafe { *got.deref().data() }, 5, "still dereferenceable");
 
         // Reader drops protection; now reclamation succeeds.
@@ -355,6 +363,7 @@ mod tests {
         let got = h.read(&cell, 0);
         assert_eq!(got, b);
         h.end_op();
+        // SAFETY: [INV-12] test-owned nodes, each retired exactly once.
         unsafe {
             h.retire(a);
             h.retire(b);
@@ -377,7 +386,7 @@ mod tests {
         }
         assert_eq!(h.stats().fences, after_first, "slot dedup avoids refencing");
         h.end_op();
-        unsafe { h.retire(n) };
+        unsafe { h.retire(n) }; // SAFETY: [INV-12] test-owned, retired once.
     }
 
     #[test]
@@ -401,11 +410,11 @@ mod tests {
         // Writer churns: retire the protected nodes + many unprotected ones.
         for (cell, n) in &cells {
             cell.store(Shared::null(), Ordering::Release);
-            unsafe { writer.retire(*n) };
+            unsafe { writer.retire(*n) }; // SAFETY: [INV-12] unlinked above, retired once.
         }
         for i in 0..1000u32 {
             let n = writer.alloc(i);
-            unsafe { writer.retire(n) };
+            unsafe { writer.retire(n) }; // SAFETY: [INV-12] never published, retired once.
         }
         writer.force_empty();
         assert!(

@@ -111,7 +111,9 @@ impl Telemetry for IbrHandle {
 
 impl Drop for Ibr {
     fn drop(&mut self) {
-        // Safety: no handle outlives the scheme.
+        // SAFETY: [INV-06] teardown: every handle holds an `Arc` to the
+        // scheme, so `&mut self` here proves no handle exists and orphaned
+        // retired lists can no longer be protected by anyone.
         unsafe { self.registry.reclaim_orphans() };
     }
 }
@@ -146,10 +148,11 @@ impl IbrHandle {
             if conflict {
                 self.retired.push(r);
             } else {
-                // Safety: every active interval either began after the node
-                // was retired or ended before it was born, so no thread's
-                // reservation admits a reference to it.
                 self.tele.record_free(r.addr());
+                // SAFETY: [INV-05] the snapshot taken after the SeqCst fence
+                // shows every active interval began after the node was
+                // retired or ended before it was born, so no thread's
+                // reservation admits a reference to it.
                 unsafe { r.reclaim() };
             }
         }
@@ -217,13 +220,17 @@ impl SmrHandle for IbrHandle {
             self.tele.record_epoch_advance(e);
         }
         let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.tele);
+        // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
         unsafe { Shared::from_owned(ptr) }
     }
 
+    // SAFETY: [INV-11] trait contract: the caller retires a removed node
+    // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.tele.record_retire(node.as_raw() as u64);
+        self.tele.record_retire(node.addr());
         self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
+        // SAFETY: [INV-04] forwarded from this fn's own contract.
         self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
         self.retire_counter += 1;
         if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
@@ -271,9 +278,10 @@ mod tests {
         assert_eq!(got, n);
 
         cell.store(Shared::null(), Ordering::Release);
-        unsafe { writer.retire(n) };
+        unsafe { writer.retire(n) }; // SAFETY: [INV-12] unlinked above, retired once.
         writer.force_empty();
         assert_eq!(writer.retired_len(), 1, "overlapping reservation pins node");
+        // SAFETY: [INV-12] reader's reservation still pins the node.
         assert_eq!(unsafe { *got.deref().data() }, 3);
 
         reader.end_op();
@@ -294,7 +302,7 @@ mod tests {
             // epoch_freq = 1 ⇒ every alloc advances the epoch, so nodes are
             // quickly born after the stalled interval's upper bound.
             let n = worker.alloc(i);
-            unsafe { worker.retire(n) };
+            unsafe { worker.retire(n) }; // SAFETY: [INV-12] never published, retired once.
         }
         worker.force_empty();
         assert!(
@@ -322,7 +330,7 @@ mod tests {
         }
         assert_eq!(h.stats().fences, baseline, "per-operation overhead only");
         h.end_op();
-        unsafe { h.retire(n) };
+        unsafe { h.retire(n) }; // SAFETY: [INV-12] test-owned, retired once.
         h.force_empty();
     }
 }

@@ -71,7 +71,9 @@ impl Telemetry for LeakyHandle {
 
 impl Drop for Leaky {
     fn drop(&mut self) {
-        // Safety: no handle outlives the scheme (handles hold an Arc).
+        // SAFETY: [INV-06] teardown: every handle holds an `Arc` to the
+        // scheme, so `&mut self` here proves no handle exists and orphaned
+        // retired lists can no longer be protected by anyone.
         unsafe { self.registry.reclaim_orphans() };
     }
 }
@@ -100,12 +102,16 @@ impl SmrHandle for LeakyHandle {
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
         self.tele.record_alloc();
         let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.tele);
+        // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
         unsafe { Shared::from_owned(ptr) }
     }
 
+    // SAFETY: [INV-11] trait contract: the caller retires a removed node
+    // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.tele.record_retire(node.as_raw() as u64);
+        self.tele.record_retire(node.addr());
         self.scheme.tele.pending.add(1);
+        // SAFETY: [INV-04] forwarded from this fn's own contract.
         self.retired.push(unsafe { Retired::new(node.as_raw(), 0) });
     }
 
@@ -136,7 +142,7 @@ mod tests {
         let mut h = smr.register();
         h.start_op();
         let n = h.alloc(7u32);
-        unsafe { h.retire(n) };
+        unsafe { h.retire(n) }; // SAFETY: [INV-12] test-owned, retired once.
         h.force_empty();
         h.end_op();
         assert_eq!(h.retired_len(), 1, "leaky keeps everything");
@@ -157,8 +163,9 @@ mod tests {
         let r = h.read(&cell, 0);
         assert_eq!(r, n);
         assert_eq!(h.stats().fences, 0, "no protection fences");
+        // SAFETY: [INV-12] leaky never reclaims; the node is live.
         assert_eq!(unsafe { *r.deref().data() }, 99);
         h.end_op();
-        unsafe { h.retire(n) };
+        unsafe { h.retire(n) }; // SAFETY: [INV-12] test-owned, retired once.
     }
 }

@@ -157,7 +157,9 @@ impl Telemetry for MpHandle {
 
 impl Drop for Mp {
     fn drop(&mut self) {
-        // Safety: no handle outlives the scheme.
+        // SAFETY: [INV-06] teardown: every handle holds an `Arc` to the
+        // scheme, so `&mut self` here proves no handle exists and orphaned
+        // retired lists can no longer be protected by anyone.
         unsafe { self.registry.reclaim_orphans() };
     }
 }
@@ -308,10 +310,11 @@ impl MpHandle {
                     continue 'next_node;
                 }
             }
-            // Safety: no HP holds the address and no margin (of a thread
-            // whose epoch admits the node's lifetime) covers its index, so
-            // no thread can have validated protection for it (Theorem 4.3).
             self.tele.record_free(r.addr());
+            // SAFETY: [INV-05] the scan above found no HP holding the
+            // address and no margin (of a thread whose epoch admits the
+            // node's lifetime) covering its index, so no thread can have
+            // validated protection for it (Theorem 4.3).
             unsafe { r.reclaim() };
         }
         self.scan_scratch = pending;
@@ -346,7 +349,7 @@ impl MpHandle {
         refno: usize,
         w: Shared<T>,
     ) -> Option<Shared<T>> {
-        let addr = w.as_raw() as u64;
+        let addr = w.addr();
         if self.local_hps[refno] == addr {
             return Some(w); // already protected by this slot
         }
@@ -413,7 +416,7 @@ impl SmrHandle for MpHandle {
             // Collision / USE_HP-class / fallback-mode reads go through HP
             // (§4.3.2).
             if idx_hi == USE_HP || self.use_hp_mode {
-                self.tele.record_hp_fallback(w.as_raw() as u64);
+                self.tele.record_hp_fallback(w.addr());
                 match self.hp_protect(src, refno, w) {
                     Some(w) => return w,
                     None => {
@@ -443,7 +446,7 @@ impl SmrHandle for MpHandle {
             }
 
             // Already protected by this refno's hazard slot?
-            if self.local_hps[refno] != NO_HAZARD && self.local_hps[refno] == w.as_raw() as u64 {
+            if self.local_hps[refno] != NO_HAZARD && self.local_hps[refno] == w.addr() {
                 return w;
             }
 
@@ -495,13 +498,17 @@ impl SmrHandle for MpHandle {
         self.tele.record_alloc();
         let birth = self.scheme.global_epoch.load(Ordering::SeqCst);
         let ptr = crate::node::alloc_node_in(data, index, birth, &mut self.tele);
+        // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
         unsafe { Shared::from_owned(ptr) }
     }
 
+    // SAFETY: [INV-11] trait contract: the caller retires a removed node
+    // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
-        self.tele.record_retire(node.as_raw() as u64);
+        self.tele.record_retire(node.addr());
         self.scheme.tele.pending.add(1);
         let stamp = self.scheme.global_epoch.load(Ordering::SeqCst);
+        // SAFETY: [INV-04] forwarded from this fn's own contract.
         self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
         self.unlink_counter += 1;
         // §4.3.2: each thread increments the global epoch once every
@@ -516,14 +523,17 @@ impl SmrHandle for MpHandle {
         }
     }
 
+    // PROTECTION: caller — the client passes a node it protected during the
+    // current operation (Listing 5 reads n->index under that span).
     fn update_lower_bound<T: Send + Sync>(&mut self, node: Shared<T>) {
-        // Safety of deref: the client passes a node protected during the
-        // current operation (Listing 5 reads n->index).
+        // SAFETY: [INV-01] deref dominated by the caller's protected read.
         let idx = unsafe { node.deref() }.index();
         self.lower_bound = idx;
     }
 
+    // PROTECTION: caller — same contract as `update_lower_bound`.
     fn update_upper_bound<T: Send + Sync>(&mut self, node: Shared<T>) {
+        // SAFETY: [INV-01] deref dominated by the caller's protected read.
         let idx = unsafe { node.deref() }.index();
         self.upper_bound = idx;
     }
@@ -580,8 +590,10 @@ mod tests {
         h.update_lower_bound(lo_r);
         h.update_upper_bound(hi_r);
         let n = h.alloc(7u32);
+        // SAFETY: [INV-12] node protected by this test's open span.
         assert_eq!(unsafe { n.deref() }.index(), 2000, "midpoint of (1000,3000)");
         h.end_op();
+        // SAFETY: [INV-12] test-owned nodes, each retired exactly once.
         unsafe {
             h.retire(n);
             h.retire(lo);
@@ -602,9 +614,11 @@ mod tests {
         h.update_lower_bound(lo_r);
         h.update_upper_bound(hi_r);
         let n = h.alloc(1u8);
+        // SAFETY: [INV-12] node protected by this test's open span.
         assert_eq!(unsafe { n.deref() }.index(), USE_HP);
         assert_eq!(h.stats().collision_allocs, 1);
         h.end_op();
+        // SAFETY: [INV-12] test-owned nodes, each retired exactly once.
         unsafe {
             h.retire(n);
             h.retire(lo);
@@ -630,7 +644,7 @@ mod tests {
         assert_eq!(h.stats().fences, after_first, "margin covers the cluster: no more fences");
         h.end_op();
         for (_, n) in cells {
-            unsafe { h.retire(n) };
+            unsafe { h.retire(n) }; // SAFETY: [INV-12] test-owned, retired once.
         }
     }
 
@@ -648,9 +662,10 @@ mod tests {
         assert_eq!(got, n);
 
         cell.store(Shared::null(), Ordering::Release);
-        unsafe { writer.retire(n) };
+        unsafe { writer.retire(n) }; // SAFETY: [INV-12] unlinked above, retired once.
         writer.force_empty();
         assert_eq!(writer.retired_len(), 1, "margin must pin the covered index");
+        // SAFETY: [INV-12] reader's span is still open and pins the node.
         assert_eq!(unsafe { *got.deref().data() }, 5);
 
         reader.end_op();
@@ -673,13 +688,13 @@ mod tests {
         // Retire nodes far outside the margin (margin = 2^20).
         for i in 0..50u32 {
             let far = writer.alloc_with_index(i, (1 << 28) + (i << 17));
-            unsafe { writer.retire(far) };
+            unsafe { writer.retire(far) }; // SAFETY: [INV-12] never published, retired once.
         }
         writer.force_empty();
         assert_eq!(writer.retired_len(), 0, "distant indices unprotected");
 
         cell.store(Shared::null(), Ordering::Release);
-        unsafe { writer.retire(near) };
+        unsafe { writer.retire(near) }; // SAFETY: [INV-12] unlinked above, retired once.
         writer.force_empty();
         assert_eq!(writer.retired_len(), 1, "near node still pinned");
         reader.end_op();
@@ -702,9 +717,10 @@ mod tests {
         assert!(reader.stats().hp_fallback_reads >= 1, "collision path must use HP");
 
         cell.store(Shared::null(), Ordering::Release);
-        unsafe { writer.retire(n) };
+        unsafe { writer.retire(n) }; // SAFETY: [INV-12] unlinked above, retired once.
         writer.force_empty();
         assert_eq!(writer.retired_len(), 1, "hazard pins the collision node");
+        // SAFETY: [INV-12] reader's hazard span is still open and pins the node.
         assert_eq!(unsafe { *got.deref().data() }, 9);
 
         reader.end_op();
@@ -729,7 +745,7 @@ mod tests {
 
         // Writer unlinks something unrelated → epoch advances (freq 1).
         let junk = writer.alloc_with_index(0u8, 1);
-        unsafe { writer.retire(junk) };
+        unsafe { writer.retire(junk) }; // SAFETY: [INV-12] never published, retired once.
 
         // Reader's next read observes the change and must take the HP path.
         let before = reader.stats().hp_fallback_reads;
@@ -740,6 +756,7 @@ mod tests {
 
         reader.end_op();
         writer.end_op();
+        // SAFETY: [INV-12] test-owned nodes, each retired exactly once.
         unsafe {
             writer.retire(n1);
             writer.retire(n2);
@@ -771,7 +788,7 @@ mod tests {
         // Churn 5_000 nodes with the *same* index inside the margin.
         for i in 0..5_000u32 {
             let n = worker.alloc_with_index(i, 800_001);
-            unsafe { worker.retire(n) };
+            unsafe { worker.retire(n) }; // SAFETY: [INV-12] never published, retired once.
         }
         // Bound: #HP + #MP·M + #MP·M·F·T is astronomically larger than what
         // we expect in practice; empirically only nodes retired while the
@@ -784,7 +801,7 @@ mod tests {
 
         stalled.end_op();
         cell.store(Shared::null(), Ordering::Release);
-        unsafe { worker.retire(pinned) };
+        unsafe { worker.retire(pinned) }; // SAFETY: [INV-12] unlinked above, retired once.
         worker.end_op();
         worker.force_empty();
         assert_eq!(worker.retired_len(), 0);
@@ -797,9 +814,12 @@ mod tests {
         h.start_op();
         let head = h.alloc_with_index(0u64, 0);
         let tail = h.alloc_with_index(u64::MAX, u32::MAX - 1);
+        // SAFETY: [INV-12] both nodes protected by this test's open span.
         assert_eq!(unsafe { head.deref() }.index(), 0);
+        // SAFETY: [INV-12] both nodes protected by this test's open span.
         assert_eq!(unsafe { tail.deref() }.index(), u32::MAX - 1);
         h.end_op();
+        // SAFETY: [INV-12] test-owned nodes, each retired exactly once.
         unsafe {
             h.retire(head);
             h.retire(tail);

@@ -40,6 +40,7 @@ fn snapshot_and_naive_scans_agree() {
             (1 << 30),              // far
         ] {
             let probe = writer.alloc_with_index(0u32, idx);
+            // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
             unsafe { writer.retire(probe) };
             let half = 1u32 << 19; // margin 2^20
             let covered = [1u32 << 20, 1 << 24, 1 << 28].iter().any(|&m| {
@@ -62,6 +63,7 @@ fn snapshot_and_naive_scans_agree() {
         writer.end_op();
         for (cell, n) in pinned_cells {
             cell.store(Shared::null(), Ordering::Release);
+            // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
             unsafe { writer.retire(n) };
         }
         writer.force_empty();
@@ -83,6 +85,7 @@ fn per_reader_epoch_filters() {
 
     // Advance the epoch (epoch_freq = 1: every retire bumps it).
     let junk = writer.alloc_with_index(0u8, 1);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { writer.retire(junk) };
 
     late.start_op(); // epoch e1 > e0
@@ -94,6 +97,7 @@ fn per_reader_epoch_filters() {
     let _ = late.read(&cell, 0); // late margin covers 2^24
     let _ = early.read(&cell, 0); // early margin also covers it physically...
     cell.store(Shared::null(), Ordering::Release);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { writer.retire(n) };
     writer.force_empty();
     assert_eq!(writer.retired_len(), 1, "late reader must pin the node");
@@ -138,6 +142,7 @@ fn dual_protection_released_in_order() {
 
     hp_cell.store(Shared::null(), Ordering::Release);
     mp_cell.store(Shared::null(), Ordering::Release);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe {
         writer.retire(hp_node);
         writer.retire(mp_node);
@@ -172,6 +177,7 @@ fn index_policies_respect_interval() {
         h.update_lower_bound(rl);
         h.update_upper_bound(rh);
         let n = h.alloc(0u8);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         let idx = unsafe { n.deref() }.index();
         assert!(1000 < idx && idx < 2000, "{policy:?} gave {idx}");
         if policy == IndexPolicy::AfterPred {
@@ -180,6 +186,7 @@ fn index_policies_respect_interval() {
             assert_eq!(idx, 1500);
         }
         h.end_op();
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe {
             h.retire(n);
             h.retire(lo);

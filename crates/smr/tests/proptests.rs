@@ -51,6 +51,7 @@ fn packed_word_roundtrip() {
         // Round-trip through an atomic cell.
         let cell = Atomic::new(m);
         assert_eq!(cell.load(std::sync::atomic::Ordering::Relaxed), m, "{ctx}");
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { h.retire(n) };
         h.force_empty();
     }
@@ -83,6 +84,7 @@ fn margin_interval_protection() {
         assert_eq!(got, anchor);
 
         let probe = writer.alloc_with_index(1u32, probe_index);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { writer.retire(probe) }; // empty_freq = 1 → judged now
 
         // The announced margin midpoint is the anchor's precision-block
@@ -103,6 +105,7 @@ fn margin_interval_protection() {
         reader.end_op();
         writer.end_op();
         cell.store(Shared::null(), std::sync::atomic::Ordering::Release);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { writer.retire(anchor) };
         writer.force_empty();
         assert_eq!(writer.retired_len(), 0, "seed {seed:#x}");
@@ -126,6 +129,7 @@ fn hp_protection_is_exact() {
             let _ = reader.read(&cell, 0);
         }
         cell.store(Shared::null(), std::sync::atomic::Ordering::Release);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { writer.retire(n) };
         assert_eq!(writer.retired_len() == 1, protect);
         reader.end_op();
@@ -157,6 +161,7 @@ fn alloc_index_respects_interval() {
         h.update_lower_bound(ra);
         h.update_upper_bound(rb);
         let n = h.alloc(0u8);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         let idx = unsafe { n.deref() }.index();
         if hi - lo <= 1 {
             assert_eq!(idx, USE_HP, "lo {lo} hi {hi} (seed {seed:#x})");
@@ -164,6 +169,7 @@ fn alloc_index_respects_interval() {
             assert!(lo < idx && idx < hi, "idx {idx} not inside ({lo}, {hi}) (seed {seed:#x})");
         }
         h.end_op();
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe {
             h.retire(n);
             h.retire(a);

@@ -24,8 +24,10 @@ fn lifecycle<S: Smr>() {
         let n = a.alloc(round);
         let cell = Atomic::new(n);
         let r = b.read(&cell, 0);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         assert_eq!(unsafe { *r.deref().data() }, round);
         cell.store(Shared::null(), Ordering::Release);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { a.retire(n) };
         a.end_op();
         b.end_op();
@@ -54,6 +56,7 @@ fn leaky_lifecycle_defers_to_scheme_drop() {
     let mut h = smr.register();
     h.start_op();
     let n = h.alloc(1u8);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { h.retire(n) };
     h.end_op();
     h.force_empty();
@@ -77,6 +80,7 @@ fn tid_recycling_clears_protection() {
     h2.start_op();
     let n = cell.load(Ordering::Acquire);
     cell.store(Shared::null(), Ordering::Release);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { h2.retire(n) };
     h2.force_empty();
     assert_eq!(h2.retired_len(), 0, "stale hazard from dead handle must not pin");
@@ -91,6 +95,7 @@ fn panicking_thread_releases_its_handle() {
         let mut h = smr2.register();
         h.start_op();
         let n = h.alloc(5u8);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { h.retire(n) };
         panic!("worker dies mid-operation");
     })
@@ -122,6 +127,7 @@ fn two_schemes_coexist_in_one_process() {
     hh.start_op();
     let a = hm.alloc(1u64);
     let b = hh.alloc(2u64);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe {
         hm.retire(a);
         hh.retire(b);
@@ -149,6 +155,7 @@ fn mp_class_boundary_index_is_hazard_protected() {
         let got = reader.read(&cell, 0);
         assert_eq!(got, n, "read must return the node for idx {idx:#x}");
         cell.store(Shared::null(), Ordering::Release);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { writer.retire(n) };
         writer.force_empty();
         assert_eq!(
@@ -180,6 +187,7 @@ fn ibr_extends_interval_for_late_born_nodes() {
     // Advance the epoch well past the reader's reservation.
     for i in 0..5u32 {
         let churn = writer.alloc(i);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { writer.retire(churn) };
     }
     let late = writer.alloc(99u32); // birth > reader's initial upper bound
@@ -187,6 +195,7 @@ fn ibr_extends_interval_for_late_born_nodes() {
     let got = reader.read(&cell, 0); // must extend upper to cover it
     assert_eq!(got, late);
     cell.store(Shared::null(), Ordering::Release);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { writer.retire(late) };
     writer.force_empty();
     assert_eq!(
@@ -194,6 +203,7 @@ fn ibr_extends_interval_for_late_born_nodes() {
         1,
         "extended reservation must pin the late-born node"
     );
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     assert_eq!(unsafe { *got.deref().data() }, 99);
     reader.end_op();
     writer.end_op();
@@ -216,6 +226,7 @@ fn hp_unprotect_releases_exactly_one_slot() {
     let _ = reader.read(&cb, 1);
     ca.store(Shared::null(), Ordering::Release);
     cb.store(Shared::null(), Ordering::Release);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe {
         writer.retire(a);
         writer.retire(b);
@@ -241,6 +252,7 @@ fn stats_account_for_full_life_cycle() {
     let cell = Atomic::new(n);
     let _ = h.read(&cell, 0);
     h.end_op();
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { h.retire(n) };
     h.force_empty();
     let s = h.stats();

@@ -175,6 +175,8 @@ fn class_layout(class: usize) -> Layout {
 /// exclusively owned by whichever list holds it, so moving it across threads
 /// through the shard is sound.
 struct Block(*mut u8);
+// SAFETY: [INV-08] a free block is exclusively owned by whichever list holds
+// it (see the struct docs), so moving it across threads is sound.
 unsafe impl Send for Block {}
 
 struct ThreadCache {
@@ -196,6 +198,8 @@ impl ThreadCache {
                     shard.classes[class].push(block);
                 } else {
                     RELEASED.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: [INV-08] the block is exclusively ours (drained
+                    // from our list) and was allocated with this class layout.
                     unsafe { raw_dealloc(block.0, class_layout(class)) };
                 }
             }
@@ -231,7 +235,8 @@ fn lock_shard() -> std::sync::MutexGuard<'static, Shard> {
 
 fn raw_alloc(layout: Layout) -> *mut u8 {
     debug_assert!(layout.size() > 0, "pool does not serve zero-sized layouts");
-    // SAFETY: layout has non-zero size (all SMR nodes carry a header).
+    // SAFETY: [INV-08] layout has non-zero size (all SMR nodes carry a
+    // header), asserted above.
     let ptr = unsafe { std::alloc::alloc(layout) };
     if ptr.is_null() {
         std::alloc::handle_alloc_error(layout);
@@ -239,7 +244,13 @@ fn raw_alloc(layout: Layout) -> *mut u8 {
     ptr
 }
 
+/// # Safety
+/// `ptr` must have been returned by [`raw_alloc`] with this exact `layout`
+/// and must not be used again after this call.
+// SAFETY: [INV-11] unsafe fn: contract stated in `# Safety` above,
+// discharged by every caller ([INV-08]).
 unsafe fn raw_dealloc(ptr: *mut u8, layout: Layout) {
+    // SAFETY: [INV-08] forwarded from this fn's own contract.
     unsafe { std::alloc::dealloc(ptr, layout) };
 }
 
@@ -273,6 +284,8 @@ pub fn alloc(layout: Layout) -> (*mut u8, bool) {
 /// # Safety
 /// `ptr` must have been returned by [`alloc`] called with the same `layout`,
 /// and must not be used again after this call.
+// SAFETY: [INV-11] unsafe fn: contract stated in `# Safety` above,
+// discharged by every caller ([INV-08]).
 pub unsafe fn dealloc(ptr: *mut u8, layout: Layout) {
     match class_of(layout) {
         Some(class) if enabled() => {
@@ -280,15 +293,21 @@ pub unsafe fn dealloc(ptr: *mut u8, layout: Layout) {
                 RECYCLED.fetch_add(1, Ordering::Relaxed);
             } else {
                 RELEASED.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: [INV-08] forwarded from this fn's contract; pooled
+                // layouts are served (and freed) with their class layout.
                 unsafe { raw_dealloc(ptr, class_layout(class)) };
             }
         }
         Some(class) => {
             RELEASED.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: [INV-08] forwarded from this fn's contract; pooled
+            // layouts are served (and freed) with their class layout.
             unsafe { raw_dealloc(ptr, class_layout(class)) };
         }
         None => {
             RELEASED.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: [INV-08] forwarded: unpooled layouts go straight to
+            // the system allocator with the caller's layout.
             unsafe { raw_dealloc(ptr, layout) };
         }
     }
@@ -382,10 +401,12 @@ mod tests {
         set_enabled(true);
         let layout = Layout::from_size_align(48, 8).unwrap();
         let (p1, _) = alloc(layout);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { dealloc(p1, layout) };
         let (p2, from_pool) = alloc(layout);
         assert_eq!(p1, p2, "LIFO free list must hand the same block back");
         assert!(from_pool);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { dealloc(p2, layout) };
     }
 
@@ -398,10 +419,12 @@ mod tests {
         let b = Layout::from_size_align(128, 16).unwrap();
         assert_eq!(class_of(a), class_of(b));
         let (p1, _) = alloc(a);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { dealloc(p1, a) };
         let (p2, from_pool) = alloc(b);
         assert_eq!(p1, p2);
         assert!(from_pool);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { dealloc(p2, b) };
     }
 
@@ -416,6 +439,7 @@ mod tests {
         for layout in [big, aligned] {
             let (p, from_pool) = alloc(layout);
             assert!(!from_pool);
+            // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
             unsafe { dealloc(p, layout) };
         }
     }
@@ -427,9 +451,11 @@ mod tests {
         let layout = Layout::from_size_align(64, 8).unwrap();
         let (p1, from_pool) = alloc(layout);
         assert!(!from_pool);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { dealloc(p1, layout) };
         let (p2, from_pool) = alloc(layout);
         assert!(!from_pool, "disabled pool must always miss");
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { dealloc(p2, layout) };
         set_enabled(true);
     }
@@ -442,6 +468,7 @@ mod tests {
         let layout = Layout::from_size_align(MAX_POOLED_SIZE - 8, 16).unwrap();
         let ptr = std::thread::spawn(move || {
             let (p, _) = alloc(layout);
+            // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
             unsafe { dealloc(p, layout) };
             flush();
             p as usize
@@ -453,6 +480,7 @@ mod tests {
         let (p, from_pool) = alloc(layout);
         assert!(from_pool, "flushed block must be visible via the shard");
         assert_eq!(p as usize, ptr);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { dealloc(p, layout) };
     }
 
@@ -467,6 +495,7 @@ mod tests {
         }
         let before = stats();
         for p in ptrs {
+            // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
             unsafe { dealloc(p, layout) };
         }
         let after = stats();

@@ -48,10 +48,11 @@ pub struct RingBuffer<T> {
     dropped: AtomicU64,
 }
 
-// SAFETY: slots are only accessed under the sequence protocol, which hands
-// each slot to exactly one thread at a time; `T: Copy` records carry no
-// drop glue or interior references.
+// SAFETY: [INV-13] slots are only accessed under the sequence protocol,
+// which hands each slot to exactly one thread at a time; `T: Copy` records
+// carry no drop glue or interior references.
 unsafe impl<T: Send + Copy> Send for RingBuffer<T> {}
+// SAFETY: [INV-13] see above.
 unsafe impl<T: Send + Copy> Sync for RingBuffer<T> {}
 
 impl<T: Copy> RingBuffer<T> {
@@ -117,7 +118,7 @@ impl<T: Copy> RingBuffer<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // SAFETY: the CAS gave this thread exclusive write
+                        // SAFETY: [INV-13] the CAS gave this thread exclusive write
                         // access to the slot until `seq` is republished.
                         unsafe { (*slot.value.get()).write(value) };
                         slot.seq.store(pos + 1, Ordering::Release);
@@ -152,7 +153,7 @@ impl<T: Copy> RingBuffer<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // SAFETY: the CAS gave this thread exclusive read
+                        // SAFETY: [INV-13] the CAS gave this thread exclusive read
                         // access; the producer's Release store ordered the
                         // value write before the seq we acquired.
                         let value = unsafe { (*slot.value.get()).assume_init() };

@@ -71,9 +71,10 @@ fn main() {
     let node = op.alloc_with_index(123u64, 42 << 16);
     let cell = Atomic::new(node); // publish ...
     let seen = op.read(&cell, 0); // ... and load through protected read
+    // SAFETY: [INV-01] deref inside the `op` pin span that read `seen`.
     println!("raw API: read back key {}", unsafe { *seen.deref().data() });
     cell.store(Shared::null(), std::sync::atomic::Ordering::Release); // unlink
-    unsafe { op.retire(node) }; // safe: unlinked, retired once
+    unsafe { op.retire(node) }; // SAFETY: [INV-04] unlinked above, retired once.
     drop(op); // end_op: protections released, node reclaimable
     drop(handle);
 }

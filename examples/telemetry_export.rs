@@ -94,7 +94,7 @@ fn main() {
         for i in 0..2_000u64 {
             let mut op = h.pin();
             let n = op.alloc_with_index(i, ((i % 60_000) as u32 + 2_000) << 16);
-            unsafe { op.retire(n) };
+            unsafe { op.retire(n) }; // SAFETY: [INV-04] never published, retired once.
             drop(op);
         }
         merged.merge(&h.snapshot());

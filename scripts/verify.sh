@@ -8,6 +8,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
+# Lint gate: the in-tree SMR protocol linter (unsafe-invariant audit,
+# memory-ordering gate, protection-scope heuristic, forbidden-API pass)
+# must report zero diagnostics before any test runs. Exit 1 = findings,
+# exit 2 = configuration error (missing INVARIANTS.md / ordering.rules);
+# both abort the gate.
+echo "==> mp-lint (SMR protocol linter over crates/ tests/ examples/ src/)"
+cargo run -q --release --offline -p mp-lint -- crates tests examples src
+
 echo "==> cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 

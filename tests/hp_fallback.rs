@@ -19,6 +19,7 @@ fn mp_without_bound_hints_degenerates_to_hp() {
     client.start_op();
     // Without hints the search interval is (0,0) ⇒ every alloc collides.
     let n = client.alloc(42u32);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     assert_eq!(unsafe { n.deref() }.index(), USE_HP);
 
     // Reads of USE_HP nodes are hazard-protected and block reclamation.
@@ -27,9 +28,11 @@ fn mp_without_bound_hints_degenerates_to_hp() {
     assert!(owner.stats().hp_fallback_reads >= 1);
 
     cell.store(Shared::null(), Ordering::Release);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { client.retire(n) };
     client.force_empty();
     assert_eq!(client.retired_len(), 1, "owner's hazard pins the node");
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     assert_eq!(unsafe { *got.deref().data() }, 42);
 
     owner.end_op();

@@ -44,7 +44,9 @@ fn double_retire_trips_the_oracle() {
     h.start_op();
     let n = h.alloc(1u64);
     h.end_op();
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { h.retire(n) };
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     let msg = oracle_panic(|| unsafe { h.retire(n) });
     assert!(msg.contains("double retire"), "wrong diagnosis: {msg}");
     assert!(msg.contains("reclamation oracle"), "unbranded report: {msg}");
@@ -57,6 +59,7 @@ fn use_after_free_trips_the_canary() {
     h.start_op();
     let n = h.alloc(2u64);
     h.end_op();
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { h.retire(n) };
     // No hazard protects `n`, so a forced scan reclaims it: the payload is
     // poisoned and the header canary flipped, with the memory parked in
@@ -64,6 +67,7 @@ fn use_after_free_trips_the_canary() {
     // the poisoned canary deterministically.
     h.force_empty();
     let msg = oracle_panic(|| {
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         let _ = unsafe { n.deref() };
     });
     assert!(msg.contains("use-after-free"), "wrong diagnosis: {msg}");
@@ -82,6 +86,7 @@ fn use_after_free_still_caught_with_pool_enabled() {
     h.start_op();
     let n = h.alloc(7u64);
     h.end_op();
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { h.retire(n) };
     h.force_empty();
     // Churn through more allocations than the quarantine would need to
@@ -90,11 +95,13 @@ fn use_after_free_still_caught_with_pool_enabled() {
     h.start_op();
     for i in 0..32u64 {
         let m = h.alloc(i);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { h.retire(m) };
     }
     h.end_op();
     h.force_empty();
     let msg = oracle_panic(|| {
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         let _ = unsafe { n.deref() };
     });
     assert!(msg.contains("use-after-free"), "wrong diagnosis: {msg}");
@@ -107,8 +114,10 @@ fn retire_after_free_trips_the_oracle() {
     h.start_op();
     let n = h.alloc(3u64);
     h.end_op();
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { h.retire(n) };
     h.force_empty();
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     let msg = oracle_panic(|| unsafe { h.retire(n) });
     assert!(msg.contains("freed or never-allocated"), "wrong diagnosis: {msg}");
 }
@@ -130,7 +139,9 @@ fn oracle_reports_carry_the_replay_seed() {
     h.start_op();
     let n = h.alloc(4u64);
     h.end_op();
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     unsafe { h.retire(n) };
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
     let msg = oracle_panic(|| unsafe { h.retire(n) });
     assert!(
         msg.contains(&format!("MP_CHECK_SEED={SEED:#x}")),

@@ -63,6 +63,7 @@ fn armed_run_traces_exports_and_disarmed_run_has_no_ring() {
         assert!(h.events().is_some(), "armed handles must carry an event ring");
         let mut op = h.pin();
         let n = op.alloc_with_index(7u64, 21 << 16);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { op.retire(n) };
         drop(op);
         h.force_empty();
@@ -101,6 +102,7 @@ fn armed_run_traces_exports_and_disarmed_run_has_no_ring() {
         assert!(h.events().is_none(), "disarmed handles must not allocate a ring");
         let mut op = h.pin();
         let n = op.alloc(1u32);
+        // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { op.retire(n) };
         drop(op);
         let snap = h.snapshot();
