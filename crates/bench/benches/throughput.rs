@@ -27,6 +27,9 @@ struct Point {
     allocs_per_op: f64,
     pool_hit_rate: f64,
     fences_per_op: f64,
+    /// Per-site attribution of `fences_per_op`:
+    /// `[start_op, end_op, announce, hp_protect]`.
+    fence_site_per_op: [f64; 4],
     scan_heap_allocs: u64,
     empties: u64,
 }
@@ -42,6 +45,7 @@ impl Point {
             allocs_per_op: r.allocs_per_op,
             pool_hit_rate: r.pool_hit_rate,
             fences_per_op: r.telemetry.fences() as f64 / r.telemetry.ops().max(1) as f64,
+            fence_site_per_op: r.fence_site_per_op,
             scan_heap_allocs: r.telemetry.scan_heap_allocs(),
             empties: r.telemetry.empties(),
         }
@@ -51,7 +55,10 @@ impl Point {
         format!(
             "{{\"scheme\": {}, \"structure\": {}, \"threads\": {}, \"pool\": {}, \
              \"mops\": {:.4}, \"allocs_per_op\": {:.5}, \"pool_hit_rate\": {:.4}, \
-             \"fences_per_op\": {:.4}, \"scan_heap_allocs\": {}, \"empties\": {}}}",
+             \"fences_per_op\": {:.4}, \
+             \"fences_start_op_per_op\": {:.4}, \"fences_end_op_per_op\": {:.4}, \
+             \"fences_announce_per_op\": {:.4}, \"fences_hp_protect_per_op\": {:.4}, \
+             \"scan_heap_allocs\": {}, \"empties\": {}}}",
             json_str(self.scheme),
             json_str(self.structure),
             self.threads,
@@ -60,6 +67,10 @@ impl Point {
             self.allocs_per_op,
             self.pool_hit_rate,
             self.fences_per_op,
+            self.fence_site_per_op[0],
+            self.fence_site_per_op[1],
+            self.fence_site_per_op[2],
+            self.fence_site_per_op[3],
             self.scan_heap_allocs,
             self.empties,
         )
@@ -110,7 +121,17 @@ fn main() {
 
     let mut table = Table::new(
         "Throughput trajectory: node pool off vs on (read-dominated)",
-        &["structure", "threads", "scheme", "pool", "Mops/s", "allocs/op", "pool-hit", "fences/op"],
+        &[
+            "structure",
+            "threads",
+            "scheme",
+            "pool",
+            "Mops/s",
+            "allocs/op",
+            "pool-hit",
+            "fences/op",
+            "f-sites s/e/a/h",
+        ],
     );
     for pt in &points {
         table.row(vec![
@@ -122,13 +143,20 @@ fn main() {
             format!("{:.4}", pt.allocs_per_op),
             format!("{:.3}", pt.pool_hit_rate),
             format!("{:.3}", pt.fences_per_op),
+            format!(
+                "{:.2}/{:.2}/{:.2}/{:.2}",
+                pt.fence_site_per_op[0],
+                pt.fence_site_per_op[1],
+                pt.fence_site_per_op[2],
+                pt.fence_site_per_op[3],
+            ),
         ]);
     }
     table.emit("throughput");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"mp-bench/throughput/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"mp-bench/throughput/v2\",");
     let _ = writeln!(
         json,
         "  \"config\": {{\"threads\": {:?}, \"duration_ms\": {}, \"runs\": {}, \"workload\": \"read-dominated\"}},",

@@ -1,0 +1,83 @@
+//! Single-thread hot-path microbenchmark: pure `contains` traffic on a
+//! prefilled list, per scheme. Reports ns/op and ns/hop — the numbers the
+//! fence-amortization work optimizes — without the full sweep machinery,
+//! so a hot-path edit can be measured in seconds.
+//!
+//! Knobs: `MP_HOTPATH_PREFILL` (default 256), `MP_HOTPATH_OPS`
+//! (default 2_000_000).
+
+use std::time::Instant;
+
+use mp_ds::{ConcurrentSet, LinkedList};
+use mp_smr::schemes::{Ebr, He, Hp, Ibr, Mp};
+use mp_smr::{Config, Smr, SmrHandle};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn run<S: Smr>(name: &str, prefill: usize, ops: usize) {
+    let cfg = Config::default()
+        .with_max_threads(2)
+        .with_slots_per_thread(mp_ds::skiplist::SLOTS_NEEDED)
+        .with_margin(1 << 30);
+    let smr = S::new(cfg);
+    let list: LinkedList<S> = LinkedList::new(&smr);
+    let key_range = 2 * prefill as u64;
+    let mut rng = Lcg(0x5eed);
+    {
+        let mut setup = smr.register();
+        let mut added = 0;
+        while added < prefill {
+            if list.insert(&mut setup, rng.next() % key_range) {
+                added += 1;
+            }
+        }
+    }
+    let updates = env_usize("MP_HOTPATH_UPDATES", 0) as u64;
+    let mut h = smr.register();
+    let t0 = Instant::now();
+    let mut found = 0usize;
+    for _ in 0..ops {
+        let key = rng.next() % key_range;
+        if rng.next() % 100 < updates {
+            if !list.insert(&mut h, key) {
+                list.remove(&mut h, key);
+            }
+        } else if list.contains(&mut h, key) {
+            found += 1;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let stats = h.stats().clone();
+    let ns_op = elapsed.as_nanos() as f64 / ops as f64;
+    let ns_hop = elapsed.as_nanos() as f64 / stats.nodes_traversed.max(1) as f64;
+    println!(
+        "{name:>4}: {ns_op:8.1} ns/op  {ns_hop:6.2} ns/hop  \
+         ({:.1} hops/op, {:.4} fences/op, {} empties, avg retired {:.1}, found {found})",
+        stats.nodes_traversed as f64 / stats.ops.max(1) as f64,
+        stats.fences as f64 / stats.ops.max(1) as f64,
+        stats.empties,
+        stats.avg_retired_at_op_start(),
+    );
+}
+
+fn main() {
+    let prefill = env_usize("MP_HOTPATH_PREFILL", 256);
+    let ops = env_usize("MP_HOTPATH_OPS", 2_000_000);
+    println!("hotpath: prefill {prefill}, {ops} contains ops, 1 thread");
+    run::<Mp>("MP", prefill, ops);
+    run::<He>("HE", prefill, ops);
+    run::<Ebr>("EBR", prefill, ops);
+    run::<Ibr>("IBR", prefill, ops);
+    run::<Hp>("HP", prefill, ops);
+}

@@ -80,7 +80,15 @@ impl BenchParams {
         let prefill = crate::prefill_size(paper_prefill);
         let mut p = Self::new(threads, prefill, mix);
         let scale = (paper_prefill as u64).div_ceil(prefill as u64).max(1);
-        let margin = ((1u64 << 20) * scale).next_power_of_two().min(1 << 28) as u32;
+        // Quadratic margin scaling: midpoint assignment splits index gaps
+        // binarily, so a `scale`×-smaller structure not only spreads nodes
+        // `scale`× further apart on average but also *widens the spread* of
+        // gap sizes (fewer splits of the same 2^32 space) — linear scaling
+        // was measured to leave MP re-announcing on most hops at the CI
+        // prefill. `scale = 1` (full paper size) still yields the paper's
+        // 2^20 operating point; the cap keeps `2·margin < max_index`
+        // (Config validation headroom).
+        let margin = ((1u64 << 20) * scale * scale).next_power_of_two().min(1 << 30) as u32;
         p.config = p.config.with_margin(margin);
         p
     }
@@ -120,6 +128,12 @@ pub struct BenchResult {
     pub avg_retired: f64,
     /// Fences per traversed node (Figure 5's metric).
     pub fences_per_node: f64,
+    /// Fences per completed operation (the fence-budget metric).
+    pub fences_per_op: f64,
+    /// Per-site attribution of `fences_per_op`, in the order
+    /// `[start_op, end_op, announce, hp_protect]` (see
+    /// [`mp_smr::FenceSite`]).
+    pub fence_site_per_op: [f64; 4],
     /// Peak global retired-pending observed by a 10 ms poller.
     pub peak_pending: usize,
     /// Fraction of reads that took MP's hazard-pointer fallback.
@@ -299,11 +313,19 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
     }
     let total = total_ops.load(Ordering::Acquire);
     let reads = merged.nodes_traversed().max(1);
+    let ops = merged.ops().max(1) as f64;
     BenchResult {
         total_ops: total,
         mops: total as f64 / p.duration.as_secs_f64() / 1e6,
         avg_retired: merged.avg_retired_at_op_start(),
         fences_per_node: merged.fences_per_node(),
+        fences_per_op: merged.fences() as f64 / ops,
+        fence_site_per_op: [
+            merged.fences_start_op() as f64 / ops,
+            merged.fences_end_op() as f64 / ops,
+            merged.fences_announce() as f64 / ops,
+            merged.fences_hp_protect() as f64 / ops,
+        ],
         peak_pending,
         hp_fallback_rate: merged.hp_fallback_reads() as f64 / reads as f64,
         allocs_per_op: merged.allocs_per_op(),
@@ -329,6 +351,10 @@ pub fn run_avg<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams, n: usize) -> BenchR
         acc.mops += r.mops;
         acc.avg_retired += r.avg_retired;
         acc.fences_per_node += r.fences_per_node;
+        acc.fences_per_op += r.fences_per_op;
+        for (a, b) in acc.fence_site_per_op.iter_mut().zip(&r.fence_site_per_op) {
+            *a += b;
+        }
         acc.peak_pending = acc.peak_pending.max(r.peak_pending);
         acc.hp_fallback_rate += r.hp_fallback_rate;
         acc.allocs_per_op += r.allocs_per_op;
@@ -338,6 +364,10 @@ pub fn run_avg<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams, n: usize) -> BenchR
     acc.mops /= n;
     acc.avg_retired /= n;
     acc.fences_per_node /= n;
+    acc.fences_per_op /= n;
+    for a in acc.fence_site_per_op.iter_mut() {
+        *a /= n;
+    }
     acc.hp_fallback_rate /= n;
     acc.allocs_per_op /= n;
     acc.pool_hit_rate /= n;

@@ -565,8 +565,11 @@ mod tests {
         let n = op.alloc_with_index(1u8, 5 << 16);
         unsafe { op.retire(n) }; // SAFETY: [INV-12] never published, retired once.
         drop(op);
-        // start_op and end_op each fence once under MP's default config.
-        assert_eq!(h.stats().fences, fences_before + 2, "drop must end_op");
+        // Amortized MP: the first start_op announces the epoch (one fence);
+        // end_op releases hazard slots fence-free and keeps the margins.
+        assert_eq!(h.stats().fences, fences_before + 1, "first pin announces once");
+        assert_eq!(h.stats().fences_start_op, 1);
+        assert_eq!(h.stats().fences_end_op, 0, "amortized end_op is fence-free");
         // The handle is reusable after the guard drops.
         let op = h.pin();
         assert_eq!(op.stats().ops, 2);
@@ -583,6 +586,8 @@ mod tests {
         }));
         assert!(caught.is_err());
         assert_eq!(h.stats().ops, 1);
-        assert_eq!(h.stats().fences, 2, "end_op must run while unwinding");
+        // end_op (fence-free under amortized MP) must still have run: the
+        // hazard row is cleared even though no fence is issued.
+        assert_eq!(h.stats().fences, 1, "only the start_op announcement fences");
     }
 }

@@ -57,7 +57,7 @@ pub use api::{Config, ConfigError, IndexPolicy, OpGuard, Smr, SmrHandle};
 pub use builder::SmrBuilder;
 pub use node::{gauge, SmrNode};
 pub use packed::{Atomic, Shared};
-pub use stats::OpStats;
+pub use stats::{FenceSite, OpStats};
 pub use telemetry::{
     Counter, EventKind, EventRecord, EventRing, HandleTelemetry, SchemeTelemetry, Telemetry,
     TelemetrySnapshot, WasteSample, WasteSampler, WasteSeries,

@@ -2,6 +2,7 @@
 
 use core::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
+use crate::stats::FenceSite;
 use crate::telemetry::HandleTelemetry;
 
 /// Sentinel announced-epoch value meaning "thread not inside an operation".
@@ -14,11 +15,12 @@ pub const NO_HAZARD: u64 = 0;
 /// (Listing 10's `NO_MARGIN`, widened to the u64 slot width).
 pub const NO_MARGIN: u64 = u64::MAX;
 
-/// Issues a full sequentially consistent fence and counts it (Figure 5).
+/// Issues a full sequentially consistent fence and counts it (Figure 5),
+/// attributed to the issuing call site for the per-site fence breakdown.
 #[inline]
-pub fn counted_fence(tele: &mut HandleTelemetry) {
+pub fn counted_fence(tele: &mut HandleTelemetry, site: FenceSite) {
     fence(Ordering::SeqCst);
-    tele.record_fence();
+    tele.record_fence(site);
 }
 
 /// Global gauge shared by every scheme instance: retired-but-unreclaimed
@@ -94,8 +96,10 @@ mod tests {
     #[test]
     fn fence_counted() {
         let mut t = HandleTelemetry::new(0);
-        counted_fence(&mut t);
-        counted_fence(&mut t);
+        counted_fence(&mut t, FenceSite::StartOp);
+        counted_fence(&mut t, FenceSite::Announce);
         assert_eq!(t.stats().fences, 2);
+        assert_eq!(t.stats().fences_start_op, 1);
+        assert_eq!(t.stats().fences_announce, 1);
     }
 }

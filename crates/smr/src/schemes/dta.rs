@@ -31,6 +31,7 @@ use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
 use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::stats::FenceSite;
 use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Data-structure-specific freezing callback (see module docs).
@@ -366,7 +367,7 @@ impl DtaHandle {
     /// traversal steps — DTA's replacement for a hazard fence per read.
     pub fn post_anchor(&mut self, node_addr: u64) {
         self.scheme.anchors.get(self.tid, 0).store(node_addr, Ordering::Release);
-        counted_fence(&mut self.tele);
+        counted_fence(&mut self.tele, FenceSite::Announce);
     }
 
     /// The configured anchor cadence (hops between posts).
@@ -385,7 +386,7 @@ impl DtaHandle {
         self.stamp = e;
         self.scheme.announce.get(self.tid, 0).store(e, Ordering::Release);
         self.scheme.anchors.get(self.tid, 0).store(0, Ordering::Release);
-        counted_fence(&mut self.tele);
+        counted_fence(&mut self.tele, FenceSite::StartOp);
     }
 
 }
@@ -402,7 +403,7 @@ impl SmrHandle for DtaHandle {
         let e = self.scheme.clock.advance(); // fresh stamp ⇒ visible progress
         self.stamp = e;
         self.scheme.announce.get(self.tid, 0).store(e, Ordering::Release);
-        counted_fence(&mut self.tele);
+        counted_fence(&mut self.tele, FenceSite::StartOp);
     }
 
     fn end_op(&mut self) {

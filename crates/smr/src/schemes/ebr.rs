@@ -22,6 +22,7 @@ use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
 use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::stats::FenceSite;
 use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Epoch-based reclamation scheme (shared state).
@@ -168,7 +169,7 @@ impl SmrHandle for EbrHandle {
         let e = self.scheme.clock.now();
         self.scheme.announce.get(self.tid, 0).store(e, Ordering::Release);
         // The announcement must be visible before any data-structure read.
-        counted_fence(&mut self.tele);
+        counted_fence(&mut self.tele, FenceSite::StartOp);
     }
 
     fn end_op(&mut self) {

@@ -24,6 +24,7 @@ use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
 use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::stats::FenceSite;
 use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Hazard-eras SMR scheme (shared state).
@@ -216,7 +217,7 @@ impl SmrHandle for HeHandle {
             }
             self.scheme.era_slots.get(self.tid, refno).store(era, Ordering::Release);
             self.local[refno] = era;
-            counted_fence(&mut self.tele);
+            counted_fence(&mut self.tele, FenceSite::Announce);
             prev = era;
         }
     }

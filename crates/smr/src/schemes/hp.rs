@@ -25,6 +25,7 @@ use crate::packed::{Atomic, Shared};
 use crate::registry::Registry;
 use crate::registry::SlotArray;
 use crate::schemes::common::{counted_fence, NO_HAZARD};
+use crate::stats::FenceSite;
 use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Hazard-pointer SMR scheme (shared state).
@@ -217,7 +218,7 @@ impl SmrHandle for HpHandle {
             // Unoptimized baseline: fence after clearing each slot.
             for slot in self.scheme.hp_slots.row(self.tid) {
                 slot.store(NO_HAZARD, Ordering::Release);
-                counted_fence(&mut self.tele);
+                counted_fence(&mut self.tele, FenceSite::EndOp);
             }
             self.local.fill(NO_HAZARD);
             return;
@@ -225,7 +226,7 @@ impl SmrHandle for HpHandle {
         // Paper optimization: clear all slots, then a single fence.
         self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
         self.local.fill(NO_HAZARD);
-        counted_fence(&mut self.tele);
+        counted_fence(&mut self.tele, FenceSite::EndOp);
     }
 
     fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
@@ -241,7 +242,7 @@ impl SmrHandle for HpHandle {
             }
             self.scheme.hp_slots.get(self.tid, refno).store(addr, Ordering::Release);
             self.local[refno] = addr;
-            counted_fence(&mut self.tele);
+            counted_fence(&mut self.tele, FenceSite::HpProtect);
             // Validate the node is still reachable from `src`: success means
             // the announcement happened while the node was linked (§3.1).
             if src.load(Ordering::Acquire) == w {

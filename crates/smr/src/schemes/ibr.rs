@@ -30,6 +30,7 @@ use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
 use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::stats::FenceSite;
 use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
 
 const LOWER: usize = 0;
@@ -182,7 +183,7 @@ impl SmrHandle for IbrHandle {
         self.scheme.reservations.get(self.tid, UPPER).store(e, Ordering::Release);
         self.upper_local = e;
         // Reservation must be visible before any data-structure read.
-        counted_fence(&mut self.tele);
+        counted_fence(&mut self.tele, FenceSite::StartOp);
     }
 
     fn end_op(&mut self) {
@@ -203,7 +204,7 @@ impl SmrHandle for IbrHandle {
             self.scheme.reservations.get(self.tid, UPPER).store(e, Ordering::Release);
             self.upper_local = e;
             // The epoch changed under us — IBR's rare per-read cost.
-            counted_fence(&mut self.tele);
+            counted_fence(&mut self.tele, FenceSite::Announce);
         }
     }
 

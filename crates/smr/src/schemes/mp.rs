@@ -25,14 +25,41 @@
 //! `#HP + #MP·margin + #MP·margin·epoch_freq·T` — *predetermined*, unlike
 //! the robust-but-unbounded HE/IBR.
 //!
+//! ## Fence amortization (DESIGN.md "Fence amortization")
+//!
+//! The announcement fence is amortized across hops *and* operations:
+//!
+//! * **Forward-centered margins** — a fresh margin covers
+//!   `[idx_lo, idx_lo + margin]` (midpoint derived from the configured
+//!   `margin`, not a hardcoded half-block): traversals visit increasing
+//!   indices, so coverage is spent where the traversal is going.
+//! * **Cross-refno cover** — a read is fence-free when *any* of the
+//!   thread's announced margins covers the precision block, not just the
+//!   slot named by `refno`; refno rotation in clients no longer defeats
+//!   standing coverage.
+//! * **Persistent announcements** — `end_op` releases hazard slots only.
+//!   Margins and the announced epoch stay published (HE's lazy-era
+//!   discipline): a standing (margin, epoch) pair pins only nodes whose
+//!   lifetime contains that epoch — a finite, shrinking set — and the next
+//!   operation whose `start_op` sees an unchanged global epoch issues no
+//!   fence at all.
+//! * **Victim slots + protege re-cover** — reusing a refno parks the
+//!   evicted margin in an idle slot, and any node returned earlier in the
+//!   operation keeps a covering margin in its own slot; all such moves
+//!   happen inside a per-thread seqlock write cycle (`mp_versions`) whose
+//!   trailing announce fence publishes the whole batch, so a reclamation
+//!   scan can never observe a margin mid-move.
+//!
 //! ## Deviations from Listing 10 (documented in DESIGN.md)
 //!
-//! * The margin-hit fast path re-checks the global epoch (one shared load,
-//!   no fence). Without it, a node born *after* the thread's announced
-//!   epoch could be returned under margin protection yet be invisible to
-//!   the reclaimer's epoch filter — a use-after-free window. With the
-//!   check, observing an epoch change switches the operation to hazard
-//!   pointers, exactly the fallback §4.3.2 prescribes for the slow path.
+//! * The margin-hit fast path re-checks the global epoch (one shared
+//!   relaxed load, no fence). Without it, a node born *after* the thread's
+//!   announced epoch could be returned under margin protection yet be
+//!   invisible to the reclaimer's epoch filter — a use-after-free window.
+//!   On an observed advance the operation first tries to *re-arm* (one
+//!   fresh epoch announcement per op, valid only while the op has returned
+//!   no margin-protected node) and only then falls back to hazard pointers,
+//!   the §4.3.2 slow path.
 //! * `empty()` treats the entire top-64K index range as the `USE_HP` class
 //!   (the packed 16 bits cannot distinguish it) and checks *both* HP and MP
 //!   slots for every candidate, which is strictly conservative.
@@ -48,7 +75,15 @@ use crate::node::{is_use_hp_class, Retired, USE_HP};
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
 use crate::schemes::common::{counted_fence, INACTIVE, NO_HAZARD, NO_MARGIN};
+use crate::stats::FenceSite;
 use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
+
+/// Sentinel for "this refno returned no margin-protected node this op".
+const NO_PROTEGE: u64 = u64::MAX;
+
+/// Scan-side retries for a torn margin-row read before the conservative
+/// sticky-cover fallback.
+const SNAP_RETRIES: usize = 16;
 
 /// Margin-pointers SMR scheme (shared state).
 pub struct Mp {
@@ -60,6 +95,10 @@ pub struct Mp {
     hp_slots: SlotArray,
     /// Per-thread announced start-of-operation epochs (`INACTIVE` idle).
     local_epochs: SlotArray,
+    /// Per-thread seqlock versions over the margin row: odd while the owner
+    /// is moving margins between slots fence-free, bumped even when the
+    /// cycle completes. Reclamation scans retry on a torn read.
+    mp_versions: SlotArray,
     registry: Registry,
     cfg: Config,
     tele: SchemeTelemetry,
@@ -76,13 +115,48 @@ pub struct MpHandle {
     /// (Listing 5); consumed by [`SmrHandle::alloc`].
     lower_bound: u32,
     upper_bound: u32,
-    /// Epoch announced at `start_op`.
+    /// Epoch announced at `start_op` (or by a mid-op re-arm).
     epoch: u64,
     /// Cached `margin / 2` (avoids chasing the config on every read).
     margin_half: i64,
-    /// Set when the thread observes the epoch advancing mid-operation;
-    /// all subsequent reads protect with HPs (old margins remain valid).
+    /// Set when the thread observes the epoch advancing mid-operation and
+    /// cannot re-arm; all subsequent reads protect with HPs (old margins
+    /// remain valid).
     use_hp_mode: bool,
+    /// Local mirror of this thread's `mp_versions` cell.
+    version: u64,
+    /// Per-refno protege entries, packed as `gen_tag | block_no`: the
+    /// precision-block number (`idx_lo >> 16`, low 16 bits) of the last
+    /// node returned under margin protection this operation, stamped with
+    /// the operation generation (high bits). `0xffff` — the `USE_HP`
+    /// class, never a margin protege — marks "cleared this op", and a
+    /// stale generation means the entry died with its operation, so
+    /// `start_op` invalidates the whole row in O(1) and the hot path
+    /// records a protege with a single store. The API contract keeps a
+    /// protege's node protected until its refno is reused;
+    /// `announce_margin` re-covers any protege its stores would orphan.
+    proteges: Vec<u64>,
+    /// Slot that covered the previous fast-path hit — consecutive hops of
+    /// a traversal almost always stay inside one margin.
+    last_cover: usize,
+    /// Cached cover interval `[cover_lo, cover_hi]` (inclusive, empty when
+    /// `cover_lo > cover_hi`): a subset of one currently announced margin,
+    /// capped below the `USE_HP` class, so the hot-path cover check is two
+    /// register compares instead of a slot scan. Only `announce_margin` can
+    /// destroy announced coverage, and it re-primes the cache before
+    /// returning, so the cache never outlives the margin it mirrors.
+    cover_lo: u32,
+    cover_hi: u32,
+    /// Current operation's generation stamp, pre-shifted past the packed
+    /// block number (`generation << 16`); bumped by `start_op`.
+    gen_tag: u64,
+    /// Whether any hazard slot was published this operation — `end_op`'s
+    /// O(slots) hazard clear is owed only then (margin-path ops skip it).
+    hps_dirty: bool,
+    /// Rotating cursor for victim-slot selection on refno reuse.
+    victim_next: usize,
+    /// Whether this operation already consumed its one epoch re-arm.
+    rearmed: bool,
     /// Retired-list head and stats are cache-padded so two handles adjacent
     /// in memory never false-share their hottest mutable state (same
     /// treatment `registry.rs::SlotArray` gives slot rows).
@@ -109,6 +183,7 @@ impl Smr for Mp {
             mp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_MARGIN),
             hp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_HAZARD),
             local_epochs: SlotArray::new(cfg.max_threads, 1, INACTIVE),
+            mp_versions: SlotArray::new(cfg.max_threads, 1, 0),
             registry: Registry::new(cfg.max_threads),
             cfg,
             tele: SchemeTelemetry::new(),
@@ -127,6 +202,17 @@ impl Smr for Mp {
             epoch: 0,
             margin_half: (self.cfg.margin / 2) as i64,
             use_hp_mode: false,
+            // A reused tid continues the previous owner's (even) version.
+            version: self.mp_versions.get(tid, 0).load(Ordering::Acquire),
+            // Generation 0 never recurs, so the zeroed entries start dead.
+            proteges: vec![0; self.cfg.slots_per_thread],
+            last_cover: 0,
+            cover_lo: 1,
+            cover_hi: 0,
+            gen_tag: 1 << 16,
+            hps_dirty: false,
+            victim_next: 0,
+            rearmed: false,
             retired: CachePadded::new(Vec::new()),
             scan_scratch: Vec::new(),
             snaps: Vec::new(),
@@ -181,11 +267,19 @@ struct ThreadSnap {
     prefix_max_hi: Vec<i64>,
     /// Announced hazard addresses, sorted.
     hps: Vec<u64>,
+    /// Set when the margin row could not be read consistently within
+    /// [`SNAP_RETRIES`] seqlock attempts: every index is then treated as
+    /// covered by this thread. Strictly conservative (over-pins, never
+    /// under-protects); the epoch filter still applies.
+    sticky_cover: bool,
 }
 
 impl ThreadSnap {
     /// True if some margin interval of this thread intersects `[lo, hi]`.
     fn covers(&self, lo: i64, hi: i64) -> bool {
+        if self.sticky_cover {
+            return true;
+        }
         // Candidates: intervals starting at or before `hi`; among them the
         // largest end decides.
         let n = self.intervals.partition_point(|&(s, _)| s <= hi);
@@ -205,15 +299,34 @@ impl Mp {
         let half = (self.cfg.margin / 2) as i64;
         snaps.resize_with(self.cfg.max_threads, ThreadSnap::default);
         for (tid, snap) in snaps.iter_mut().enumerate() {
-            snap.intervals.clear();
-            snap.intervals.extend(
-                self.mp_slots
-                    .row(tid)
-                    .iter()
-                    .map(|s| s.load(Ordering::Acquire))
-                    .filter(|&v| v != NO_MARGIN)
-                    .map(|mp| (mp as i64 - half, mp as i64 + half)),
-            );
+            let version = self.mp_versions.get(tid, 0);
+            let mut tries = 0;
+            snap.sticky_cover = loop {
+                // Seqlock read: the owner moves margins between slots
+                // fence-free inside a write cycle (victim moves, protege
+                // re-covers). Accepting the row only when the version is
+                // even and unchanged across the reads guarantees — via the
+                // release/acquire chain through the version cell — that
+                // every store of the last completed cycle is visible, so
+                // the scan can never miss a margin that is mid-move.
+                let v1 = version.load(Ordering::Acquire);
+                snap.intervals.clear();
+                snap.intervals.extend(
+                    self.mp_slots
+                        .row(tid)
+                        .iter()
+                        .map(|s| s.load(Ordering::Acquire))
+                        .filter(|&v| v != NO_MARGIN)
+                        .map(|mp| (mp as i64 - half, mp as i64 + half)),
+                );
+                if version.load(Ordering::Acquire) == v1 && v1.is_multiple_of(2) {
+                    break false;
+                }
+                tries += 1;
+                if tries >= SNAP_RETRIES {
+                    break true;
+                }
+            };
             snap.intervals.sort_unstable();
             snap.prefix_max_hi.clear();
             let mut running = i64::MIN;
@@ -240,6 +353,13 @@ impl Mp {
 /// `[index & !0xffff, index | 0xffff]` block (Listing 10, note 7).
 fn precision_range(index: u32) -> (i64, i64) {
     ((index & 0xffff_0000) as i64, (index | 0xffff) as i64)
+}
+
+/// True when margin midpoint `mp` covers the whole precision block
+/// `[idx_lo, idx_hi]` under half-width `half`.
+#[inline]
+fn covers(mp: u64, half: i64, idx_lo: u32, idx_hi: u32) -> bool {
+    mp != NO_MARGIN && mp as i64 - half <= idx_lo as i64 && (idx_hi as i64) <= mp as i64 + half
 }
 
 impl MpHandle {
@@ -330,6 +450,8 @@ impl MpHandle {
         // indices (precision slack) and each index piles up at most F·T
         // same-epoch retirees per epoch window. Astronomically loose, but
         // predetermined — a scan bug that keeps everything still trips it.
+        // Persistent (cross-op) margins do not widen it: the bound already
+        // charges every slot of every thread.
         #[cfg(feature = "oracle")]
         {
             let cfg = &self.scheme.cfg;
@@ -355,56 +477,207 @@ impl MpHandle {
         }
         self.scheme.hp_slots.get(self.tid, refno).store(addr, Ordering::Release);
         self.local_hps[refno] = addr;
-        counted_fence(&mut self.tele);
+        self.hps_dirty = true;
+        counted_fence(&mut self.tele, FenceSite::HpProtect);
         if src.load(Ordering::Acquire) == w {
             Some(w)
         } else {
             None
         }
     }
-}
 
-impl SmrHandle for MpHandle {
-    fn start_op(&mut self) {
-        #[cfg(feature = "oracle")]
-        crate::oracle::enter_scheme("MP");
-        let retired_len = self.retired.len();
-        self.tele.record_op_start(retired_len);
+    /// Precision-block base of the protege slot `k` recorded by the
+    /// *current* operation, or `NO_PROTEGE`: entries stamped by earlier
+    /// operations are dead — `start_op` retires them all at once by
+    /// bumping `gen_tag`.
+    #[inline]
+    fn protege(&self, k: usize) -> u64 {
+        let e = self.proteges[k];
+        if e & !0xffff == self.gen_tag && e & 0xffff != 0xffff {
+            (e & 0xffff) << 16
+        } else {
+            NO_PROTEGE
+        }
+    }
+
+    #[inline]
+    fn set_protege(&mut self, k: usize, idx_lo: u32) {
+        self.proteges[k] = self.gen_tag | (idx_lo >> 16) as u64;
+    }
+
+    #[inline]
+    fn clear_protege(&mut self, k: usize) {
+        self.proteges[k] = self.gen_tag | 0xffff;
+    }
+
+    /// Primes the cover cache with the interval of the announced midpoint
+    /// `mid`. The cached bounds saturate *inward* (never widen) and cap
+    /// below the `USE_HP` class, so a cache hit simultaneously proves the
+    /// precision block is margin-covered and not `USE_HP`-stamped.
+    #[inline]
+    fn cache_cover(&mut self, mid: u64) {
+        let half = self.margin_half as u64;
+        self.cover_lo = u32::try_from(mid.saturating_sub(half)).unwrap_or(u32::MAX);
+        self.cover_hi = (mid.saturating_add(half)).min(0xfffe_ffff) as u32;
+    }
+
+    /// Index of a local slot whose margin covers the precision block
+    /// `[idx_lo, idx_hi]`, if any: the refno's own slot first (free when
+    /// the client re-reads through one refno), then the slot that covered
+    /// the previous hit (consecutive traversal hops share a margin), then
+    /// a full scan — the cross-refno cover check that elides
+    /// re-announcements when clients rotate refnos per hop.
+    #[inline]
+    fn covering_slot(&self, refno: usize, idx_lo: u32, idx_hi: u32) -> Option<usize> {
+        let half = self.margin_half;
+        if covers(self.local_mps[refno], half, idx_lo, idx_hi) {
+            return Some(refno);
+        }
+        let last = self.last_cover;
+        if last != refno && covers(self.local_mps[last], half, idx_lo, idx_hi) {
+            return Some(last);
+        }
+        self.local_mps.iter().position(|&v| covers(v, half, idx_lo, idx_hi))
+    }
+
+    /// A slot that can absorb an evicted margin: rotates over the row,
+    /// skipping the announcing refno and any slot bound to a live protege
+    /// (whose own-slot coverage must stay available for re-covering).
+    fn pick_victim(&mut self, refno: usize) -> Option<usize> {
+        let n = self.local_mps.len();
+        for _ in 0..n {
+            let v = self.victim_next;
+            self.victim_next = (self.victim_next + 1) % n;
+            if v != refno && self.protege(v) == NO_PROTEGE {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Opens a seqlock write cycle on this thread's margin row (version
+    /// goes odd). Only the owning thread stores to its version cell, so a
+    /// plain local counter mirrors it — no RMW needed.
+    #[inline]
+    fn seq_begin(&mut self) {
+        self.version = self.version.wrapping_add(1);
+        self.scheme.mp_versions.get(self.tid, 0).store(self.version, Ordering::Release);
+    }
+
+    /// Closes the seqlock write cycle (version back to even).
+    #[inline]
+    fn seq_end(&mut self) {
+        self.version = self.version.wrapping_add(1);
+        self.scheme.mp_versions.get(self.tid, 0).store(self.version, Ordering::Release);
+    }
+
+    /// Publishes a margin covering the precision block at `idx_lo` into
+    /// `refno`'s slot. Every slot store happens inside one seqlock write
+    /// cycle — a concurrent scan either sees the whole completed move or
+    /// retries — and the single trailing fence publishes the batch; this
+    /// is the only fence the margin path ever issues.
+    fn announce_margin(&mut self, refno: usize, idx_lo: u32) {
+        let half = self.margin_half;
+        // Forward-centered midpoint, derived from the configured margin:
+        // the interval is [idx_lo, idx_lo + 2·(margin/2)], and margin >
+        // 2^16 (Config validation) keeps the whole precision block inside.
+        let mid = idx_lo as u64 + half as u64;
+        self.seq_begin();
+        // Victim move: refno reuse would evict the slot's standing margin —
+        // exactly the coverage amortization accumulates across operations.
+        // Park it in an idle slot (none bound to a live protege) so the
+        // coverage map survives; the value was fenced when first announced
+        // and this cycle's fence re-publishes it before the fast path can
+        // rely on its new location.
+        let old = self.local_mps[refno];
+        if old != NO_MARGIN
+            && old != mid
+            && !self.local_mps.iter().enumerate().any(|(s, &v)| s != refno && v == old)
+        {
+            if let Some(v) = self.pick_victim(refno) {
+                self.scheme.mp_slots.get(self.tid, v).store(old, Ordering::Release);
+                self.local_mps[v] = old;
+            }
+        }
+        self.scheme.mp_slots.get(self.tid, refno).store(mid, Ordering::Release);
+        self.local_mps[refno] = mid;
+        // Re-cover orphaned proteges: a node returned under margin
+        // protection earlier this op must stay covered until its refno is
+        // reused (the API contract), but the stores above may have evicted
+        // its covering value. A synthesized forward margin in the
+        // protege's own slot restores coverage; it is published by this
+        // cycle's fence before `read` returns, so the fast path never
+        // trusts an unfenced value. Iterate to a fixpoint: a synthesized
+        // store can orphan a protege checked earlier in the same pass.
+        loop {
+            let mut changed = false;
+            for k in 0..self.proteges.len() {
+                let p = self.protege(k);
+                if k == refno || p == NO_PROTEGE {
+                    continue;
+                }
+                let (p_lo, p_hi) = (p as u32, p as u32 | 0xffff);
+                if self.covering_slot(k, p_lo, p_hi).is_none() {
+                    let pmid = p + half as u64;
+                    self.scheme.mp_slots.get(self.tid, k).store(pmid, Ordering::Release);
+                    self.local_mps[k] = pmid;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.seq_end();
+        counted_fence(&mut self.tele, FenceSite::Announce);
+        // The stores above are the only place announced coverage can be
+        // destroyed (unparked evictions, victim/protege overwrites), so
+        // re-priming here keeps the cover cache a subset of live coverage.
+        self.cache_cover(mid);
+    }
+
+    /// §4.3.2's fallback trigger, made lazier: when the global epoch
+    /// advances before this operation has returned any margin-protected
+    /// node, the operation re-announces its epoch (exactly the `start_op`
+    /// publication) instead of being condemned to hazard pointers — no
+    /// client-held node depends on the old (margin, epoch) pairing yet,
+    /// and the fast path's epoch equality keeps enforcing birth ≤ epoch
+    /// against the new value. One re-arm per operation: an epoch storm
+    /// must not turn the margin path into a fence-per-read loop. The
+    /// caller restarts its read loop so the returned node is re-validated
+    /// under the new announcement.
+    fn try_rearm(&mut self) -> bool {
+        // "No margin-dependent node returned yet" is derived from the live
+        // proteges rather than a per-read counter the hot path would have
+        // to maintain: a protege entry is live exactly while some node
+        // returned under margin protection this op is still owed coverage
+        // (an HP read or refno reuse retires it). Only consulted on epoch
+        // advances, so the O(slots) scan is off the hot path.
+        if self.rearmed || (0..self.proteges.len()).any(|k| self.protege(k) != NO_PROTEGE) {
+            return false;
+        }
+        self.rearmed = true;
         self.epoch = self.scheme.global_epoch.load(Ordering::SeqCst);
         self.scheme.local_epochs.get(self.tid, 0).store(self.epoch, Ordering::Release);
-        self.lower_bound = 0;
-        self.upper_bound = 0;
-        self.use_hp_mode = false;
-        // Announcement must be visible before any data-structure read
-        // (Listing 10 start_op's memory_fence).
-        counted_fence(&mut self.tele);
+        counted_fence(&mut self.tele, FenceSite::StartOp);
+        true
     }
 
-    fn end_op(&mut self) {
-        if self.scheme.cfg.ablation_per_slot_fence {
-            // Unoptimized baseline: fence after clearing each slot.
-            for i in 0..self.local_mps.len() {
-                self.scheme.mp_slots.get(self.tid, i).store(NO_MARGIN, Ordering::Release);
-                counted_fence(&mut self.tele);
-                self.scheme.hp_slots.get(self.tid, i).store(NO_HAZARD, Ordering::Release);
-                counted_fence(&mut self.tele);
-            }
-            self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
-            self.local_mps.fill(NO_MARGIN);
-            self.local_hps.fill(NO_HAZARD);
-            counted_fence(&mut self.tele);
-            return;
-        }
-        // Clear margins + hazards + epoch, then a single fence (§6 opt).
-        self.scheme.mp_slots.clear_row(self.tid, Ordering::Release);
-        self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
-        self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
-        self.local_mps.fill(NO_MARGIN);
-        self.local_hps.fill(NO_HAZARD);
-        counted_fence(&mut self.tele);
+    /// Condemns the rest of the operation to hazard-pointer protection
+    /// (§4.3.2). Emptying the cover cache is what keeps the inlined read
+    /// fast path honest — it no longer tests the mode flag.
+    fn enter_hp_mode(&mut self) {
+        self.use_hp_mode = true;
+        self.cover_lo = 1;
+        self.cover_hi = 0;
     }
 
-    fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
+    /// Slow path of [`SmrHandle::read`]: HP fallback, margin lookup
+    /// beyond the cover cache, announcement, and validation. Kept out of
+    /// the wrapper so the per-hop fast path stays small enough to inline
+    /// into traversal loops.
+    #[cold]
+    fn read_slow<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
         let mut backoff = mp_util::Backoff::new();
         loop {
             let w = src.load(Ordering::Acquire);
@@ -418,7 +691,12 @@ impl SmrHandle for MpHandle {
             if idx_hi == USE_HP || self.use_hp_mode {
                 self.tele.record_hp_fallback(w.addr());
                 match self.hp_protect(src, refno, w) {
-                    Some(w) => return w,
+                    Some(w) => {
+                        // The hazard slot owns this refno's protection now;
+                        // the margin machinery has nothing to preserve.
+                        self.clear_protege(refno);
+                        return w;
+                    }
                     None => {
                         // Validation raced a writer; back off before the
                         // next announce + fence.
@@ -428,21 +706,24 @@ impl SmrHandle for MpHandle {
                 }
             }
 
-            // Margin fast path: index range already covered by this refno's
-            // announced margin?
-            let mp = self.local_mps[refno];
-            if mp != NO_MARGIN {
-                let half = self.margin_half;
-                if mp as i64 - half <= idx_lo as i64 && (idx_hi as i64) <= mp as i64 + half {
-                    // Deviation from Listing 10 (see module docs): ensure the
-                    // epoch did not advance, else a node born after our
-                    // announced epoch could slip past the reclaimer's filter.
-                    if self.scheme.global_epoch.load(Ordering::SeqCst) == self.epoch {
-                        return w;
-                    }
-                    self.use_hp_mode = true;
-                    continue;
+            // Margin path: fence-free whenever ANY announced margin covers
+            // the precision block (the cache above only mirrors one).
+            if let Some(slot) = self.covering_slot(refno, idx_lo, idx_hi) {
+                // ORDERING: Relaxed — same announce-fence/Release-publish
+                // pairing argument as the cached-cover fast path above.
+                if self.scheme.global_epoch.load(Ordering::Relaxed) == self.epoch {
+                    self.last_cover = slot;
+                    self.cache_cover(self.local_mps[slot]);
+                    self.set_protege(refno, idx_lo);
+                    return w;
                 }
+                // Epoch advanced: re-arm if possible, else §4.3.2 HP mode.
+                // Either way restart the loop so the node is re-validated
+                // under whatever protection applies next.
+                if !self.try_rearm() {
+                    self.enter_hp_mode();
+                }
+                continue;
             }
 
             // Already protected by this refno's hazard slot?
@@ -450,21 +731,24 @@ impl SmrHandle for MpHandle {
                 return w;
             }
 
-            // Announce a fresh margin around the node's index midpoint.
-            let mid = (idx_lo + (1u32 << 15)) as u64;
-            self.scheme.mp_slots.get(self.tid, refno).store(mid, Ordering::Release);
-            self.local_mps[refno] = mid;
-            counted_fence(&mut self.tele);
+            // Announce a margin centered on the traversal direction:
+            // indices grow along a traversal (midpoint assignment orders
+            // them), so spend the whole interval forward of the block base.
+            self.announce_margin(refno, idx_lo);
             // Validate the node is still reachable from `src`: the margin
             // was announced while the node was linked.
             if src.load(Ordering::Acquire) == w {
-                // Listing 10: ensure the epoch did not advance; if it did,
-                // fall back to HPs for the rest of the operation (old
-                // margins remain announced and valid).
+                // Listing 10: ensure the epoch did not advance across the
+                // announcement; a fresh advance can be re-armed once per
+                // op (the loop restarts and revalidates), later ones fall
+                // back to HPs (§4.3.2).
                 if self.scheme.global_epoch.load(Ordering::SeqCst) != self.epoch {
-                    self.use_hp_mode = true;
+                    if !self.try_rearm() {
+                        self.enter_hp_mode();
+                    }
                     continue;
                 }
+                self.set_protege(refno, idx_lo);
                 return w;
             }
             // Margin validation raced a writer on `src`; back off.
@@ -472,9 +756,137 @@ impl SmrHandle for MpHandle {
         }
     }
 
+    /// Test/model introspection: the index intervals `[lo, hi]` this
+    /// thread currently announces. Not part of the SMR API surface.
+    #[doc(hidden)]
+    pub fn announced_margins(&self) -> Vec<(u64, u64)> {
+        let half = self.margin_half as u64;
+        self.local_mps
+            .iter()
+            .filter(|&&v| v != NO_MARGIN)
+            .map(|&v| (v.saturating_sub(half), v + half))
+            .collect()
+    }
+
+    /// Test/model introspection: the epoch this thread has announced.
+    #[doc(hidden)]
+    pub fn announced_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Test/model introspection: whether the current operation has fallen
+    /// back to hazard-pointer protection (§4.3.2).
+    #[doc(hidden)]
+    pub fn in_hp_fallback_mode(&self) -> bool {
+        self.use_hp_mode
+    }
+}
+
+impl SmrHandle for MpHandle {
+    fn start_op(&mut self) {
+        #[cfg(feature = "oracle")]
+        crate::oracle::enter_scheme("MP");
+        let retired_len = self.retired.len();
+        self.tele.record_op_start(retired_len);
+        self.lower_bound = 0;
+        self.upper_bound = 0;
+        self.use_hp_mode = false;
+        self.rearmed = false;
+        // O(1) protege invalidation: a 48-bit generation cannot wrap in
+        // practice, so stale stamps never alias the new operation.
+        self.gen_tag = self.gen_tag.wrapping_add(1 << 16);
+        // Amortized epoch announcement (HE's lazy-era discipline): margins
+        // and the announced epoch persist across operations, so the
+        // op-start fence is owed only when the global epoch moved since
+        // our standing announcement — the announcement currently visible
+        // to reclaimers was already published by an earlier fence.
+        let e = self.scheme.global_epoch.load(Ordering::SeqCst);
+        if e != self.epoch {
+            self.epoch = e;
+            self.scheme.local_epochs.get(self.tid, 0).store(e, Ordering::Release);
+            // Announcement must be visible before any data-structure read
+            // (Listing 10 start_op's memory_fence).
+            counted_fence(&mut self.tele, FenceSite::StartOp);
+        }
+    }
+
+    fn end_op(&mut self) {
+        if self.scheme.cfg.ablation_per_slot_fence {
+            // Unoptimized baseline: clear everything eagerly, fence after
+            // each slot store.
+            for i in 0..self.local_mps.len() {
+                self.scheme.mp_slots.get(self.tid, i).store(NO_MARGIN, Ordering::Release);
+                counted_fence(&mut self.tele, FenceSite::EndOp);
+                self.scheme.hp_slots.get(self.tid, i).store(NO_HAZARD, Ordering::Release);
+                counted_fence(&mut self.tele, FenceSite::EndOp);
+            }
+            self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+            self.local_mps.fill(NO_MARGIN);
+            self.local_hps.fill(NO_HAZARD);
+            self.hps_dirty = false;
+            // The eager clear withdrew every margin; empty the cover cache.
+            self.cover_lo = 1;
+            self.cover_hi = 0;
+            // Invalidate the cached epoch: the next start_op re-announces
+            // (the global epoch starts at 1 and never returns to 0).
+            self.epoch = 0;
+            counted_fence(&mut self.tele, FenceSite::EndOp);
+            return;
+        }
+        // Amortized end: release the hazard slots — address protection
+        // must not outlive the operation, since addresses are recycled —
+        // but KEEP the margins and the epoch announcement. A standing
+        // (margin, epoch) pair pins only nodes whose lifetime contains
+        // that epoch, a finite set that only shrinks (HE's lazy-era
+        // argument), and the next operation reuses both without a fence.
+        // Dropping protection needs no fence: a reclaimer that still sees
+        // the stale hazard merely keeps a node one scan longer. The clear
+        // itself is owed only when this operation published a hazard —
+        // pure margin-path operations end in O(1).
+        if self.hps_dirty {
+            self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
+            self.local_hps.fill(NO_HAZARD);
+            self.hps_dirty = false;
+        }
+    }
+
+    // Inlined into traversal loops: the steady-state hop costs two
+    // compares against the cached cover interval (a subset of a standing
+    // margin, capped below the USE_HP class — so a hit also proves the
+    // node is neither USE_HP-stamped nor read in HP-fallback mode, which
+    // empties the cache) plus the epoch equality check. Everything else
+    // lives in the outlined `read_slow`.
+    #[inline]
+    fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
+        let w = src.load(Ordering::Acquire);
+        if w.is_null() {
+            return w;
+        }
+        let (idx_lo, idx_hi) = w.index_bounds();
+        if idx_lo >= self.cover_lo
+            && idx_hi <= self.cover_hi
+            // ORDERING: Relaxed pairs with the publisher's release store
+            // of the node into `src`: the birth stamp was read from
+            // `global_epoch` sequenced-before that publish, our acquire
+            // load of `src` observed the node, and read-read coherence on
+            // the monotone `global_epoch` forces this load to return a
+            // value ≥ the node's birth — equality with `self.epoch`
+            // therefore proves birth ≤ announced epoch. Retire stamps are
+            // ≥ the announced epoch by monotonicity since it was read. No
+            // fence: the covering margin and the epoch were fenced when
+            // announced.
+            && self.scheme.global_epoch.load(Ordering::Relaxed) == self.epoch
+        {
+            self.set_protege(refno, idx_lo);
+            return w;
+        }
+        self.read_slow(src, refno)
+    }
+
     fn unprotect(&mut self, _refno: usize) {
         // No-op (§4.3 "Node Unprotection"): margins keep protecting
-        // future-accessed nodes; slots are cleared wholesale at end_op.
+        // future-accessed nodes; hazard slots are cleared wholesale at
+        // end_op and margins persist until evicted by refno reuse.
     }
 
     fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T> {
@@ -549,6 +961,9 @@ impl SmrHandle for MpHandle {
 
 impl Drop for MpHandle {
     fn drop(&mut self) {
+        // Dropping announcements is removal-only — a torn observation can
+        // only under-protect nodes this thread no longer reads — so no
+        // seqlock cycle or fence is needed.
         self.scheme.mp_slots.clear_row(self.tid, Ordering::Release);
         self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
         self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
@@ -638,14 +1053,94 @@ mod tests {
         let _ = h.read(&cells[0].0, 0);
         let after_first = h.stats().fences;
         assert_eq!(after_first, f0 + 1, "first read announces one margin");
-        for (c, _) in &cells[1..] {
-            let _ = h.read(c, 0);
+        assert_eq!(h.stats().fences_announce, 1, "the fence is attributed to the announce site");
+        for (i, (c, _)) in cells[1..].iter().enumerate() {
+            // Rotate refnos like a list traversal would: the cross-refno
+            // cover check must keep the cluster fence-free anyway.
+            let _ = h.read(c, (i + 1) % 3);
         }
         assert_eq!(h.stats().fences, after_first, "margin covers the cluster: no more fences");
         h.end_op();
         for (_, n) in cells {
             unsafe { h.retire(n) }; // SAFETY: [INV-12] test-owned, retired once.
         }
+    }
+
+    #[test]
+    fn margin_midpoint_derived_from_config() {
+        // Satellite regression for the hardcoded `idx_lo + (1 << 15)`
+        // midpoint: with a non-default margin the announced interval must
+        // span [idx_lo, idx_lo + margin], i.e. forward over the traversal
+        // direction and scaled by the *configured* margin.
+        let margin = 1u32 << 22;
+        let smr = Mp::new(
+            Config::default()
+                .with_max_threads(1)
+                .with_empty_freq(1)
+                .with_epoch_freq(1000)
+                .with_margin(margin),
+        );
+        let mut h = smr.register();
+        h.start_op();
+        let base = 1u32 << 24;
+        let (c0, n0) = cell_with(&mut h, 0u32, base);
+        let _ = h.read(&c0, 0);
+        let f_after_first = h.stats().fences;
+
+        // Far forward but still inside [base, base + margin]: covered.
+        let (c1, n1) = cell_with(&mut h, 1u32, base + margin - (1 << 16));
+        let _ = h.read(&c1, 1);
+        assert_eq!(h.stats().fences, f_after_first, "configured margin covers forward reads");
+
+        // Just beyond the configured margin: must re-announce.
+        let (c2, n2) = cell_with(&mut h, 2u32, base + margin + (1 << 16));
+        let _ = h.read(&c2, 2);
+        assert_eq!(h.stats().fences, f_after_first + 1, "past-margin read announces");
+
+        // Behind the block base: forward centering does not cover it.
+        let (c3, n3) = cell_with(&mut h, 3u32, base - (1 << 17));
+        let f_before_back = h.stats().fences;
+        let _ = h.read(&c3, 0);
+        assert_eq!(h.stats().fences, f_before_back + 1, "margins are forward-centered");
+
+        h.end_op();
+        // SAFETY: [INV-12] test-owned nodes, each retired exactly once.
+        unsafe {
+            h.retire(n0);
+            h.retire(n1);
+            h.retire(n2);
+            h.retire(n3);
+        }
+        let _ = (c0, c1, c2, c3);
+    }
+
+    #[test]
+    fn standing_margin_survives_end_op_and_elides_next_op_fences() {
+        let smr = setup(1);
+        let mut h = smr.register();
+        h.start_op();
+        let (c, n) = cell_with(&mut h, 1u32, 500_000);
+        let _ = h.read(&c, 0);
+        h.end_op();
+        let fences_after_op1 = h.stats().fences;
+        // Second op over the same region: no epoch movement, standing
+        // margin → zero fences for both the bracketing and the read.
+        h.start_op();
+        let _ = h.read(&c, 1);
+        h.end_op();
+        assert_eq!(
+            h.stats().fences,
+            fences_after_op1,
+            "unchanged epoch + standing margin must make the second op fence-free \
+             (start_op {}, end_op {}, announce {}, hp {})",
+            h.stats().fences_start_op,
+            h.stats().fences_end_op,
+            h.stats().fences_announce,
+            h.stats().fences_hp_protect,
+        );
+        // SAFETY: [INV-12] test-owned node, retired once.
+        unsafe { h.retire(n) };
+        let _ = c;
     }
 
     #[test]
@@ -670,7 +1165,14 @@ mod tests {
 
         reader.end_op();
         writer.force_empty();
-        assert_eq!(writer.retired_len(), 0);
+        assert_eq!(
+            writer.retired_len(),
+            1,
+            "margins persist across end_op (amortization): still pinned"
+        );
+        drop(reader);
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 0, "dropping the handle releases the margin");
         writer.end_op();
     }
 
@@ -683,7 +1185,7 @@ mod tests {
         writer.start_op();
         let (cell, near) = cell_with(&mut writer, 0u32, 1 << 24);
         reader.start_op();
-        let _ = reader.read(&cell, 0); // margin around 2^24
+        let _ = reader.read(&cell, 0); // margin forward from 2^24
 
         // Retire nodes far outside the margin (margin = 2^20).
         for i in 0..50u32 {
@@ -697,7 +1199,7 @@ mod tests {
         unsafe { writer.retire(near) }; // SAFETY: [INV-12] unlinked above, retired once.
         writer.force_empty();
         assert_eq!(writer.retired_len(), 1, "near node still pinned");
-        reader.end_op();
+        drop(reader);
         writer.end_op();
         writer.force_empty();
         assert_eq!(writer.retired_len(), 0);
@@ -715,6 +1217,7 @@ mod tests {
         let got = reader.read(&cell, 0);
         assert_eq!(got, n);
         assert!(reader.stats().hp_fallback_reads >= 1, "collision path must use HP");
+        assert!(reader.stats().fences_hp_protect >= 1, "attributed to the HP site");
 
         cell.store(Shared::null(), Ordering::Release);
         unsafe { writer.retire(n) }; // SAFETY: [INV-12] unlinked above, retired once.
@@ -723,6 +1226,8 @@ mod tests {
         // SAFETY: [INV-12] reader's hazard span is still open and pins the node.
         assert_eq!(unsafe { *got.deref().data() }, 9);
 
+        // Hazards (unlike margins) are released at end_op: addresses get
+        // recycled, so address protection must not outlive the op.
         reader.end_op();
         writer.force_empty();
         assert_eq!(writer.retired_len(), 0);
@@ -747,7 +1252,8 @@ mod tests {
         let junk = writer.alloc_with_index(0u8, 1);
         unsafe { writer.retire(junk) }; // SAFETY: [INV-12] never published, retired once.
 
-        // Reader's next read observes the change and must take the HP path.
+        // The reader already returned a margin-protected node this op, so
+        // the re-arm is not available: the next read must take the HP path.
         let before = reader.stats().hp_fallback_reads;
         let _ = reader.read(&c2, 1);
         assert!(reader.use_hp_mode, "epoch change must flip the fallback flag");
@@ -763,6 +1269,123 @@ mod tests {
         }
         writer.force_empty();
         let _ = (c1, c2);
+    }
+
+    #[test]
+    fn epoch_advance_before_first_margin_read_rearms_in_place() {
+        let cfg = Config::default().with_max_threads(2).with_empty_freq(1000).with_epoch_freq(1);
+        let smr = Mp::new(cfg);
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+
+        writer.start_op();
+        let (c1, n1) = cell_with(&mut writer, 1u32, 100_000);
+
+        reader.start_op(); // announces epoch e, no reads yet
+
+        // Epoch advances before the reader touches anything.
+        let junk = writer.alloc_with_index(0u8, 1);
+        unsafe { writer.retire(junk) }; // SAFETY: [INV-12] never published, retired once.
+
+        // The lazier §4.3.2 trigger: with no margin-protected node returned
+        // yet, the op re-announces its epoch and stays in margin mode.
+        let hp_before = reader.stats().hp_fallback_reads;
+        let _ = reader.read(&c1, 0);
+        assert!(!reader.use_hp_mode, "transient advance must not condemn the op to HP mode");
+        assert_eq!(reader.stats().hp_fallback_reads, hp_before, "no HP fallback taken");
+        assert!(reader.stats().fences_start_op >= 2, "re-arm re-announces the op epoch");
+
+        // A second advance in the same op exhausts the budget → HP mode.
+        let junk2 = writer.alloc_with_index(0u8, 2);
+        unsafe { writer.retire(junk2) }; // SAFETY: [INV-12] never published, retired once.
+        let (c2, n2) = cell_with(&mut writer, 2u32, 2_000_000);
+        let _ = reader.read(&c2, 1);
+        assert!(reader.use_hp_mode, "second advance falls back to HPs");
+
+        reader.end_op();
+        writer.end_op();
+        // SAFETY: [INV-12] test-owned nodes, each retired exactly once.
+        unsafe {
+            writer.retire(n1);
+            writer.retire(n2);
+        }
+        writer.force_empty();
+        let _ = (c1, c2);
+    }
+
+    #[test]
+    fn evicted_margin_parks_in_victim_slot() {
+        // Refno reuse must not throw away the standing margin: it moves to
+        // an idle slot, and a later read in the old region stays fence-free.
+        let smr = setup(1);
+        let mut h = smr.register();
+        h.start_op();
+        let region_a = 1u32 << 24;
+        let region_b = 1u32 << 28;
+        let (ca, na) = cell_with(&mut h, 0u32, region_a);
+        let (cb, nb) = cell_with(&mut h, 1u32, region_b);
+        let (ca2, na2) = cell_with(&mut h, 2u32, region_a + (1 << 16));
+
+        let _ = h.read(&ca, 0); // announce margin over region A in slot 0
+        let _ = h.read(&cb, 0); // refno 0 reused far away: A's margin parks
+        let fences = h.stats().fences;
+        let _ = h.read(&ca2, 1); // back in region A: covered by the parked margin
+        assert_eq!(h.stats().fences, fences, "parked margin keeps region A fence-free");
+
+        h.end_op();
+        // SAFETY: [INV-12] test-owned nodes, each retired exactly once.
+        unsafe {
+            h.retire(na);
+            h.retire(nb);
+            h.retire(na2);
+        }
+        let _ = (ca, cb, ca2);
+    }
+
+    #[test]
+    fn protege_stays_covered_when_its_margin_is_evicted() {
+        // A node returned under a cross-refno cover must stay protected
+        // until ITS refno is reused, even when the covering slot is
+        // announced over and no victim slot is free (2 slots, both bound).
+        let cfg = Config::default()
+            .with_max_threads(2)
+            .with_slots_per_thread(2)
+            .with_empty_freq(1)
+            .with_epoch_freq(1000);
+        let smr = Mp::new(cfg);
+        let mut reader = smr.register();
+        let mut writer = smr.register();
+
+        writer.start_op();
+        let (ca, na) = cell_with(&mut writer, 7u64, 1 << 24);
+        let (cb, nb) = cell_with(&mut writer, 8u64, (1 << 24) + (1 << 16));
+        let (cc, nc) = cell_with(&mut writer, 9u64, 1 << 28);
+
+        reader.start_op();
+        let _ = reader.read(&ca, 0); // slot 0: margin over region A
+        let got_b = reader.read(&cb, 1); // cross-refno cover: protege of refno 1
+        // Refno 0 reused far away: slot 0's margin is evicted, no idle slot
+        // exists (refno 1 holds a protege), so a synthesized margin in slot
+        // 1 must keep `got_b` covered.
+        let _ = reader.read(&cc, 0);
+
+        cb.store(Shared::null(), Ordering::Release);
+        unsafe { writer.retire(nb) }; // SAFETY: [INV-12] unlinked above, retired once.
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 1, "protege must remain margin-pinned");
+        // SAFETY: [INV-12] reader's protege protection is still in force.
+        assert_eq!(unsafe { *got_b.deref().data() }, 8);
+
+        drop(reader);
+        writer.force_empty();
+        assert_eq!(writer.retired_len(), 0);
+        // SAFETY: [INV-12] test-owned nodes, each retired exactly once.
+        unsafe {
+            writer.retire(na);
+            writer.retire(nc);
+        }
+        writer.end_op();
+        let _ = (ca, cc);
     }
 
     #[test]
@@ -799,7 +1422,9 @@ mod tests {
             "stall pinned {pinned_count} nodes; epoch filter failed"
         );
 
-        stalled.end_op();
+        // With amortized announcements the margins outlive end_op; only
+        // dropping the handle withdraws them.
+        drop(stalled);
         cell.store(Shared::null(), Ordering::Release);
         unsafe { worker.retire(pinned) }; // SAFETY: [INV-12] unlinked above, retired once.
         worker.end_op();

@@ -7,12 +7,42 @@
 //! plain per-handle `u64`s — no atomics on the hot path — and are aggregated
 //! by the benchmark driver after threads join.
 
+/// Which protection-path call site issued a fence. The per-site split is
+/// the profiling surface behind the fence-amortization work: ~64 fences/op
+/// is indistinguishable from ~2 fences/op in the aggregate `fences` counter
+/// until you know whether they come from per-op bracketing (`StartOp` /
+/// `EndOp`), per-uncovered-node margin announcements (`Announce`), or the
+/// §4.3.2 hazard-pointer fallback (`HpProtect`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FenceSite {
+    /// Operation-start announcement (epoch / era / reservation publish).
+    StartOp,
+    /// Operation-end slot clearing (ablation or single batched fence).
+    EndOp,
+    /// Mid-operation protection announcement: MP margin announce, HE era
+    /// re-publish, IBR upper-bound extension, DTA anchor post.
+    Announce,
+    /// Hazard-pointer protection store: HP's per-node announce and MP's
+    /// §4.3.2 collision/epoch fallback.
+    HpProtect,
+}
+
 /// Counters accumulated by one SMR handle.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct OpStats {
     /// Full memory fences (or sequentially consistent protection stores)
     /// issued on the protection path.
     pub fences: u64,
+    /// Fences issued at operation start ([`FenceSite::StartOp`]).
+    pub fences_start_op: u64,
+    /// Fences issued at operation end ([`FenceSite::EndOp`]).
+    pub fences_end_op: u64,
+    /// Fences issued by mid-op protection announcements
+    /// ([`FenceSite::Announce`]).
+    pub fences_announce: u64,
+    /// Fences issued by hazard-pointer protection stores
+    /// ([`FenceSite::HpProtect`]).
+    pub fences_hp_protect: u64,
     /// Nodes traversed, incremented by the client data structure once per
     /// node visited during searches. Denominator of Figure 5.
     pub nodes_traversed: u64,
@@ -56,6 +86,10 @@ impl OpStats {
     /// corrupt every derived ratio).
     pub fn merge(&mut self, other: &OpStats) {
         self.fences = self.fences.saturating_add(other.fences);
+        self.fences_start_op = self.fences_start_op.saturating_add(other.fences_start_op);
+        self.fences_end_op = self.fences_end_op.saturating_add(other.fences_end_op);
+        self.fences_announce = self.fences_announce.saturating_add(other.fences_announce);
+        self.fences_hp_protect = self.fences_hp_protect.saturating_add(other.fences_hp_protect);
         self.nodes_traversed = self.nodes_traversed.saturating_add(other.nodes_traversed);
         self.ops = self.ops.saturating_add(other.ops);
         self.retired_sampled_sum =
@@ -119,6 +153,10 @@ mod tests {
         let mut a = OpStats { fences: 1, nodes_traversed: 2, ops: 3, ..Default::default() };
         let b = OpStats {
             fences: 10,
+            fences_start_op: 4,
+            fences_end_op: 3,
+            fences_announce: 2,
+            fences_hp_protect: 1,
             nodes_traversed: 20,
             ops: 30,
             retired_sampled_sum: 40,
@@ -134,6 +172,10 @@ mod tests {
         };
         a.merge(&b);
         assert_eq!(a.fences, 11);
+        assert_eq!(a.fences_start_op, 4);
+        assert_eq!(a.fences_end_op, 3);
+        assert_eq!(a.fences_announce, 2);
+        assert_eq!(a.fences_hp_protect, 1);
         assert_eq!(a.nodes_traversed, 22);
         assert_eq!(a.ops, 33);
         assert_eq!(a.retired_sampled_sum, 40);
@@ -155,6 +197,10 @@ mod tests {
     fn merge_saturates_instead_of_wrapping() {
         let near_max = OpStats {
             fences: u64::MAX - 1,
+            fences_start_op: u64::MAX,
+            fences_end_op: u64::MAX,
+            fences_announce: u64::MAX,
+            fences_hp_protect: u64::MAX,
             nodes_traversed: u64::MAX,
             ops: u64::MAX - 5,
             retired_sampled_sum: u64::MAX,

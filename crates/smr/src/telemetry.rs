@@ -46,7 +46,7 @@ use mp_util::hist::Histogram;
 use mp_util::ring::RingBuffer;
 
 use crate::schemes::common::PendingGauge;
-use crate::stats::OpStats;
+use crate::stats::{FenceSite, OpStats};
 
 pub mod export;
 
@@ -226,6 +226,14 @@ pub type EventRing = RingBuffer<EventRecord>;
 pub enum Counter {
     /// Full memory fences on the protection path (Fig. 5 numerator).
     Fences,
+    /// Fences issued at operation start.
+    FencesStartOp,
+    /// Fences issued at operation end.
+    FencesEndOp,
+    /// Fences issued by mid-op protection announcements.
+    FencesAnnounce,
+    /// Fences issued by hazard-pointer protection stores.
+    FencesHpProtect,
     /// Nodes traversed by client structures (Fig. 5 denominator).
     NodesTraversed,
     /// Operations started.
@@ -254,8 +262,12 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in stable export order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 17] = [
         Counter::Fences,
+        Counter::FencesStartOp,
+        Counter::FencesEndOp,
+        Counter::FencesAnnounce,
+        Counter::FencesHpProtect,
         Counter::NodesTraversed,
         Counter::Ops,
         Counter::RetiredSampledSum,
@@ -274,6 +286,10 @@ impl Counter {
     pub fn name(self) -> &'static str {
         match self {
             Counter::Fences => "fences",
+            Counter::FencesStartOp => "fences_start_op",
+            Counter::FencesEndOp => "fences_end_op",
+            Counter::FencesAnnounce => "fences_announce",
+            Counter::FencesHpProtect => "fences_hp_protect",
             Counter::NodesTraversed => "nodes_traversed",
             Counter::Ops => "ops",
             Counter::RetiredSampledSum => "retired_sampled_sum",
@@ -293,6 +309,10 @@ impl Counter {
 fn counter_of(stats: &OpStats, c: Counter) -> u64 {
     match c {
         Counter::Fences => stats.fences,
+        Counter::FencesStartOp => stats.fences_start_op,
+        Counter::FencesEndOp => stats.fences_end_op,
+        Counter::FencesAnnounce => stats.fences_announce,
+        Counter::FencesHpProtect => stats.fences_hp_protect,
         Counter::NodesTraversed => stats.nodes_traversed,
         Counter::Ops => stats.ops,
         Counter::RetiredSampledSum => stats.retired_sampled_sum,
@@ -343,10 +363,19 @@ impl HandleTelemetry {
 
     // -- typed recorders (the hot-path write surface) --
 
-    /// Counts one protection-path fence (Fig. 5 numerator).
+    /// Counts one protection-path fence (Fig. 5 numerator), attributed to
+    /// the issuing call site so the per-site breakdown can tell per-op
+    /// bracketing apart from per-node announcements.
     #[inline]
-    pub fn record_fence(&mut self) {
+    pub fn record_fence(&mut self, site: FenceSite) {
         self.stats.fences = self.stats.fences.saturating_add(1);
+        let per_site = match site {
+            FenceSite::StartOp => &mut self.stats.fences_start_op,
+            FenceSite::EndOp => &mut self.stats.fences_end_op,
+            FenceSite::Announce => &mut self.stats.fences_announce,
+            FenceSite::HpProtect => &mut self.stats.fences_hp_protect,
+        };
+        *per_site = per_site.saturating_add(1);
     }
 
     /// Counts an operation start, sampling the retired-list length.
@@ -568,9 +597,9 @@ pub trait Telemetry {
         self.tele().events()
     }
 
-    /// Counts one protection-path fence.
-    fn record_fence(&mut self) {
-        self.tele_mut().record_fence();
+    /// Counts one protection-path fence, attributed to its call site.
+    fn record_fence(&mut self, site: FenceSite) {
+        self.tele_mut().record_fence(site);
     }
 
     /// Counts one client node traversal (Fig. 5 denominator) — the typed
@@ -628,6 +657,26 @@ impl TelemetrySnapshot {
     /// Protection-path fences.
     pub fn fences(&self) -> u64 {
         self.stats.fences
+    }
+
+    /// Fences issued at operation start.
+    pub fn fences_start_op(&self) -> u64 {
+        self.stats.fences_start_op
+    }
+
+    /// Fences issued at operation end.
+    pub fn fences_end_op(&self) -> u64 {
+        self.stats.fences_end_op
+    }
+
+    /// Fences issued by mid-op protection announcements.
+    pub fn fences_announce(&self) -> u64 {
+        self.stats.fences_announce
+    }
+
+    /// Fences issued by hazard-pointer protection stores.
+    pub fn fences_hp_protect(&self) -> u64 {
+        self.stats.fences_hp_protect
     }
 
     /// Client node traversals.
@@ -896,7 +945,7 @@ mod tests {
     #[test]
     fn recorders_map_to_counters() {
         let mut t = HandleTelemetry::new(3);
-        t.record_fence();
+        t.record_fence(FenceSite::StartOp);
         t.record_op_start(5);
         t.record_op_start(7);
         t.record_alloc();
@@ -909,7 +958,15 @@ mod tests {
         t.record_pool_miss(0x40);
         t.record_nodes_traversed(4);
         t.record_scan_heap_alloc();
-        assert_eq!(t.counter(Counter::Fences), 1);
+        t.record_fence(FenceSite::EndOp);
+        t.record_fence(FenceSite::Announce);
+        t.record_fence(FenceSite::Announce);
+        t.record_fence(FenceSite::HpProtect);
+        assert_eq!(t.counter(Counter::Fences), 5);
+        assert_eq!(t.counter(Counter::FencesStartOp), 1);
+        assert_eq!(t.counter(Counter::FencesEndOp), 1);
+        assert_eq!(t.counter(Counter::FencesAnnounce), 2);
+        assert_eq!(t.counter(Counter::FencesHpProtect), 1);
         assert_eq!(t.counter(Counter::Ops), 2);
         assert_eq!(t.counter(Counter::RetiredSampledSum), 12);
         assert_eq!(t.counter(Counter::Allocs), 1);
@@ -974,6 +1031,14 @@ mod tests {
         for c in Counter::ALL {
             assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());
         }
-        assert_eq!(seen.len(), 13);
+        assert_eq!(seen.len(), 17);
+        // The per-site counters always sum to the aggregate in recorded
+        // state (enforced by `record_fence` taking a site), and their names
+        // share the `fences_` prefix for exporter grouping.
+        for c in
+            [Counter::FencesStartOp, Counter::FencesEndOp, Counter::FencesAnnounce, Counter::FencesHpProtect]
+        {
+            assert!(c.name().starts_with("fences_"), "{} misnamed", c.name());
+        }
     }
 }

@@ -421,7 +421,7 @@ mod tests {
     fn sample_snapshot() -> TelemetrySnapshot {
         let mut t = HandleTelemetry::new(0);
         t.record_op_start(3);
-        t.record_fence();
+        t.record_fence(crate::stats::FenceSite::StartOp);
         t.record_alloc();
         t.record_pool_hit(0x100);
         t.record_retire(0x100);

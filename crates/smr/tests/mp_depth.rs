@@ -44,7 +44,9 @@ fn snapshot_and_naive_scans_agree() {
             unsafe { writer.retire(probe) };
             let half = 1u32 << 19; // margin 2^20
             let covered = [1u32 << 20, 1 << 24, 1 << 28].iter().any(|&m| {
-                let mid = (m & 0xffff_0000) as i64 + 0x8000;
+                // Forward-centered announcement: mid = block base + margin/2,
+                // so the interval is [block base, block base + margin].
+                let mid = (m & 0xffff_0000) as i64 + half as i64;
                 let lo = (idx & 0xffff_0000) as i64;
                 let hi = (idx | 0xffff) as i64;
                 mid - (half as i64) <= hi && lo <= mid + half as i64
@@ -59,7 +61,10 @@ fn snapshot_and_naive_scans_agree() {
             expect_kept,
             "scan variant naive={naive} disagrees with the margin formula"
         );
+        // Margins persist across end_op (fence amortization); only dropping
+        // the handle withdraws them.
         reader.end_op();
+        drop(reader);
         writer.end_op();
         for (cell, n) in pinned_cells {
             cell.store(Shared::null(), Ordering::Release);
@@ -83,6 +88,13 @@ fn per_reader_epoch_filters() {
     writer.start_op();
     early.start_op(); // epoch e0
 
+    // Early returns a margin-protected node before the epoch moves: this
+    // consumes its per-op re-arm eligibility, so the later advance must
+    // condemn it to the §4.3.2 HP fallback (the pre-amortization behavior).
+    let warm = writer.alloc_with_index(0u32, 1 << 20);
+    let warm_cell = Atomic::new(warm);
+    let _ = early.read(&warm_cell, 1);
+
     // Advance the epoch (epoch_freq = 1: every retire bumps it).
     let junk = writer.alloc_with_index(0u8, 1);
     // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
@@ -102,7 +114,9 @@ fn per_reader_epoch_filters() {
     writer.force_empty();
     assert_eq!(writer.retired_len(), 1, "late reader must pin the node");
 
+    // Margins persist across end_op; drop the handle to withdraw late's.
     late.end_op();
+    drop(late);
     writer.force_empty();
     // Early announced before the node's birth; its margin alone must NOT
     // pin it (Theorem 4.2's filter) — but early holds a reference!
@@ -113,7 +127,18 @@ fn per_reader_epoch_filters() {
         "early reader must have taken the HP fallback across the epoch change"
     );
     assert_eq!(writer.retired_len(), 1, "early's hazard still pins the node");
+    // end_op releases the hazard; early's standing margin over 2^24 cannot
+    // pin the node because its announced epoch e0 predates the birth.
     early.end_op();
+    writer.force_empty();
+    assert_eq!(writer.retired_len(), 0);
+
+    // Teardown: `warm` was born at e0 under early's margin — only dropping
+    // early releases it.
+    drop(early);
+    warm_cell.store(Shared::null(), Ordering::Release);
+    // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
+    unsafe { writer.retire(warm) };
     writer.force_empty();
     assert_eq!(writer.retired_len(), 0);
     writer.end_op();
@@ -154,7 +179,12 @@ fn dual_protection_released_in_order() {
     writer.force_empty();
     assert_eq!(writer.retired_len(), 1, "margin still pins its node");
 
+    // end_op keeps the margin standing (fence amortization); dropping the
+    // handle is what finally withdraws the interval protection.
     margin_reader.end_op();
+    writer.force_empty();
+    assert_eq!(writer.retired_len(), 1, "standing margin outlives end_op");
+    drop(margin_reader);
     writer.force_empty();
     assert_eq!(writer.retired_len(), 0);
     writer.end_op();

@@ -87,10 +87,12 @@ fn margin_interval_protection() {
         // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
         unsafe { writer.retire(probe) }; // empty_freq = 1 → judged now
 
-        // The announced margin midpoint is the anchor's precision-block
-        // midpoint; the reclaimer pins the probe iff the margin intersects
-        // the probe's whole precision block.
-        let mid = (protected_index & 0xffff_0000) as i64 + 0x8000;
+        // The announced margin is forward-centered on the anchor's
+        // precision-block base (mid = base + margin/2, so the interval is
+        // [base, base + margin]); the reclaimer pins the probe iff the
+        // margin intersects the probe's whole precision block.
+        let half_cfg = (margin / 2) as i64;
+        let mid = (protected_index & 0xffff_0000) as i64 + half_cfg;
         let p_lo = (probe_index & 0xffff_0000) as i64;
         let p_hi = (probe_index | 0xffff) as i64;
         let half = (margin / 2) as i64;
@@ -102,7 +104,10 @@ fn margin_interval_protection() {
             "probe {probe_index:#x} vs margin around {protected_index:#x} (seed {seed:#x})"
         );
 
+        // Margins persist across end_op (fence amortization): drop the
+        // reader handle to withdraw its interval before the teardown scan.
         reader.end_op();
+        drop(reader);
         writer.end_op();
         cell.store(Shared::null(), std::sync::atomic::Ordering::Release);
         // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.

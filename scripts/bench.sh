@@ -40,7 +40,7 @@ if [[ ! -s "$OUT" ]]; then
 fi
 
 # Well-formedness: schema marker, at least one result row, balanced braces.
-grep -q '"schema": "mp-bench/throughput/v1"' "$OUT" || {
+grep -q '"schema": "mp-bench/throughput/v2"' "$OUT" || {
   echo "!! $OUT missing schema marker" >&2
   exit 1
 }
@@ -57,5 +57,30 @@ fi
 
 echo "==> OK: $OUT"
 if [[ "$SMOKE" == 1 ]]; then
+  # Fence-budget gate: MP's whole point is fence amortization, so even at
+  # smoke scale (tiny prefill, scaled margin) a read-dominated run must
+  # stay under 4 fences/op on the list. A blowout here means margin
+  # reuse / persistent announcements regressed; the per-site attribution
+  # in the JSON (fences_*_per_op) says which call site is to blame.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+bad = [r for r in doc["results"]
+       if r["scheme"] == "MP" and r["structure"] == "list"
+       and r["pool"] == "on" and r["fences_per_op"] > 4.0]
+for r in bad:
+    print("!! MP fence budget blown: list @%d threads: %.3f fences/op "
+          "(start_op %.3f, end_op %.3f, announce %.3f, hp_protect %.3f)"
+          % (r["threads"], r["fences_per_op"],
+             r["fences_start_op_per_op"], r["fences_end_op_per_op"],
+             r["fences_announce_per_op"], r["fences_hp_protect_per_op"]),
+          file=sys.stderr)
+sys.exit(1 if bad else 0)
+PY
+    echo "==> OK: MP smoke fence budget (list, <= 4 fences/op)"
+  else
+    echo "(python3 unavailable: skipping the smoke fence-budget gate)"
+  fi
   echo "(smoke run: results under $MP_BENCH_DIR, committed trajectory untouched)"
 fi
