@@ -1,0 +1,191 @@
+//! Oversubscribed Zipfian soak — the scan-path scalability witness.
+//!
+//! Runs each scheme of the §6 comparison set (MP, IBR, HE, HP, EBR) on
+//! the hash map under deliberately hostile conditions: worker threads at
+//! a multiple of the host's cores, Zipfian(0.99) key popularity, and
+//! periodic handle churn under load. Emits `BENCH_soak.json` (schema
+//! `mp-bench/soak/v1`) at the workspace root (or `$MP_BENCH_DIR`).
+//!
+//! Knobs: `MP_SOAK_DURATION_MS` (per scheme), `MP_SOAK_OVERSUB`
+//! (threads = oversub × cores, default 4), `MP_SOAK_PREFILL`,
+//! `MP_SOAK_CHURN` (ops between handle re-registrations),
+//! `MP_SOAK_DIST` (`zipf` | `hot` | `uniform`).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mp_bench::{json_str, run_soak, KeyDist, SoakParams, SoakResult, Table};
+use mp_ds::HashMap;
+use mp_smr::schemes::{Ebr, He, Hp, Ibr, Mp};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One soak row.
+struct Row {
+    scheme: &'static str,
+    res: SoakResult,
+}
+
+impl Row {
+    fn json(&self, p: &SoakParams, dist: &str) -> String {
+        let r = &self.res;
+        format!(
+            "{{\"scheme\": {}, \"structure\": \"hashmap\", \"threads\": {}, \
+             \"duration_ms\": {}, \"dist\": {}, \"total_ops\": {}, \"mops\": {:.4}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"scan_ns_per_free\": {:.2}, \"snapshot_reuses\": {}, \
+             \"tid_recycles\": {}, \"handle_churns\": {}, \
+             \"peak_pending_nodes\": {}, \"end_pending_nodes\": {}, \
+             \"peak_rss_kb\": {}, \
+             \"retires\": {}, \"frees\": {}, \"frees_effective\": {}}}",
+            json_str(self.scheme),
+            p.threads,
+            p.duration.as_millis(),
+            json_str(dist),
+            r.total_ops,
+            r.mops,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
+            r.scan_ns_per_free,
+            r.snapshot_reuses,
+            r.tid_recycles,
+            r.handle_churns,
+            r.peak_pending,
+            r.end_pending,
+            r.peak_rss_kb,
+            r.telemetry.retires(),
+            r.telemetry.frees(),
+            // Net reclamation: Drop-path drain scans free nodes after their
+            // handle's telemetry was last readable, so compute frees from
+            // the retire count minus the end-of-run pending residue.
+            r.telemetry.retires().saturating_sub(r.end_pending as u64),
+        )
+    }
+}
+
+/// Where the soak file lands: `$MP_BENCH_DIR` when set, else the workspace
+/// root (the committed location).
+fn soak_path() -> PathBuf {
+    if let Ok(dir) = std::env::var("MP_BENCH_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir).join("BENCH_soak.json");
+        }
+    }
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    root.join("BENCH_soak.json")
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let oversub = env_u64("MP_SOAK_OVERSUB", 4) as usize;
+    let threads = (cores * oversub).max(2);
+    let duration = Duration::from_millis(env_u64("MP_SOAK_DURATION_MS", 20_000));
+    let prefill = env_u64("MP_SOAK_PREFILL", 2_048) as usize;
+    let churn = env_u64("MP_SOAK_CHURN", 20_000);
+    let dist_name =
+        std::env::var("MP_SOAK_DIST").unwrap_or_else(|_| "zipf".to_string());
+    let dist = match dist_name.as_str() {
+        "hot" => KeyDist::HotSet { hot_frac: 0.1, hot_prob: 0.9 },
+        "uniform" => KeyDist::Uniform,
+        _ => KeyDist::Zipfian(0.99),
+    };
+
+    let mut p = SoakParams::new(threads, prefill, duration);
+    p.dist = dist;
+    p.churn_every = churn;
+
+    eprintln!(
+        "[soak] {} workers on {} core(s) ({}x oversubscribed), {} ms per scheme, \
+         dist {}, prefill {}, churn every {} ops",
+        threads,
+        cores,
+        oversub,
+        duration.as_millis(),
+        dist_name,
+        prefill,
+        churn
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    macro_rules! soak_scheme {
+        ($ty:ty, $name:expr) => {{
+            eprintln!("[soak] {} ...", $name);
+            let res = run_soak::<$ty, HashMap<$ty>>(&p);
+            rows.push(Row { scheme: $name, res });
+        }};
+    }
+    soak_scheme!(Mp, "MP");
+    soak_scheme!(Ibr, "IBR");
+    soak_scheme!(He, "HE");
+    soak_scheme!(Hp, "HP");
+    soak_scheme!(Ebr, "EBR");
+
+    let mut table = Table::new(
+        "Oversubscribed soak (hashmap, skewed keys, handle churn)",
+        &[
+            "scheme",
+            "Mops/s",
+            "p50 us",
+            "p99 us",
+            "p999 us",
+            "scan ns/free",
+            "snap-reuse",
+            "tid-recycle",
+            "peak-pending",
+            "end-pending",
+            "peak-rss MiB",
+        ],
+    );
+    for row in &rows {
+        let r = &row.res;
+        table.row(vec![
+            row.scheme.to_string(),
+            format!("{:.3}", r.mops),
+            format!("{:.1}", r.p50_ns as f64 / 1e3),
+            format!("{:.1}", r.p99_ns as f64 / 1e3),
+            format!("{:.1}", r.p999_ns as f64 / 1e3),
+            format!("{:.1}", r.scan_ns_per_free),
+            r.snapshot_reuses.to_string(),
+            r.tid_recycles.to_string(),
+            r.peak_pending.to_string(),
+            r.end_pending.to_string(),
+            format!("{:.1}", r.peak_rss_kb as f64 / 1024.0),
+        ]);
+    }
+    table.emit("soak");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"mp-bench/soak/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"cores\": {}, \"oversub\": {}, \"threads\": {}, \
+         \"duration_ms\": {}, \"prefill\": {}, \"churn_every\": {}, \"dist\": {}}},",
+        cores,
+        oversub,
+        threads,
+        duration.as_millis(),
+        prefill,
+        churn,
+        json_str(&dist_name)
+    );
+    let _ = write!(json, "  \"results\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(json, "{sep}\n    {}", row.json(&p, &dist_name));
+    }
+    let _ = writeln!(json, "\n  ]\n}}");
+
+    let path = soak_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, json).expect("write BENCH_soak.json");
+    eprintln!("[json] {}", path.display());
+}

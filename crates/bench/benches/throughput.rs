@@ -23,6 +23,9 @@ struct Point {
     structure: &'static str,
     threads: usize,
     pool: bool,
+    /// Scan trigger: `"watermark"` (adaptive, the default) or `"fixed"`
+    /// (the pre-watermark every-`empty_freq`-retires ablation).
+    cadence: &'static str,
     mops: f64,
     allocs_per_op: f64,
     pool_hit_rate: f64,
@@ -32,15 +35,25 @@ struct Point {
     fence_site_per_op: [f64; 4],
     scan_heap_allocs: u64,
     empties: u64,
+    /// Amortized scan cost: wall nanoseconds of scanning per freed node.
+    scan_ns_per_free: f64,
 }
 
 impl Point {
-    fn from(scheme: &'static str, structure: &'static str, threads: usize, pool: bool, r: &BenchResult) -> Self {
+    fn from(
+        scheme: &'static str,
+        structure: &'static str,
+        threads: usize,
+        pool: bool,
+        cadence: &'static str,
+        r: &BenchResult,
+    ) -> Self {
         Point {
             scheme,
             structure,
             threads,
             pool,
+            cadence,
             mops: r.mops,
             allocs_per_op: r.allocs_per_op,
             pool_hit_rate: r.pool_hit_rate,
@@ -48,21 +61,24 @@ impl Point {
             fence_site_per_op: r.fence_site_per_op,
             scan_heap_allocs: r.telemetry.scan_heap_allocs(),
             empties: r.telemetry.empties(),
+            scan_ns_per_free: r.telemetry.scan_ns_per_free(),
         }
     }
 
     fn json(&self) -> String {
         format!(
             "{{\"scheme\": {}, \"structure\": {}, \"threads\": {}, \"pool\": {}, \
+             \"cadence\": {}, \
              \"mops\": {:.4}, \"allocs_per_op\": {:.5}, \"pool_hit_rate\": {:.4}, \
              \"fences_per_op\": {:.4}, \
              \"fences_start_op_per_op\": {:.4}, \"fences_end_op_per_op\": {:.4}, \
              \"fences_announce_per_op\": {:.4}, \"fences_hp_protect_per_op\": {:.4}, \
-             \"scan_heap_allocs\": {}, \"empties\": {}}}",
+             \"scan_heap_allocs\": {}, \"empties\": {}, \"scan_ns_per_free\": {:.1}}}",
             json_str(self.scheme),
             json_str(self.structure),
             self.threads,
             if self.pool { "\"on\"" } else { "\"off\"" },
+            json_str(self.cadence),
             self.mops,
             self.allocs_per_op,
             self.pool_hit_rate,
@@ -73,6 +89,7 @@ impl Point {
             self.fence_site_per_op[3],
             self.scan_heap_allocs,
             self.empties,
+            self.scan_ns_per_free,
         )
     }
 }
@@ -104,7 +121,7 @@ fn main() {
             for &threads in &sweep {
                 let p = BenchParams::paper(threads, $paper_s, mp_bench::READ_DOMINATED);
                 for_each_scheme!($ds, &p, runs, |name, res| {
-                    points.push(Point::from(name, $label, threads, $pool_on, &res));
+                    points.push(Point::from(name, $label, threads, $pool_on, "watermark", &res));
                 });
             }
         };
@@ -119,6 +136,19 @@ fn main() {
     }
     mp_util::pool::set_enabled(true);
 
+    // Fixed-cadence ablation: the list at the top thread count with the
+    // adaptive watermark disabled (scan every `empty_freq` retires, the
+    // pre-watermark behavior), so the committed trajectory carries the
+    // watermark-vs-fixed scan-cost comparison at the most contended point.
+    if let Some(&top) = sweep.iter().max() {
+        eprintln!("[throughput] fixed-cadence ablation at {top} threads");
+        let mut p = BenchParams::paper(top, 5_000, mp_bench::READ_DOMINATED);
+        p.config = p.config.with_fixed_cadence(true);
+        for_each_scheme!(LinkedList, &p, runs, |name, res| {
+            points.push(Point::from(name, "list", top, true, "fixed", &res));
+        });
+    }
+
     let mut table = Table::new(
         "Throughput trajectory: node pool off vs on (read-dominated)",
         &[
@@ -126,11 +156,13 @@ fn main() {
             "threads",
             "scheme",
             "pool",
+            "cadence",
             "Mops/s",
             "allocs/op",
             "pool-hit",
             "fences/op",
             "f-sites s/e/a/h",
+            "scan-ns/free",
         ],
     );
     for pt in &points {
@@ -139,6 +171,7 @@ fn main() {
             pt.threads.to_string(),
             pt.scheme.to_string(),
             if pt.pool { "on" } else { "off" }.to_string(),
+            pt.cadence.to_string(),
             format!("{:.3}", pt.mops),
             format!("{:.4}", pt.allocs_per_op),
             format!("{:.3}", pt.pool_hit_rate),
@@ -150,13 +183,14 @@ fn main() {
                 pt.fence_site_per_op[2],
                 pt.fence_site_per_op[3],
             ),
+            format!("{:.0}", pt.scan_ns_per_free),
         ]);
     }
     table.emit("throughput");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"mp-bench/throughput/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"mp-bench/throughput/v3\",");
     let _ = writeln!(
         json,
         "  \"config\": {{\"threads\": {:?}, \"duration_ms\": {}, \"runs\": {}, \"workload\": \"read-dominated\"}},",

@@ -241,6 +241,10 @@ pub fn run<S: Smr, D: ConcurrentSet<S>>(p: &BenchParams) -> BenchResult {
                     ops += 1;
                 }
                 total_ops.fetch_add(ops, Ordering::AcqRel);
+                // Drain before the final snapshot so the scan cost and
+                // frees of batches still below the watermark are counted —
+                // the Drop-path drain records into telemetry nobody reads.
+                h.force_empty();
                 h.snapshot()
             }));
         }

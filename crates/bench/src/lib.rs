@@ -21,6 +21,7 @@
 pub mod driver;
 pub mod linearize;
 pub mod report;
+pub mod soak;
 pub mod workload;
 
 pub use driver::{
@@ -28,7 +29,8 @@ pub use driver::{
     INJECTED_PANIC,
 };
 pub use report::{csv_path, json_path, json_str, out_dir, Table};
-pub use workload::{Mix, READ_DOMINATED, READ_ONLY, WRITE_DOMINATED};
+pub use soak::{rss_kb, run_soak, SoakParams, SoakResult};
+pub use workload::{KeyDist, KeySampler, Mix, READ_DOMINATED, READ_ONLY, WRITE_DOMINATED};
 
 /// Reads the thread counts to sweep (env `MP_BENCH_THREADS`, e.g. "1,2,4").
 pub fn thread_sweep() -> Vec<usize> {

@@ -70,6 +70,136 @@ pub fn draw_key<R: RngExt>(rng: &mut R, range: u64) -> u64 {
     rng.random_range(0..range)
 }
 
+/// How keys are drawn from the key range (soak harness; the figure benches
+/// keep §6's uniform draw).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the whole range (§6 default).
+    Uniform,
+    /// Zipfian with the given exponent (YCSB's skewed default is 0.99),
+    /// ranks scrambled over the range so the hot keys scatter instead of
+    /// clustering at the front of a sorted structure.
+    Zipfian(f64),
+    /// A hot set: the fraction `hot_frac` of the range absorbs `hot_prob`
+    /// of all draws.
+    HotSet {
+        /// Fraction of the key range that is hot (e.g. 0.1).
+        hot_frac: f64,
+        /// Probability a draw lands in the hot set (e.g. 0.9).
+        hot_prob: f64,
+    },
+}
+
+/// A uniform double in `[0, 1)` from the generator's next 64 bits.
+#[inline]
+fn unit_f64<R: RngExt>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// SplitMix64 finalizer — scrambles Zipfian ranks across the key range.
+#[inline]
+fn scramble(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A prepared key sampler for one `(KeyDist, range)` pair. Construction
+/// precomputes the Zipfian constants; every draw is then O(1) expected
+/// with no rank table (rejection inversion, Hörmann & Derflinger 1996).
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    range: u64,
+    kind: SamplerKind,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    Uniform,
+    Zipf {
+        theta: f64,
+        h_x1: f64,
+        h_range: f64,
+        s: f64,
+    },
+    HotSet {
+        hot_keys: u64,
+        hot_prob: f64,
+    },
+}
+
+impl KeySampler {
+    /// Prepares a sampler over `[0, range)`.
+    pub fn new(dist: KeyDist, range: u64) -> KeySampler {
+        let range = range.max(1);
+        let kind = match dist {
+            KeyDist::Uniform => SamplerKind::Uniform,
+            KeyDist::Zipfian(theta) => {
+                assert!(theta > 0.0, "Zipfian exponent must be positive");
+                let h_x1 = h_integral(1.5, theta) - 1.0;
+                let h_range = h_integral(range as f64 + 0.5, theta);
+                let s = 2.0 - h_integral_inv(h_integral(2.5, theta) - 2f64.powf(-theta), theta);
+                SamplerKind::Zipf { theta, h_x1, h_range, s }
+            }
+            KeyDist::HotSet { hot_frac, hot_prob } => {
+                assert!((0.0..=1.0).contains(&hot_frac) && (0.0..=1.0).contains(&hot_prob));
+                let hot_keys = ((range as f64 * hot_frac) as u64).clamp(1, range);
+                SamplerKind::HotSet { hot_keys, hot_prob }
+            }
+        };
+        KeySampler { range, kind }
+    }
+
+    /// Draws one key from `[0, range)`.
+    pub fn draw<R: RngExt>(&self, rng: &mut R) -> u64 {
+        match self.kind {
+            SamplerKind::Uniform => draw_key(rng, self.range),
+            SamplerKind::Zipf { theta, h_x1, h_range, s } => {
+                let rank = loop {
+                    let u = h_range + unit_f64(rng) * (h_x1 - h_range);
+                    let x = h_integral_inv(u, theta);
+                    let k = x.round().clamp(1.0, self.range as f64);
+                    if k - x <= s || u >= h_integral(k + 0.5, theta) - k.powf(-theta) {
+                        break k as u64;
+                    }
+                };
+                // Rank 1 is the hottest; scatter ranks over the range so
+                // skew does not alias with structure order.
+                scramble(rank) % self.range
+            }
+            SamplerKind::HotSet { hot_keys, hot_prob } => {
+                if rng.random_bool(hot_prob) {
+                    // Hot keys are strided through the range (every k-th
+                    // key), again to avoid aliasing with structure order.
+                    let stride = (self.range / hot_keys).max(1);
+                    (rng.random_range(0..hot_keys) * stride) % self.range
+                } else {
+                    draw_key(rng, self.range)
+                }
+            }
+        }
+    }
+}
+
+/// `H(x) = ∫ t^-θ dt`, the Zipf tail integral used by rejection inversion.
+fn h_integral(x: f64, theta: f64) -> f64 {
+    if (theta - 1.0).abs() < 1e-9 {
+        x.ln()
+    } else {
+        (x.powf(1.0 - theta) - 1.0) / (1.0 - theta)
+    }
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inv(y: f64, theta: f64) -> f64 {
+    if (theta - 1.0).abs() < 1e-9 {
+        y.exp()
+    } else {
+        (1.0 + (1.0 - theta) * y).max(0.0).powf(1.0 / (1.0 - theta))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +232,72 @@ mod tests {
         let mut rng = thread_rng(7, 3);
         for _ in 0..1000 {
             assert_eq!(READ_ONLY.draw(&mut rng), Op::Contains);
+        }
+    }
+
+    #[test]
+    fn zipfian_concentrates_mass_on_few_keys() {
+        let sampler = KeySampler::new(KeyDist::Zipfian(0.99), 10_000);
+        let mut rng = thread_rng(11, 0);
+        let mut counts = std::collections::HashMap::new();
+        const N: usize = 50_000;
+        for _ in 0..N {
+            *counts.entry(sampler.draw(&mut rng)).or_insert(0usize) += 1;
+        }
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = freq.iter().take(10).sum();
+        // θ=0.99 over 10 K keys: the 10 hottest ranks carry ~30% of draws
+        // (a uniform draw would give them 0.1%); assert well clear of
+        // uniform but below the theoretical mass.
+        assert!(
+            top10 as f64 / N as f64 > 0.25,
+            "top-10 mass {:.3} not Zipf-concentrated",
+            top10 as f64 / N as f64
+        );
+        for &k in counts.keys() {
+            assert!(k < 10_000, "key {k} outside range");
+        }
+    }
+
+    #[test]
+    fn hot_set_receives_its_probability_mass() {
+        let range = 1_000u64;
+        let sampler = KeySampler::new(KeyDist::HotSet { hot_frac: 0.1, hot_prob: 0.9 }, range);
+        let mut rng = thread_rng(13, 1);
+        let mut counts = std::collections::HashMap::new();
+        const N: usize = 50_000;
+        for _ in 0..N {
+            *counts.entry(sampler.draw(&mut rng)).or_insert(0usize) += 1;
+        }
+        // The 100 hottest keys must absorb ~90% of the draws (the cold 10%
+        // also occasionally lands on them, so the mass is slightly above).
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let hot_mass: usize = freq.iter().take(100).sum();
+        assert!(
+            (0.85..=0.99).contains(&(hot_mass as f64 / N as f64)),
+            "hot mass {:.3} out of expected band",
+            hot_mass as f64 / N as f64
+        );
+    }
+
+    #[test]
+    fn samplers_stay_in_range_and_are_deterministic() {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipfian(0.99),
+            KeyDist::Zipfian(1.0), // θ=1 exercises the log branch
+            KeyDist::HotSet { hot_frac: 0.2, hot_prob: 0.8 },
+        ] {
+            let sampler = KeySampler::new(dist, 777);
+            let mut a = thread_rng(5, 2);
+            let mut b = thread_rng(5, 2);
+            for _ in 0..2_000 {
+                let x = sampler.draw(&mut a);
+                assert!(x < 777, "{dist:?} drew {x} out of range");
+                assert_eq!(x, sampler.draw(&mut b), "{dist:?} not deterministic");
+            }
         }
     }
 

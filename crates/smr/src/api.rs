@@ -25,7 +25,23 @@ pub struct Config {
     /// to [`SmrHandle::read`] must be `< slots_per_thread`.
     pub slots_per_thread: usize,
     /// Retire calls between reclamation attempts (`empty_freq`; §6 uses 30).
+    /// Under the adaptive watermark trigger this is the *re-arm floor*: the
+    /// minimum number of further retires before the next scan when the
+    /// previous one could not shrink the list (stalled reader).
     pub empty_freq: usize,
+    /// Adaptive scan watermark in retired nodes per handle: a reclamation
+    /// scan triggers when the handle's retired list reaches this length.
+    /// `0` (the default) auto-derives HP's classical `k × H` rule —
+    /// `max(empty_freq, 2 · max_threads · slots_per_thread)` — so scan
+    /// frequency tracks the retire rate, not the operation rate.
+    /// Overridable at scheme construction via `MP_SCAN_WATERMARK`.
+    pub scan_watermark: usize,
+    /// Adaptive scan watermark in retired *bytes* per handle: when non-zero,
+    /// a scan also triggers once the handle's buffered retired bytes reach
+    /// this figure (large payloads scan sooner than the node-count rule
+    /// alone would). `0` disables the bytes trigger. Overridable via
+    /// `MP_SCAN_WATERMARK_BYTES`.
+    pub scan_watermark_bytes: usize,
     /// Events (allocations for HE/IBR/EBR, unlinks for MP) a thread performs
     /// between increments of the global epoch (`epoch_freq`; §6 uses 150·T).
     pub epoch_freq: usize,
@@ -46,6 +62,11 @@ pub struct Config {
     /// Ablation switch: fence after clearing each slot in `end_op` instead
     /// of once after clearing them all (undoes the other §6 optimization).
     pub ablation_per_slot_fence: bool,
+    /// Ablation switch: restore the pre-watermark fixed scan cadence (one
+    /// `empty()` every `empty_freq` retires, regardless of how much the
+    /// previous scan reclaimed). Baseline for the scan-cost-per-free
+    /// comparison in `BENCH_throughput.json`.
+    pub ablation_fixed_cadence: bool,
     /// Ablation switch: MP index assignment policy (default midpoint).
     pub index_policy: IndexPolicy,
 }
@@ -68,6 +89,8 @@ impl Default for Config {
             max_threads: 32,
             slots_per_thread: 8,
             empty_freq: 30,
+            scan_watermark: 0,
+            scan_watermark_bytes: 0,
             epoch_freq: 150,
             margin: 1 << 20,
             max_index: u32::MAX - 1,
@@ -75,6 +98,7 @@ impl Default for Config {
             stall_patience: 8,
             ablation_naive_scan: false,
             ablation_per_slot_fence: false,
+            ablation_fixed_cadence: false,
             index_policy: IndexPolicy::Midpoint,
         }
     }
@@ -171,6 +195,20 @@ impl Config {
         self
     }
 
+    /// Sets the adaptive scan watermark in retired nodes per handle
+    /// (`0` = auto-derive `max(empty_freq, 2·T·H)` at scheme construction).
+    pub fn with_scan_watermark(mut self, n: usize) -> Self {
+        self.scan_watermark = n;
+        self
+    }
+
+    /// Sets the adaptive scan watermark in retired bytes per handle
+    /// (`0` = bytes trigger disabled).
+    pub fn with_scan_watermark_bytes(mut self, n: usize) -> Self {
+        self.scan_watermark_bytes = n;
+        self
+    }
+
     /// Sets how many allocations/unlinks elapse between epoch increments.
     pub fn with_epoch_freq(mut self, n: usize) -> Self {
         assert!(n > 0);
@@ -216,6 +254,13 @@ impl Config {
     /// Fences per cleared slot in `end_op` (ablation).
     pub fn with_per_slot_fence(mut self, on: bool) -> Self {
         self.ablation_per_slot_fence = on;
+        self
+    }
+
+    /// Restores the fixed `empty_freq` scan cadence (ablation baseline for
+    /// the adaptive watermark trigger).
+    pub fn with_fixed_cadence(mut self, on: bool) -> Self {
+        self.ablation_fixed_cadence = on;
         self
     }
 
@@ -476,6 +521,9 @@ mod tests {
         assert_eq!(c.margin, 1 << 20);
         assert_eq!(c.anchor_hops, 100);
         assert!(c.margin > 1 << 16);
+        assert_eq!(c.scan_watermark, 0, "watermark auto-derives k·H by default");
+        assert_eq!(c.scan_watermark_bytes, 0, "bytes trigger off by default");
+        assert!(!c.ablation_fixed_cadence);
     }
 
     #[test]
@@ -494,7 +542,10 @@ mod tests {
             .with_margin(1 << 18)
             .with_max_index(1 << 24)
             .with_anchor_hops(50)
-            .with_stall_patience(2);
+            .with_stall_patience(2)
+            .with_scan_watermark(128)
+            .with_scan_watermark_bytes(1 << 20)
+            .with_fixed_cadence(true);
         assert_eq!(c.max_threads, 4);
         assert_eq!(c.slots_per_thread, 3);
         assert_eq!(c.empty_freq, 10);
@@ -503,6 +554,9 @@ mod tests {
         assert_eq!(c.max_index, 1 << 24);
         assert_eq!(c.anchor_hops, 50);
         assert_eq!(c.stall_patience, 2);
+        assert_eq!(c.scan_watermark, 128);
+        assert_eq!(c.scan_watermark_bytes, 1 << 20);
+        assert!(c.ablation_fixed_cadence);
     }
 
     #[test]

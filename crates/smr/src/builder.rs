@@ -107,6 +107,24 @@ impl SmrBuilder {
         self
     }
 
+    /// Sets the retired-count scan watermark (0 = auto-derive `k·H`).
+    pub fn scan_watermark(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_scan_watermark(n);
+        self
+    }
+
+    /// Sets the retired-bytes scan watermark (0 = disabled).
+    pub fn scan_watermark_bytes(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_scan_watermark_bytes(n);
+        self
+    }
+
+    /// Reverts scan triggering to the fixed `empty_freq` cadence (ablation).
+    pub fn fixed_cadence(mut self, on: bool) -> Self {
+        self.cfg = self.cfg.with_fixed_cadence(on);
+        self
+    }
+
     /// Disables the snapshot optimization in reclamation scans (ablation).
     pub fn naive_scan(mut self, on: bool) -> Self {
         self.cfg = self.cfg.with_naive_scan(on);
@@ -181,6 +199,9 @@ mod tests {
             .max_index(1 << 24)
             .anchor_hops(33)
             .stall_patience(4)
+            .scan_watermark(96)
+            .scan_watermark_bytes(1 << 19)
+            .fixed_cadence(true)
             .naive_scan(true)
             .per_slot_fence(true)
             .index_policy(IndexPolicy::AfterPred);
@@ -193,6 +214,9 @@ mod tests {
         assert_eq!(c.max_index, 1 << 24);
         assert_eq!(c.anchor_hops, 33);
         assert_eq!(c.stall_patience, 4);
+        assert_eq!(c.scan_watermark, 96);
+        assert_eq!(c.scan_watermark_bytes, 1 << 19);
+        assert!(c.ablation_fixed_cadence);
         assert!(c.ablation_naive_scan);
         assert!(c.ablation_per_slot_fence);
         assert_eq!(c.index_policy, IndexPolicy::AfterPred);

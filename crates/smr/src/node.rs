@@ -367,6 +367,13 @@ impl Retired {
     pub(crate) fn addr(&self) -> u64 {
         self.ptr as u64 // CAST-OK: compared against announced slot words, never decoded.
     }
+
+    /// Size of the node (header + payload) in bytes, for the retired-bytes
+    /// scan watermark.
+    #[inline]
+    pub(crate) fn bytes(&self) -> u32 {
+        self.bytes
+    }
 }
 
 #[cfg(test)]

@@ -73,27 +73,52 @@ impl SlotArray {
     }
 }
 
+/// A claimed thread id plus whether it was ever held by an earlier handle
+/// (drives the `tid_recycles` churn counter).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TidLease {
+    /// The claimed thread id.
+    pub tid: usize,
+    /// True if some earlier handle held (and released) this tid.
+    pub recycled: bool,
+}
+
 /// Thread-id allocator plus the orphan list of retired nodes abandoned by
 /// deregistered handles (freed when the scheme itself is dropped, at which
 /// point no handle can hold protected references).
+///
+/// Tid acquire/release is lock-free (a CAS over free-bit words), so handle
+/// churn — threads registering and deregistering under load, as the soak
+/// harness does — never serializes on a mutex. Only the orphan list, an
+/// infrequent deregistration-time path, stays behind a lock.
 pub struct Registry {
-    inner: Mutex<RegistryInner>,
+    /// One bit per tid; set = free. Fixed at `max_threads` bits.
+    free_bits: Box<[AtomicU64]>,
+    /// One bit per tid; set = acquired at least once (recycle detection).
+    ever_used: Box<[AtomicU64]>,
+    orphans: Mutex<Vec<Retired>>,
     max_threads: usize,
-}
-
-struct RegistryInner {
-    free: Vec<usize>,
-    orphans: Vec<Retired>,
 }
 
 impl Registry {
     /// Creates a registry handing out tids `0..max_threads`.
     pub fn new(max_threads: usize) -> Self {
+        let words = max_threads.div_ceil(64);
+        let free_bits: Box<[AtomicU64]> = (0..words)
+            .map(|w| {
+                let lo = w * 64;
+                let hi = max_threads.min(lo + 64);
+                let mut bits = 0u64;
+                for b in 0..(hi - lo) {
+                    bits |= 1u64 << b;
+                }
+                AtomicU64::new(bits)
+            })
+            .collect();
         Registry {
-            inner: Mutex::new(RegistryInner {
-                free: (0..max_threads).rev().collect(),
-                orphans: Vec::new(),
-            }),
+            free_bits,
+            ever_used: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            orphans: Mutex::new(Vec::new()),
             max_threads,
         }
     }
@@ -103,31 +128,87 @@ impl Registry {
         self.max_threads
     }
 
-    /// Locks the registry state, tolerating poisoning: the state is a plain
-    /// free-list + orphan vector, consistent after any panic, and `release`
-    /// runs from `Drop` during unwinding — it must never double-panic.
-    fn locked(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Locks the orphan list, tolerating poisoning: it is a plain vector,
+    /// consistent after any panic, and `release` runs from `Drop` during
+    /// unwinding — it must never double-panic.
+    fn orphans_locked(&self) -> std::sync::MutexGuard<'_, Vec<Retired>> {
+        self.orphans.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Claims a tid. Panics if more than `max_threads` handles are live —
-    /// the slot arrays are fixed-size, exactly as in the paper's C model.
-    pub(crate) fn acquire(&self) -> usize {
-        let tid = self.locked().free.pop(); // guard dropped before a panic
-        tid.expect("SMR: more handles registered than Config::max_threads")
+    /// Claims a tid lock-free, or returns `None` with every tid taken. The
+    /// scan restarts while CASes are contended, so `None` is returned only
+    /// after a contention-free pass found every bit claimed.
+    pub(crate) fn try_acquire(&self) -> Option<TidLease> {
+        loop {
+            let mut contended = false;
+            for (w, word) in self.free_bits.iter().enumerate() {
+                let mut bits = word.load(Ordering::Acquire);
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    let mask = 1u64 << b;
+                    // The claiming CAS pairs with `release`'s fetch_or: its
+                    // Acquire success ordering makes the previous holder's
+                    // row clears visible to the new handle.
+                    match word.compare_exchange_weak(
+                        bits,
+                        bits & !mask,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            let recycled =
+                                self.ever_used[w].fetch_or(mask, Ordering::AcqRel) & mask != 0;
+                            return Some(TidLease { tid: w * 64 + b, recycled });
+                        }
+                        Err(cur) => {
+                            contended = true;
+                            bits = cur;
+                        }
+                    }
+                }
+            }
+            if !contended {
+                return None;
+            }
+        }
+    }
+
+    /// Claims a tid lock-free. Panics if more than `max_threads` handles
+    /// are live — the slot arrays are fixed-size, exactly as in the paper's
+    /// C model.
+    pub(crate) fn acquire(&self) -> TidLease {
+        self.try_acquire().expect("SMR: more handles registered than Config::max_threads")
     }
 
     /// Parks one retired node directly in the orphan list (reclaimed only
     /// at scheme teardown).
     pub(crate) fn park_orphan(&self, r: Retired) {
-        self.locked().orphans.push(r);
+        self.orphans_locked().push(r);
+    }
+
+    /// Takes the whole orphan list for adoption by a newly registered
+    /// handle, which appends it to its own retired list and frees the nodes
+    /// at its next scan under the scheme's usual safety predicate. Orphans
+    /// are already-retired (unreachable) nodes, so another handle scanning
+    /// them is exactly as safe as scanning its own retirees. Without
+    /// adoption, handle churn grows the orphan list without bound: each
+    /// dying handle's drain scan parks whatever its peers still pinned at
+    /// that instant, and nothing ever re-examines it before teardown.
+    pub(crate) fn adopt_orphans(&self) -> Vec<Retired> {
+        std::mem::take(&mut *self.orphans_locked())
     }
 
     /// Returns a tid and parks the handle's unreclaimed retired nodes.
+    /// Lock-free on the tid path (the orphan lock is taken only when the
+    /// handle actually leaves leftovers) and panic-free: it runs from
+    /// `Drop` during unwinding.
     pub(crate) fn release(&self, tid: usize, leftovers: Vec<Retired>) {
-        let mut g = self.locked();
-        g.orphans.extend(leftovers);
-        g.free.push(tid);
+        if !leftovers.is_empty() {
+            self.orphans_locked().extend(leftovers);
+        }
+        // Release (via AcqRel): publishes the departing handle's slot-row
+        // clears to whichever thread re-acquires this tid.
+        self.free_bits[tid / 64].fetch_or(1u64 << (tid % 64), Ordering::AcqRel);
     }
 
     /// Drains the orphan list. Called by scheme `Drop` implementations.
@@ -139,7 +220,7 @@ impl Registry {
     // SAFETY: [INV-11] obligation stated in `# Safety` above; every scheme
     // `Drop` cites the teardown argument ([INV-06]) at its call site.
     pub(crate) unsafe fn reclaim_orphans(&self) {
-        let orphans = std::mem::take(&mut self.locked().orphans);
+        let orphans = std::mem::take(&mut *self.orphans_locked());
         for r in orphans {
             // SAFETY: [INV-06] forwarded from this fn's contract: teardown,
             // no handle left to protect any orphan.
@@ -149,7 +230,7 @@ impl Registry {
 
     /// Number of orphaned retired nodes awaiting scheme teardown.
     pub fn orphan_count(&self) -> usize {
-        self.locked().orphans.len()
+        self.orphans_locked().len()
     }
 }
 
@@ -180,10 +261,69 @@ mod tests {
         let r = Registry::new(2);
         let a = r.acquire();
         let b = r.acquire();
-        assert_ne!(a, b);
-        r.release(a, Vec::new());
+        assert_ne!(a.tid, b.tid);
+        assert!(!a.recycled && !b.recycled, "first acquisitions are fresh");
+        r.release(a.tid, Vec::new());
         let c = r.acquire();
-        assert_eq!(c, a, "released tid must be reused");
+        assert_eq!(c.tid, a.tid, "released tid must be reused");
+        assert!(c.recycled, "reuse must be flagged for the churn counter");
+    }
+
+    /// Satellite regression: tid recycle under concurrent churn. 16 threads
+    /// hammer acquire/release; a claim board asserts no tid is ever held by
+    /// two threads at once, and the allocator neither leaks nor invents
+    /// tids. Runs on the lock-free CAS path, so this is also the
+    /// linearizability test for the free-bit words.
+    #[test]
+    fn tid_recycle_under_concurrent_churn() {
+        use core::sync::atomic::AtomicBool;
+
+        const THREADS: usize = 16;
+        const TIDS: usize = 7; // fewer tids than threads forces recycling
+        const ROUNDS: usize = 400;
+
+        let r = Registry::new(TIDS);
+        let claimed: Vec<AtomicBool> = (0..TIDS).map(|_| AtomicBool::new(false)).collect();
+        let recycles = core::sync::atomic::AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        // More churners than tids: exhaustion is expected,
+                        // double-grants are the bug under test.
+                        let Some(lease) = r.try_acquire() else {
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        assert!(lease.tid < TIDS, "tid {} out of range", lease.tid);
+                        assert!(
+                            !claimed[lease.tid].swap(true, Ordering::AcqRel),
+                            "tid {} granted to two threads at once",
+                            lease.tid
+                        );
+                        if lease.recycled {
+                            recycles.fetch_add(1, Ordering::Relaxed);
+                        }
+                        std::hint::black_box(lease.tid);
+                        claimed[lease.tid].store(false, Ordering::Release);
+                        r.release(lease.tid, Vec::new());
+                    }
+                });
+            }
+        });
+        for (tid, c) in claimed.iter().enumerate() {
+            assert!(!c.load(Ordering::Acquire), "tid {tid} left claimed");
+        }
+        assert_eq!(
+            r.free_bits.iter().map(|w| w.load(Ordering::Acquire).count_ones()).sum::<u32>(),
+            TIDS as u32,
+            "every tid must be free again after the churn"
+        );
+        assert!(
+            recycles.load(Ordering::Relaxed) > TIDS,
+            "churn must actually exercise the recycle path"
+        );
     }
 
     #[test]
@@ -197,7 +337,7 @@ mod tests {
     #[test]
     fn orphans_counted() {
         let r = Registry::new(1);
-        let tid = r.acquire();
+        let tid = r.acquire().tid;
         let node = crate::node::alloc_node(5u32, 0, 0);
         let retired = unsafe { Retired::new(node, 1) }; // SAFETY: [INV-12] never published.
         r.release(tid, vec![retired]);

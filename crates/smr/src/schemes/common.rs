@@ -2,6 +2,9 @@
 
 use core::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
+use mp_util::CachePadded;
+
+use crate::api::Config;
 use crate::stats::FenceSite;
 use crate::telemetry::HandleTelemetry;
 
@@ -48,6 +51,266 @@ impl PendingGauge {
     }
 }
 
+/// When a scheme's next reclamation scan should run, derived from
+/// [`Config`] once at scheme construction (paper §3.1 discussion of HP's
+/// `empty` cadence, generalized).
+///
+/// The adaptive trigger replaces the historical "every `empty_freq`
+/// retires" cadence with HP's classical watermark rule: scan when the
+/// handle's retired list reaches `k × H` entries (`H = max_threads ×
+/// slots_per_thread`, `k = 2`), so scan *frequency* tracks the retire rate
+/// while scan *cost* (a `T×H` slot walk) is amortized over at least `k×H`
+/// retirees — the per-free scan cost becomes a constant instead of growing
+/// linearly with thread count. `empty_freq` survives as the re-arm floor:
+/// when a scan cannot shrink the list (a stalled reader pins everything),
+/// the next scan waits for at least `empty_freq` further retires instead of
+/// thrashing on every retire.
+#[derive(Debug, Clone)]
+pub struct ScanPolicy {
+    /// Retired-node count per handle that triggers a scan.
+    pub watermark_nodes: usize,
+    /// Retired-byte count per handle that triggers a scan (0 = disabled).
+    pub watermark_bytes: usize,
+    /// Minimum additional retires between consecutive scans when the
+    /// retired list is not shrinking (`Config::empty_freq`).
+    pub rearm_floor: usize,
+    /// `Some(empty_freq)` under `ablation_fixed_cadence`: scan every
+    /// `empty_freq` retires exactly as the pre-watermark design did.
+    pub fixed_cadence: Option<usize>,
+}
+
+impl ScanPolicy {
+    /// Resolves the effective policy: explicit `Config` knobs, then the
+    /// `MP_SCAN_WATERMARK` / `MP_SCAN_WATERMARK_BYTES` environment
+    /// overrides, then the `k × H` auto rule.
+    pub fn from_config(cfg: &Config) -> Self {
+        let env_usize = |key: &str| -> Option<usize> {
+            std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+        };
+        let mut nodes = env_usize("MP_SCAN_WATERMARK").unwrap_or(cfg.scan_watermark);
+        if nodes == 0 {
+            nodes = cfg.empty_freq.max(2 * cfg.max_threads * cfg.slots_per_thread);
+        }
+        let bytes = env_usize("MP_SCAN_WATERMARK_BYTES").unwrap_or(cfg.scan_watermark_bytes);
+        ScanPolicy {
+            watermark_nodes: nodes.max(1),
+            watermark_bytes: bytes,
+            rearm_floor: cfg.empty_freq.max(1),
+            fixed_cadence: cfg.ablation_fixed_cadence.then(|| cfg.empty_freq.max(1)),
+        }
+    }
+}
+
+/// Per-handle trigger state for [`ScanPolicy`]; owned by the handle, so no
+/// atomics are involved on the retire path.
+#[derive(Debug)]
+pub struct ScanState {
+    retires: usize,
+    retired_bytes: usize,
+    next_len: usize,
+    next_bytes: usize,
+}
+
+impl ScanState {
+    /// Initial state: the first scan is due at the configured watermark.
+    pub fn new(policy: &ScanPolicy) -> Self {
+        ScanState {
+            retires: 0,
+            retired_bytes: 0,
+            next_len: policy.watermark_nodes,
+            next_bytes: if policy.watermark_bytes == 0 {
+                usize::MAX
+            } else {
+                policy.watermark_bytes
+            },
+        }
+    }
+
+    /// Accounts one retired node of `bytes` payload.
+    #[inline]
+    pub fn note_retire(&mut self, bytes: u32) {
+        self.retires += 1;
+        self.retired_bytes = self.retired_bytes.saturating_add(bytes as usize);
+    }
+
+    /// Total retires accounted so far (epoch-advance cadences key off it).
+    #[inline]
+    pub fn retires(&self) -> usize {
+        self.retires
+    }
+
+    /// True when a reclamation scan is due.
+    #[inline]
+    pub fn due(&self, policy: &ScanPolicy, retired_len: usize) -> bool {
+        if let Some(freq) = policy.fixed_cadence {
+            return self.retires.is_multiple_of(freq);
+        }
+        retired_len >= self.next_len || self.retired_bytes >= self.next_bytes
+    }
+
+    /// Re-arms the trigger after a scan that kept `kept_len` nodes
+    /// (`kept_bytes` bytes): the next scan fires at the watermark, or —
+    /// when a pinned backlog already exceeds it — after at least
+    /// `rearm_floor` further retires, so a stalled reader costs one slot
+    /// walk per `empty_freq` retires instead of one per retire.
+    pub fn rearm(&mut self, policy: &ScanPolicy, kept_len: usize, kept_bytes: usize) {
+        self.retired_bytes = kept_bytes;
+        self.next_len = policy.watermark_nodes.max(kept_len + policy.rearm_floor);
+        self.next_bytes = if policy.watermark_bytes == 0 {
+            usize::MAX
+        } else {
+            policy.watermark_bytes.max(kept_bytes + policy.watermark_bytes / 4 + 1)
+        };
+    }
+}
+
+/// A version-stamped shared protection snapshot (hazard addresses for HP,
+/// announced eras for HE), published by whichever handle scanned last and
+/// adopted by peers whose scan begins before any protection-slot
+/// generation bump — those peers skip the `T×H` slot walk entirely.
+///
+/// # Soundness (see DESIGN.md "Scan scalability")
+///
+/// A stale snapshot may only **over**-approximate the protected set. The
+/// per-thread generation counters enforce this: every protection-announcing
+/// store bumps the announcing thread's generation (release-ordered, before
+/// that thread's validation fence), and an adopter compares the generation
+/// vector it loads *after its own scan fence* with the vector stored at
+/// publish time. Equality proves no protection was announced-and-validated
+/// between the publisher's fence and the adopter's fence, so the snapshot
+/// can only contain protections that have since been *released* — retaining
+/// too much, never freeing too little. Any mismatch (or a concurrent
+/// publish, detected by the seqlock version) rejects reuse and falls back
+/// to a fresh walk.
+pub struct SharedSnapshot {
+    /// Seqlock word: odd while a publisher is writing.
+    version: AtomicU64,
+    /// Per-thread protection generations (single writer each; padded so
+    /// the hot-path bump never false-shares).
+    gens: Box<[CachePadded<AtomicU64>]>,
+    /// Generation vector captured by the publisher before its slot walk.
+    snap_gens: Box<[AtomicU64]>,
+    /// Published snapshot length.
+    len: AtomicUsize,
+    /// Published sorted snapshot values (capacity `threads × slots`).
+    data: Box<[AtomicU64]>,
+}
+
+impl SharedSnapshot {
+    /// Pre-sizes every buffer (`threads` generations, `threads × slots`
+    /// snapshot capacity) so publishing and adopting are allocation-free.
+    pub fn new(threads: usize, slots: usize) -> Self {
+        SharedSnapshot {
+            version: AtomicU64::new(0),
+            gens: (0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            snap_gens: (0..threads).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            len: AtomicUsize::new(0),
+            data: (0..threads * slots).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Marks a new protection announcement by `tid`. Call after the slot
+    /// store and before the announcing thread's validation fence.
+    #[inline]
+    pub fn bump_gen(&self, tid: usize) {
+        // Single-writer counter: only the handle owning `tid` ever bumps
+        // its own generation, so an unsynchronized load+store is exact —
+        // no RMW needed. This sits on HP's per-hop protect path, where a
+        // locked fetch_add would double the per-hop barrier cost.
+        //
+        // ORDERING: the Relaxed load reads a cell only this thread writes.
+        // Release on the store: a generation reader that observes this bump
+        // also observes the slot store sequenced before it, so a publisher
+        // whose captured generations include the bump walks a slot array
+        // that already shows the protection.
+        let g = self.gens[tid].load(Ordering::Relaxed);
+        self.gens[tid].store(g.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Loads the full generation vector into `out` (cleared and refilled).
+    /// Call *after* the scanning handle's SeqCst fence.
+    pub fn load_gens_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        for g in self.gens.iter() {
+            out.push(g.load(Ordering::Acquire));
+        }
+    }
+
+    /// Attempts to adopt the published snapshot into `out`. Succeeds only
+    /// if the snapshot is stable (seqlock even and unchanged) and its
+    /// generation vector equals `gens_now`; on success `out` holds the
+    /// published sorted snapshot.
+    pub fn try_adopt_into(&self, gens_now: &[u64], out: &mut Vec<u64>) -> bool {
+        let v1 = self.version.load(Ordering::Acquire);
+        if v1 & 1 == 1 {
+            return false;
+        }
+        for (i, &g) in gens_now.iter().enumerate() {
+            // ORDERING: Relaxed is sound under the seqlock: the re-read of
+            // `version` below (with the Acquire fence) rejects any value
+            // raced with a concurrent publish.
+            if self.snap_gens[i].load(Ordering::Relaxed) != g {
+                return false;
+            }
+        }
+        // ORDERING: Relaxed; the Acquire fence + version re-read below
+        // reject any value raced with a concurrent publish.
+        let n = self.len.load(Ordering::Relaxed);
+        if n > self.data.len() {
+            return false;
+        }
+        out.clear();
+        for slot in &self.data[..n] {
+            // ORDERING: Relaxed; the Acquire fence + version re-read below
+            // reject any slot value raced with a concurrent publish.
+            out.push(slot.load(Ordering::Relaxed));
+        }
+        fence(Ordering::Acquire);
+        // ORDERING: Relaxed re-read is the classic seqlock validation: the
+        // Acquire fence above orders it after the data reads.
+        self.version.load(Ordering::Relaxed) == v1
+    }
+
+    /// Publishes a freshly walked snapshot (`snap`, sorted) together with
+    /// the generation vector `gens_now` that was loaded *before* the walk.
+    /// Best-effort: yields to a concurrent publisher instead of blocking.
+    pub fn publish_snapshot(&self, gens_now: &[u64], snap: &[u64]) {
+        if snap.len() > self.data.len() || gens_now.len() != self.snap_gens.len() {
+            return;
+        }
+        // ORDERING: Relaxed pre-read; the Acquire CAS below is the
+        // synchronizing claim, so a stale value only fails the CAS.
+        let v0 = self.version.load(Ordering::Relaxed);
+        if v0 & 1 == 1 {
+            return;
+        }
+        // ORDERING: Relaxed on failure publishes nothing (we yield to the
+        // concurrent publisher); Acquire on success pairs with the closing
+        // Release version store of the previous write section.
+        if self
+            .version
+            .compare_exchange(v0, v0 + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        for (dst, &g) in self.snap_gens.iter().zip(gens_now) {
+            // ORDERING: Relaxed writes are published by the Release version
+            // store that closes the seqlock write section.
+            dst.store(g, Ordering::Relaxed);
+        }
+        for (dst, &v) in self.data.iter().zip(snap) {
+            // ORDERING: Relaxed; published by the closing Release version
+            // store below.
+            dst.store(v, Ordering::Relaxed);
+        }
+        // ORDERING: Relaxed; published by the closing Release version store
+        // below.
+        self.len.store(snap.len(), Ordering::Relaxed);
+        self.version.store(v0 + 2, Ordering::Release);
+    }
+}
+
 /// A monotone global epoch/era clock.
 #[derive(Default)]
 pub struct EpochClock(AtomicU64);
@@ -91,6 +354,120 @@ mod tests {
         g.add(5);
         g.sub(2);
         assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn scan_policy_auto_derives_k_times_h() {
+        let cfg = Config::default().with_max_threads(4).with_slots_per_thread(8);
+        let p = ScanPolicy::from_config(&cfg);
+        assert_eq!(p.watermark_nodes, 2 * 4 * 8, "k·H with k = 2");
+        assert_eq!(p.rearm_floor, cfg.empty_freq);
+        assert!(p.fixed_cadence.is_none());
+
+        // Explicit knob wins over the auto rule; empty_freq floors the auto
+        // rule when it exceeds k·H.
+        let p = ScanPolicy::from_config(&cfg.clone().with_scan_watermark(7));
+        assert_eq!(p.watermark_nodes, 7);
+        let p = ScanPolicy::from_config(&cfg.clone().with_empty_freq(1000));
+        assert_eq!(p.watermark_nodes, 1000);
+        let p = ScanPolicy::from_config(&cfg.with_fixed_cadence(true));
+        assert_eq!(p.fixed_cadence, Some(30));
+    }
+
+    #[test]
+    fn scan_state_triggers_at_watermark_and_rearms_under_pinning() {
+        let cfg = Config::default().with_max_threads(1).with_slots_per_thread(2);
+        let p = ScanPolicy::from_config(&cfg); // watermark = max(30, 4) = 30
+        let mut s = ScanState::new(&p);
+        for len in 1..30 {
+            s.note_retire(64);
+            assert!(!s.due(&p, len), "below watermark at len {len}");
+        }
+        s.note_retire(64);
+        assert!(s.due(&p, 30), "watermark reached");
+        // Scan kept everything (stalled reader): next scan waits a full
+        // rearm_floor of retires, not one.
+        s.rearm(&p, 30, 30 * 64);
+        assert!(!s.due(&p, 30));
+        for len in 31..60 {
+            s.note_retire(64);
+            assert!(!s.due(&p, len), "inside rearm window at len {len}");
+        }
+        s.note_retire(64);
+        assert!(s.due(&p, 60), "rearm floor elapsed");
+        // Scan freed everything: back to the plain watermark.
+        s.rearm(&p, 0, 0);
+        assert!(!s.due(&p, 29));
+        assert!(s.due(&p, 30));
+    }
+
+    #[test]
+    fn scan_state_bytes_watermark_triggers_before_node_watermark() {
+        let cfg = Config::default()
+            .with_max_threads(8)
+            .with_slots_per_thread(8)
+            .with_scan_watermark_bytes(1024);
+        let p = ScanPolicy::from_config(&cfg); // node watermark 128
+        let mut s = ScanState::new(&p);
+        for _ in 0..3 {
+            s.note_retire(512); // large payloads
+        }
+        assert!(s.due(&p, 3), "1.5 KiB retired ≥ 1 KiB bytes watermark");
+        s.rearm(&p, 0, 0);
+        assert!(!s.due(&p, 3));
+    }
+
+    #[test]
+    fn fixed_cadence_matches_the_legacy_trigger() {
+        let cfg = Config::default().with_empty_freq(5).with_fixed_cadence(true);
+        let p = ScanPolicy::from_config(&cfg);
+        let mut s = ScanState::new(&p);
+        let mut scans = 0;
+        for _ in 0..25 {
+            s.note_retire(64);
+            if s.due(&p, usize::MAX) {
+                scans += 1;
+            }
+        }
+        assert_eq!(scans, 5, "exactly every empty_freq retires");
+    }
+
+    #[test]
+    fn shared_snapshot_adopts_only_at_equal_generations() {
+        let snap = SharedSnapshot::new(3, 2);
+        let mut gens = Vec::new();
+        let mut out = Vec::new();
+
+        // Nothing published yet: the sentinel generations never match.
+        snap.load_gens_into(&mut gens);
+        assert!(!snap.try_adopt_into(&gens, &mut out));
+
+        snap.publish_snapshot(&gens, &[10, 20, 30]);
+        assert!(snap.try_adopt_into(&gens, &mut out), "same generations ⇒ adopt");
+        assert_eq!(out, vec![10, 20, 30]);
+
+        // A protection announcement by thread 1 invalidates the snapshot…
+        snap.bump_gen(1);
+        snap.load_gens_into(&mut gens);
+        assert!(!snap.try_adopt_into(&gens, &mut out), "bump ⇒ reject");
+
+        // …until a fresh walk is published under the new generations.
+        snap.publish_snapshot(&gens, &[40]);
+        assert!(snap.try_adopt_into(&gens, &mut out));
+        assert_eq!(out, vec![40]);
+    }
+
+    #[test]
+    fn shared_snapshot_rejects_oversized_publish() {
+        let snap = SharedSnapshot::new(1, 2);
+        let mut gens = Vec::new();
+        let mut out = Vec::new();
+        snap.load_gens_into(&mut gens);
+        snap.publish_snapshot(&gens, &[1, 2, 3]); // exceeds capacity: dropped
+        assert!(!snap.try_adopt_into(&gens, &mut out), "truncated publish must not adopt");
+        snap.publish_snapshot(&gens, &[1, 2]);
+        assert!(snap.try_adopt_into(&gens, &mut out));
+        assert_eq!(out, vec![1, 2]);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use core::sync::atomic::Ordering;
 
@@ -30,9 +31,9 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::schemes::common::{counted_fence, EpochClock, ScanPolicy, ScanState, INACTIVE};
 use crate::stats::FenceSite;
-use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
+use crate::telemetry::{HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Data-structure-specific freezing callback (see module docs).
 ///
@@ -59,6 +60,7 @@ pub struct Dta {
     /// One anchor address slot per thread (0 = none).
     anchors: SlotArray,
     registry: Registry,
+    scan_policy: ScanPolicy,
     cfg: Config,
     tele: SchemeTelemetry,
     /// Client-registered freezing procedure.
@@ -104,7 +106,7 @@ pub struct DtaHandle {
     scan_scratch: Vec<Retired>,
     /// Retained thread-classification buffer, refilled in place per scan.
     class_scratch: Vec<ThreadClass>,
-    retire_counter: usize,
+    scan: ScanState,
     alloc_counter: usize,
     tele: CachePadded<HandleTelemetry>,
 }
@@ -125,6 +127,7 @@ impl Smr for Dta {
                 neutralized: vec![None; cfg.max_threads],
                 frozen: HashSet::new(),
             }),
+            scan_policy: ScanPolicy::from_config(&cfg),
             cfg,
             tele: SchemeTelemetry::new(),
             freezer: RwLock::new(None),
@@ -132,17 +135,21 @@ impl Smr for Dta {
     }
 
     fn register(self: &Arc<Self>) -> DtaHandle {
-        let tid = self.registry.acquire();
+        let lease = self.registry.acquire();
+        let mut tele = HandleTelemetry::new(lease.tid);
+        if lease.recycled {
+            tele.record_tid_recycle();
+        }
         DtaHandle {
             scheme: self.clone(),
-            tid,
+            tid: lease.tid,
             stamp: 0,
             retired: CachePadded::new(Vec::new()),
             scan_scratch: Vec::new(),
             class_scratch: Vec::new(),
-            retire_counter: 0,
+            scan: ScanState::new(&self.scan_policy),
             alloc_counter: 0,
-            tele: CachePadded::new(HandleTelemetry::new(tid)),
+            tele: CachePadded::new(tele),
         }
     }
 
@@ -294,7 +301,7 @@ impl DtaHandle {
     /// and retired list both cycle through handle-owned buffers).
     fn empty(&mut self) {
         self.tele.record_empty();
-        let scan_t0 = telemetry::timer();
+        let scan_t0 = Instant::now();
         let caps_before =
             self.retired.capacity() + self.scan_scratch.capacity() + self.class_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
@@ -306,8 +313,10 @@ impl DtaHandle {
         debug_assert!(pending.is_empty());
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
+        let mut kept_bytes = 0usize;
         'next: for r in pending.drain(..) {
             if rec.frozen.contains(&r.addr()) {
+                kept_bytes += r.bytes() as usize;
                 self.retired.push(r);
                 continue;
             }
@@ -331,6 +340,7 @@ impl DtaHandle {
                     }
                 };
                 if pins {
+                    kept_bytes += r.bytes() as usize;
                     self.retired.push(r);
                     continue 'next;
                 }
@@ -345,6 +355,7 @@ impl DtaHandle {
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
         self.scheme.tele.pending.sub(freed);
+        self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         if self.retired.capacity() + self.scan_scratch.capacity() + self.class_scratch.capacity()
             > caps_before
         {
@@ -444,9 +455,9 @@ impl SmrHandle for DtaHandle {
         // Record when the unlinking operation began (≤ the unlink itself);
         // the neutralization window is keyed on this (see `empty`).
         r.op_start = self.stamp;
+        self.scan.note_retire(r.bytes());
         self.retired.push(r);
-        self.retire_counter += 1;
-        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
+        if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty();
         }
     }
@@ -464,6 +475,8 @@ impl Drop for DtaHandle {
     fn drop(&mut self) {
         self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
         self.scheme.anchors.get(self.tid, 0).store(0, Ordering::Release);
+        // Drain scan before parking leftovers — see HpHandle::drop.
+        self.force_empty();
         self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
         mp_util::pool::flush();
     }
@@ -474,11 +487,13 @@ mod tests {
     use super::*;
 
     fn setup(threads: usize) -> Arc<Dta> {
+        // watermark 1: scan on every retire, as the old empty_freq=1 did.
         Dta::new(
             Config::default()
                 .with_max_threads(threads)
                 .with_empty_freq(1)
                 .with_epoch_freq(1)
+                .with_scan_watermark(1)
                 .with_anchor_hops(3)
                 .with_stall_patience(2),
         )

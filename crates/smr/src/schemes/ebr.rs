@@ -12,6 +12,7 @@
 //! and wasted memory grows without bound — the failure mode motivating MP.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use core::sync::atomic::Ordering;
 
@@ -21,15 +22,16 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::schemes::common::{counted_fence, EpochClock, ScanPolicy, ScanState, INACTIVE};
 use crate::stats::FenceSite;
-use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
+use crate::telemetry::{HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Epoch-based reclamation scheme (shared state).
 pub struct Ebr {
     clock: EpochClock,
     /// One announcement slot per thread: observed epoch, or `INACTIVE`.
     announce: SlotArray,
+    scan_policy: ScanPolicy,
     registry: Registry,
     cfg: Config,
     tele: SchemeTelemetry,
@@ -43,7 +45,7 @@ pub struct EbrHandle {
     retired: CachePadded<Vec<Retired>>,
     /// Retained swap buffer for `empty()`.
     scan_scratch: Vec<Retired>,
-    retire_counter: usize,
+    scan: ScanState,
     alloc_counter: usize,
     tele: CachePadded<HandleTelemetry>,
 }
@@ -56,6 +58,7 @@ impl Smr for Ebr {
         Arc::new(Ebr {
             clock: EpochClock::new(),
             announce: SlotArray::new(cfg.max_threads, 1, INACTIVE),
+            scan_policy: ScanPolicy::from_config(&cfg),
             registry: Registry::new(cfg.max_threads),
             cfg,
             tele: SchemeTelemetry::new(),
@@ -63,15 +66,22 @@ impl Smr for Ebr {
     }
 
     fn register(self: &Arc<Self>) -> EbrHandle {
-        let tid = self.registry.acquire();
+        let lease = self.registry.acquire();
+        let mut tele = HandleTelemetry::new(lease.tid);
+        if lease.recycled {
+            tele.record_tid_recycle();
+        }
         EbrHandle {
             scheme: self.clone(),
-            tid,
-            retired: CachePadded::new(Vec::new()),
+            tid: lease.tid,
+            // Adopt parked orphans: churned-out handles leave behind
+            // whatever their drain scan could not free; this handle frees
+            // them at its next scan instead of letting them pile to teardown.
+            retired: CachePadded::new(self.registry.adopt_orphans()),
             scan_scratch: Vec::new(),
-            retire_counter: 0,
+            scan: ScanState::new(&self.scan_policy),
             alloc_counter: 0,
-            tele: CachePadded::new(HandleTelemetry::new(tid)),
+            tele: CachePadded::new(tele),
         }
     }
 
@@ -123,7 +133,7 @@ impl EbrHandle {
     /// swaps through the retained `scan_scratch`).
     fn empty(&mut self) {
         self.tele.record_empty();
-        let scan_t0 = telemetry::timer();
+        let scan_t0 = Instant::now();
         let caps_before = self.retired.capacity() + self.scan_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
         let min = self.scheme.min_active_epoch();
@@ -131,6 +141,7 @@ impl EbrHandle {
         debug_assert!(pending.is_empty());
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
+        let mut kept_bytes = 0usize;
         for r in pending.drain(..) {
             // Free if every active thread announced strictly after the
             // retirement epoch (see module docs). No active thread: free.
@@ -145,12 +156,14 @@ impl EbrHandle {
                 // than the retire stamp), referenced by no active thread.
                 unsafe { r.reclaim() };
             } else {
+                kept_bytes += r.bytes() as usize;
                 self.retired.push(r);
             }
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
         self.scheme.tele.pending.sub(freed);
+        self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         if self.retired.capacity() + self.scan_scratch.capacity() > caps_before {
             self.tele.record_scan_heap_alloc();
         }
@@ -204,9 +217,10 @@ impl SmrHandle for EbrHandle {
         self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         // SAFETY: [INV-04] forwarded from this fn's own contract.
-        self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
-        self.retire_counter += 1;
-        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
+        let r = unsafe { Retired::new(node.as_raw(), stamp) };
+        self.scan.note_retire(r.bytes());
+        self.retired.push(r);
+        if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty();
         }
     }
@@ -223,6 +237,8 @@ impl SmrHandle for EbrHandle {
 impl Drop for EbrHandle {
     fn drop(&mut self) {
         self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+        // Drain scan before parking leftovers — see HpHandle::drop.
+        self.force_empty();
         self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
         mp_util::pool::flush();
     }
@@ -233,7 +249,14 @@ mod tests {
     use super::*;
 
     fn setup(threads: usize) -> Arc<Ebr> {
-        Ebr::new(Config::default().with_max_threads(threads).with_empty_freq(1).with_epoch_freq(1))
+        // watermark 1: scan on every retire, as the old empty_freq=1 did.
+        Ebr::new(
+            Config::default()
+                .with_max_threads(threads)
+                .with_empty_freq(1)
+                .with_epoch_freq(1)
+                .with_scan_watermark(1),
+        )
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! entire data structure (§1).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use core::sync::atomic::Ordering;
 
@@ -23,15 +24,19 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::schemes::common::{counted_fence, EpochClock, ScanPolicy, ScanState, SharedSnapshot, INACTIVE};
 use crate::stats::FenceSite;
-use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
+use crate::telemetry::{HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Hazard-eras SMR scheme (shared state).
 pub struct He {
     clock: EpochClock,
     /// Era announcement slots (`INACTIVE` = no era announced).
     era_slots: SlotArray,
+    /// Version-stamped era snapshot shared across scanning handles;
+    /// adopted instead of re-walked when no announcement changed.
+    shared_snap: SharedSnapshot,
+    scan_policy: ScanPolicy,
     registry: Registry,
     cfg: Config,
     tele: SchemeTelemetry,
@@ -49,7 +54,14 @@ pub struct HeHandle {
     scan_scratch: Vec<Retired>,
     /// Retained era-snapshot buffer, refilled in place per scan.
     era_scratch: Vec<u64>,
-    retire_counter: usize,
+    /// Retained generation-vector buffer for snapshot adoption.
+    gens_scratch: Vec<u64>,
+    /// True if the previous scan adopted the shared snapshot. A handle
+    /// never adopts twice in a row: releases (unprotect/deregistration) do
+    /// not bump generations, so the forced fresh walk bounds how long a
+    /// released era can linger in an adopted snapshot.
+    adopted_last: bool,
+    scan: ScanState,
     tele: CachePadded<HandleTelemetry>,
 }
 
@@ -61,6 +73,8 @@ impl Smr for He {
         Arc::new(He {
             clock: EpochClock::new(),
             era_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, INACTIVE),
+            shared_snap: SharedSnapshot::new(cfg.max_threads, cfg.slots_per_thread),
+            scan_policy: ScanPolicy::from_config(&cfg),
             registry: Registry::new(cfg.max_threads),
             cfg,
             tele: SchemeTelemetry::new(),
@@ -68,16 +82,25 @@ impl Smr for He {
     }
 
     fn register(self: &Arc<Self>) -> HeHandle {
-        let tid = self.registry.acquire();
+        let lease = self.registry.acquire();
+        let mut tele = HandleTelemetry::new(lease.tid);
+        if lease.recycled {
+            tele.record_tid_recycle();
+        }
         HeHandle {
             scheme: self.clone(),
-            tid,
+            tid: lease.tid,
             local: vec![INACTIVE; self.cfg.slots_per_thread],
-            retired: CachePadded::new(Vec::new()),
+            // Adopt parked orphans: churned-out handles leave behind
+            // whatever their drain scan could not free; this handle frees
+            // them at its next scan instead of letting them pile to teardown.
+            retired: CachePadded::new(self.registry.adopt_orphans()),
             scan_scratch: Vec::new(),
             era_scratch: Vec::new(),
-            retire_counter: 0,
-            tele: CachePadded::new(HandleTelemetry::new(tid)),
+            gens_scratch: Vec::new(),
+            adopted_last: false,
+            scan: ScanState::new(&self.scan_policy),
+            tele: CachePadded::new(tele),
         }
     }
 
@@ -136,19 +159,52 @@ fn interval_hit(eras: &[u64], birth: u64, retire: u64) -> bool {
 impl HeHandle {
     /// Reclamation scan; allocation-free in steady state (era snapshot and
     /// retired list both cycle through handle-owned buffers).
-    fn empty(&mut self) {
+    /// `allow_adopt` permits reusing the shared era snapshot; explicit
+    /// `force_empty` calls pass `false` so they always observe the live
+    /// slots.
+    fn empty(&mut self, allow_adopt: bool) {
         self.tele.record_empty();
-        let scan_t0 = telemetry::timer();
-        let caps_before =
-            self.retired.capacity() + self.scan_scratch.capacity() + self.era_scratch.capacity();
+        let scan_t0 = Instant::now();
+        let caps_before = self.retired.capacity()
+            + self.scan_scratch.capacity()
+            + self.era_scratch.capacity()
+            + self.gens_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
-        self.scheme.snapshot_eras_into(&mut self.era_scratch);
+        // Same adoption protocol as HP (see SharedSnapshot docs): equal
+        // generation vectors prove no era was announced-and-validated since
+        // the published walk, so reusing it only over-approximates.
+        self.scheme.shared_snap.load_gens_into(&mut self.gens_scratch);
+        let adopted = allow_adopt
+            && !self.adopted_last
+            && self.scheme.shared_snap.try_adopt_into(&self.gens_scratch, &mut self.era_scratch);
+        self.adopted_last = adopted;
+        if adopted {
+            self.tele.record_snapshot_reuse();
+            #[cfg(feature = "oracle")]
+            {
+                // The reused snapshot must contain every era a fresh walk
+                // would see (superset check).
+                let mut fresh = Vec::new();
+                self.scheme.snapshot_eras_into(&mut fresh);
+                for v in &fresh {
+                    assert!(
+                        self.era_scratch.binary_search(v).is_ok(),
+                        "snapshot reuse under-approximates: era {v} missing"
+                    );
+                }
+            }
+        } else {
+            self.scheme.snapshot_eras_into(&mut self.era_scratch);
+            self.scheme.shared_snap.publish_snapshot(&self.gens_scratch, &self.era_scratch);
+        }
         let mut pending = std::mem::take(&mut self.scan_scratch);
         debug_assert!(pending.is_empty());
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
+        let mut kept_bytes = 0usize;
         for r in pending.drain(..) {
             if interval_hit(&self.era_scratch, r.birth, r.retire) {
+                kept_bytes += r.bytes() as usize;
                 self.retired.push(r);
             } else {
                 self.tele.record_free(r.addr());
@@ -161,7 +217,11 @@ impl HeHandle {
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
         self.scheme.tele.pending.sub(freed);
-        if self.retired.capacity() + self.scan_scratch.capacity() + self.era_scratch.capacity()
+        self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
+        if self.retired.capacity()
+            + self.scan_scratch.capacity()
+            + self.era_scratch.capacity()
+            + self.gens_scratch.capacity()
             > caps_before
         {
             self.tele.record_scan_heap_alloc();
@@ -217,6 +277,9 @@ impl SmrHandle for HeHandle {
             }
             self.scheme.era_slots.get(self.tid, refno).store(era, Ordering::Release);
             self.local[refno] = era;
+            // New era announced: invalidate shared era snapshots (after the
+            // slot store, before the validation fence).
+            self.scheme.shared_snap.bump_gen(self.tid);
             counted_fence(&mut self.tele, FenceSite::Announce);
             prev = era;
         }
@@ -245,15 +308,16 @@ impl SmrHandle for HeHandle {
         self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         // SAFETY: [INV-04] forwarded from this fn's own contract.
-        self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
-        self.retire_counter += 1;
+        let r = unsafe { Retired::new(node.as_raw(), stamp) };
+        self.scan.note_retire(r.bytes());
+        self.retired.push(r);
         // HE advances the era every constant number of deletions (§3.3).
-        if self.retire_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
+        if self.scan.retires().is_multiple_of(self.scheme.cfg.epoch_freq) {
             let e = self.scheme.clock.advance();
             self.tele.record_epoch_advance(e);
         }
-        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
-            self.empty();
+        if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
+            self.empty(true);
         }
     }
 
@@ -262,13 +326,17 @@ impl SmrHandle for HeHandle {
     }
 
     fn force_empty(&mut self) {
-        self.empty();
+        self.empty(false);
     }
 }
 
 impl Drop for HeHandle {
     fn drop(&mut self) {
         self.scheme.era_slots.clear_row(self.tid, Ordering::Release);
+        // Drain scan before parking leftovers — see HpHandle::drop: under
+        // watermark triggers plus handle churn, skipping this would leak
+        // every retired node of short-lived handles into the orphan list.
+        self.force_empty();
         self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
         mp_util::pool::flush();
     }
@@ -279,7 +347,14 @@ mod tests {
     use super::*;
 
     fn setup(threads: usize) -> Arc<He> {
-        He::new(Config::default().with_max_threads(threads).with_empty_freq(1).with_epoch_freq(1))
+        // watermark 1: scan on every retire, as the old empty_freq=1 did.
+        He::new(
+            Config::default()
+                .with_max_threads(threads)
+                .with_empty_freq(1)
+                .with_epoch_freq(1)
+                .with_scan_watermark(1),
+        )
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! rescanning them per retired node.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use core::sync::atomic::Ordering;
 
@@ -24,13 +25,17 @@ use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::Registry;
 use crate::registry::SlotArray;
-use crate::schemes::common::{counted_fence, NO_HAZARD};
+use crate::schemes::common::{counted_fence, ScanPolicy, ScanState, SharedSnapshot, NO_HAZARD};
 use crate::stats::FenceSite;
-use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
+use crate::telemetry::{HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Hazard-pointer SMR scheme (shared state).
 pub struct Hp {
     hp_slots: SlotArray,
+    /// Version-stamped hazard snapshot shared across scanning handles;
+    /// adopted instead of re-walked when no protection changed underneath.
+    shared_snap: SharedSnapshot,
+    scan_policy: ScanPolicy,
     registry: Registry,
     cfg: Config,
     tele: SchemeTelemetry,
@@ -51,7 +56,14 @@ pub struct HpHandle {
     scan_scratch: Vec<Retired>,
     /// Retained hazard-snapshot buffer, refilled in place per scan.
     hazard_scratch: Vec<u64>,
-    retire_counter: usize,
+    /// Retained generation-vector buffer for snapshot adoption.
+    gens_scratch: Vec<u64>,
+    /// True if the previous scan adopted the shared snapshot. A handle
+    /// never adopts twice in a row: releases (unprotect/end_op/drop) do not
+    /// bump generations, so the forced fresh walk bounds how long a
+    /// released hazard can linger in an adopted snapshot.
+    adopted_last: bool,
+    scan: ScanState,
     tele: CachePadded<HandleTelemetry>,
 }
 
@@ -62,6 +74,8 @@ impl Smr for Hp {
         cfg.validate().expect("invalid SMR Config");
         Arc::new(Hp {
             hp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_HAZARD),
+            shared_snap: SharedSnapshot::new(cfg.max_threads, cfg.slots_per_thread),
+            scan_policy: ScanPolicy::from_config(&cfg),
             registry: Registry::new(cfg.max_threads),
             cfg,
             tele: SchemeTelemetry::new(),
@@ -69,16 +83,25 @@ impl Smr for Hp {
     }
 
     fn register(self: &Arc<Self>) -> HpHandle {
-        let tid = self.registry.acquire();
+        let lease = self.registry.acquire();
+        let mut tele = HandleTelemetry::new(lease.tid);
+        if lease.recycled {
+            tele.record_tid_recycle();
+        }
         HpHandle {
             scheme: self.clone(),
-            tid,
+            tid: lease.tid,
             local: vec![NO_HAZARD; self.cfg.slots_per_thread],
-            retired: CachePadded::new(Vec::new()),
+            // Adopt parked orphans: churned-out handles leave behind
+            // whatever their drain scan could not free; this handle frees
+            // them at its next scan instead of letting them pile to teardown.
+            retired: CachePadded::new(self.registry.adopt_orphans()),
             scan_scratch: Vec::new(),
             hazard_scratch: Vec::new(),
-            retire_counter: 0,
-            tele: CachePadded::new(HandleTelemetry::new(tid)),
+            gens_scratch: Vec::new(),
+            adopted_last: false,
+            scan: ScanState::new(&self.scan_policy),
+            tele: CachePadded::new(tele),
         }
     }
 
@@ -146,18 +169,52 @@ impl HpHandle {
 
     /// Reclamation scan; allocation-free in steady state (the hazard
     /// snapshot and the retired list both cycle through handle-owned
-    /// buffers).
-    fn empty(&mut self) {
+    /// buffers). `allow_adopt` permits reusing the shared hazard snapshot;
+    /// explicit `force_empty` calls pass `false` so they always observe the
+    /// live slots.
+    fn empty(&mut self, allow_adopt: bool) {
         self.tele.record_empty();
-        let scan_t0 = telemetry::timer();
-        let caps_before =
-            self.retired.capacity() + self.scan_scratch.capacity() + self.hazard_scratch.capacity();
+        let scan_t0 = Instant::now();
+        let caps_before = self.retired.capacity()
+            + self.scan_scratch.capacity()
+            + self.hazard_scratch.capacity()
+            + self.gens_scratch.capacity();
         // Ensure retirements we are about to judge are ordered after any
         // protection announcements we will observe.
         core::sync::atomic::fence(Ordering::SeqCst);
         let naive = self.scheme.cfg.ablation_naive_scan;
         if !naive {
-            self.scheme.snapshot_hazards_into(&mut self.hazard_scratch);
+            // Generation vector loaded *after* this handle's fence: if it
+            // still equals the published snapshot's vector, no protection
+            // was announced-and-validated since that snapshot's walk, so
+            // adopting it only over-approximates (see SharedSnapshot docs).
+            self.scheme.shared_snap.load_gens_into(&mut self.gens_scratch);
+            let adopted = allow_adopt
+                && !self.adopted_last
+                && self
+                    .scheme
+                    .shared_snap
+                    .try_adopt_into(&self.gens_scratch, &mut self.hazard_scratch);
+            self.adopted_last = adopted;
+            if adopted {
+                self.tele.record_snapshot_reuse();
+                #[cfg(feature = "oracle")]
+                {
+                    // The reused snapshot must contain every hazard a fresh
+                    // walk would see (superset check).
+                    let mut fresh = Vec::new();
+                    self.scheme.snapshot_hazards_into(&mut fresh);
+                    for v in &fresh {
+                        assert!(
+                            self.hazard_scratch.binary_search(v).is_ok(),
+                            "snapshot reuse under-approximates: hazard {v:#x} missing"
+                        );
+                    }
+                }
+            } else {
+                self.scheme.snapshot_hazards_into(&mut self.hazard_scratch);
+                self.scheme.shared_snap.publish_snapshot(&self.gens_scratch, &self.hazard_scratch);
+            }
         }
         // Swap the retired list through the retained scratch (`mem::take`
         // leaves a capacity-0 Vec: no allocation).
@@ -165,6 +222,7 @@ impl HpHandle {
         debug_assert!(pending.is_empty());
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
+        let mut kept_bytes = 0usize;
         for r in pending.drain(..) {
             let protected = if naive {
                 self.hazard_hit_naive(r.addr())
@@ -172,6 +230,7 @@ impl HpHandle {
                 self.hazard_scratch.binary_search(&r.addr()).is_ok()
             };
             if protected {
+                kept_bytes += r.bytes() as usize;
                 self.retired.push(r);
             } else {
                 self.tele.record_free(r.addr());
@@ -184,8 +243,11 @@ impl HpHandle {
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
         self.scheme.tele.pending.sub(freed);
-        let caps_after =
-            self.retired.capacity() + self.scan_scratch.capacity() + self.hazard_scratch.capacity();
+        self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
+        let caps_after = self.retired.capacity()
+            + self.scan_scratch.capacity()
+            + self.hazard_scratch.capacity()
+            + self.gens_scratch.capacity();
         if caps_after > caps_before {
             self.tele.record_scan_heap_alloc();
         }
@@ -231,8 +293,14 @@ impl SmrHandle for HpHandle {
 
     fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
         let mut backoff = mp_util::Backoff::new();
+        // The candidate is loaded once up front; on a failed validation the
+        // validating re-read *becomes* the next candidate instead of being
+        // discarded and re-loaded at the top of the loop. A fence is paid
+        // only per newly announced address — if a retry lands back on an
+        // address this slot already protects (A→B→A churn), the dedup check
+        // returns without re-fencing.
+        let mut w = src.load(Ordering::Acquire);
         loop {
-            let w = src.load(Ordering::Acquire);
             let addr = w.addr();
             if addr == 0 {
                 return w; // null (possibly marked-null): nothing to protect
@@ -242,15 +310,20 @@ impl SmrHandle for HpHandle {
             }
             self.scheme.hp_slots.get(self.tid, refno).store(addr, Ordering::Release);
             self.local[refno] = addr;
+            // New protection announced: invalidate shared hazard snapshots
+            // (after the slot store, before the validation fence).
+            self.scheme.shared_snap.bump_gen(self.tid);
             counted_fence(&mut self.tele, FenceSite::HpProtect);
             // Validate the node is still reachable from `src`: success means
             // the announcement happened while the node was linked (§3.1).
-            if src.load(Ordering::Acquire) == w {
+            let w2 = src.load(Ordering::Acquire);
+            if w2 == w {
                 return w;
             }
             // `src` moved under us: a writer is churning this cell, so back
             // off before re-announcing instead of fencing at full speed.
             backoff.spin();
+            w = w2;
         }
     }
 
@@ -276,10 +349,11 @@ impl SmrHandle for HpHandle {
         self.tele.record_retire(node.addr());
         self.scheme.tele.pending.add(1);
         // SAFETY: [INV-04] forwarded from this fn's own contract.
-        self.retired.push(unsafe { Retired::new(node.as_raw(), 0) });
-        self.retire_counter += 1;
-        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
-            self.empty();
+        let r = unsafe { Retired::new(node.as_raw(), 0) };
+        self.scan.note_retire(r.bytes());
+        self.retired.push(r);
+        if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
+            self.empty(true);
         }
     }
 
@@ -288,13 +362,20 @@ impl SmrHandle for HpHandle {
     }
 
     fn force_empty(&mut self) {
-        self.empty();
+        self.empty(false);
     }
 }
 
 impl Drop for HpHandle {
     fn drop(&mut self) {
         self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
+        // Drain scan: with watermark-batched triggers a short-lived handle
+        // may never have reached its scan threshold; without this scan its
+        // whole retired list would park as orphans (reclaimed only at
+        // scheme teardown), unbounded under handle churn. Runs after the
+        // row clear so the handle's own stale announcements don't pin its
+        // leftovers.
+        self.force_empty();
         self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
         mp_util::pool::flush();
     }
@@ -305,7 +386,8 @@ mod tests {
     use super::*;
 
     fn setup(threads: usize) -> Arc<Hp> {
-        Hp::new(Config::default().with_max_threads(threads).with_empty_freq(1))
+        // watermark 1: scan on every retire, as the old empty_freq=1 did.
+        Hp::new(Config::default().with_max_threads(threads).with_empty_freq(1).with_scan_watermark(1))
     }
 
     #[test]
@@ -393,7 +475,11 @@ mod tests {
     #[test]
     fn wasted_memory_bounded_by_hazards() {
         // A stalled reader pins at most slots_per_thread nodes.
-        let cfg = Config::default().with_max_threads(2).with_slots_per_thread(4).with_empty_freq(1);
+        let cfg = Config::default()
+            .with_max_threads(2)
+            .with_slots_per_thread(4)
+            .with_empty_freq(1)
+            .with_scan_watermark(1);
         let smr = Hp::new(cfg);
         let mut reader = smr.register();
         let mut writer = smr.register();

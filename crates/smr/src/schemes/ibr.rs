@@ -20,6 +20,7 @@
 //! node alive when a thread stalls stays pinned by its interval.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use core::sync::atomic::Ordering;
 
@@ -29,9 +30,9 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, EpochClock, INACTIVE};
+use crate::schemes::common::{counted_fence, EpochClock, ScanPolicy, ScanState, INACTIVE};
 use crate::stats::FenceSite;
-use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
+use crate::telemetry::{HandleTelemetry, SchemeTelemetry, Telemetry};
 
 const LOWER: usize = 0;
 const UPPER: usize = 1;
@@ -41,6 +42,7 @@ pub struct Ibr {
     clock: EpochClock,
     /// Two slots per thread: reserved `[lower, upper]` (INACTIVE = idle).
     reservations: SlotArray,
+    scan_policy: ScanPolicy,
     registry: Registry,
     cfg: Config,
     tele: SchemeTelemetry,
@@ -57,7 +59,7 @@ pub struct IbrHandle {
     scan_scratch: Vec<Retired>,
     /// Retained reservation-snapshot buffer, refilled in place per scan.
     interval_scratch: Vec<(u64, u64)>,
-    retire_counter: usize,
+    scan: ScanState,
     alloc_counter: usize,
     tele: CachePadded<HandleTelemetry>,
 }
@@ -70,6 +72,7 @@ impl Smr for Ibr {
         Arc::new(Ibr {
             clock: EpochClock::new(),
             reservations: SlotArray::new(cfg.max_threads, 2, INACTIVE),
+            scan_policy: ScanPolicy::from_config(&cfg),
             registry: Registry::new(cfg.max_threads),
             cfg,
             tele: SchemeTelemetry::new(),
@@ -77,17 +80,24 @@ impl Smr for Ibr {
     }
 
     fn register(self: &Arc<Self>) -> IbrHandle {
-        let tid = self.registry.acquire();
+        let lease = self.registry.acquire();
+        let mut tele = HandleTelemetry::new(lease.tid);
+        if lease.recycled {
+            tele.record_tid_recycle();
+        }
         IbrHandle {
             scheme: self.clone(),
-            tid,
+            tid: lease.tid,
             upper_local: INACTIVE,
-            retired: CachePadded::new(Vec::new()),
+            // Adopt parked orphans: churned-out handles leave behind
+            // whatever their drain scan could not free; this handle frees
+            // them at its next scan instead of letting them pile to teardown.
+            retired: CachePadded::new(self.registry.adopt_orphans()),
             scan_scratch: Vec::new(),
             interval_scratch: Vec::new(),
-            retire_counter: 0,
+            scan: ScanState::new(&self.scan_policy),
             alloc_counter: 0,
-            tele: CachePadded::new(HandleTelemetry::new(tid)),
+            tele: CachePadded::new(tele),
         }
     }
 
@@ -125,7 +135,7 @@ impl IbrHandle {
     /// buffers).
     fn empty(&mut self) {
         self.tele.record_empty();
-        let scan_t0 = telemetry::timer();
+        let scan_t0 = Instant::now();
         let caps_before = self.retired.capacity()
             + self.scan_scratch.capacity()
             + self.interval_scratch.capacity();
@@ -143,10 +153,12 @@ impl IbrHandle {
         debug_assert!(pending.is_empty());
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
+        let mut kept_bytes = 0usize;
         for r in pending.drain(..) {
             let conflict =
                 self.interval_scratch.iter().any(|&(lo, hi)| !(r.retire < lo || r.birth > hi));
             if conflict {
+                kept_bytes += r.bytes() as usize;
                 self.retired.push(r);
             } else {
                 self.tele.record_free(r.addr());
@@ -160,6 +172,7 @@ impl IbrHandle {
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
         self.scheme.tele.pending.sub(freed);
+        self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         if self.retired.capacity() + self.scan_scratch.capacity() + self.interval_scratch.capacity()
             > caps_before
         {
@@ -232,9 +245,10 @@ impl SmrHandle for IbrHandle {
         self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         // SAFETY: [INV-04] forwarded from this fn's own contract.
-        self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
-        self.retire_counter += 1;
-        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
+        let r = unsafe { Retired::new(node.as_raw(), stamp) };
+        self.scan.note_retire(r.bytes());
+        self.retired.push(r);
+        if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty();
         }
     }
@@ -251,6 +265,8 @@ impl SmrHandle for IbrHandle {
 impl Drop for IbrHandle {
     fn drop(&mut self) {
         self.scheme.reservations.clear_row(self.tid, Ordering::Release);
+        // Drain scan before parking leftovers — see HpHandle::drop.
+        self.force_empty();
         self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
         mp_util::pool::flush();
     }
@@ -261,7 +277,14 @@ mod tests {
     use super::*;
 
     fn setup(threads: usize) -> Arc<Ibr> {
-        Ibr::new(Config::default().with_max_threads(threads).with_empty_freq(1).with_epoch_freq(1))
+        // watermark 1: scan on every retire, as the old empty_freq=1 did.
+        Ibr::new(
+            Config::default()
+                .with_max_threads(threads)
+                .with_empty_freq(1)
+                .with_epoch_freq(1)
+                .with_scan_watermark(1),
+        )
     }
 
     #[test]

@@ -41,12 +41,16 @@ impl Smr for Leaky {
     }
 
     fn register(self: &Arc<Self>) -> LeakyHandle {
-        let tid = self.registry.acquire();
+        let lease = self.registry.acquire();
+        let mut tele = HandleTelemetry::new(lease.tid);
+        if lease.recycled {
+            tele.record_tid_recycle();
+        }
         LeakyHandle {
             scheme: self.clone(),
-            tid,
+            tid: lease.tid,
             retired: CachePadded::new(Vec::new()),
-            tele: CachePadded::new(HandleTelemetry::new(tid)),
+            tele: CachePadded::new(tele),
         }
     }
 

@@ -65,6 +65,7 @@
 //!   slots for every candidate, which is strictly conservative.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use core::sync::atomic::{AtomicU64, Ordering};
 
@@ -74,9 +75,9 @@ use crate::api::{Config, Smr, SmrHandle};
 use crate::node::{is_use_hp_class, Retired, USE_HP};
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
-use crate::schemes::common::{counted_fence, INACTIVE, NO_HAZARD, NO_MARGIN};
+use crate::schemes::common::{counted_fence, ScanPolicy, ScanState, INACTIVE, NO_HAZARD, NO_MARGIN};
 use crate::stats::FenceSite;
-use crate::telemetry::{self, HandleTelemetry, SchemeTelemetry, Telemetry};
+use crate::telemetry::{HandleTelemetry, SchemeTelemetry, Telemetry};
 
 /// Sentinel for "this refno returned no margin-protected node this op".
 const NO_PROTEGE: u64 = u64::MAX;
@@ -100,6 +101,7 @@ pub struct Mp {
     /// cycle completes. Reclamation scans retry on a torn read.
     mp_versions: SlotArray,
     registry: Registry,
+    scan_policy: ScanPolicy,
     cfg: Config,
     tele: SchemeTelemetry,
 }
@@ -168,7 +170,7 @@ pub struct MpHandle {
     /// Retained per-thread slot snapshots (`ThreadSnap` interval/hazard
     /// buffers), refilled in place by every scan.
     snaps: Vec<ThreadSnap>,
-    retire_counter: usize,
+    scan: ScanState,
     unlink_counter: usize,
     tele: CachePadded<HandleTelemetry>,
 }
@@ -185,13 +187,19 @@ impl Smr for Mp {
             local_epochs: SlotArray::new(cfg.max_threads, 1, INACTIVE),
             mp_versions: SlotArray::new(cfg.max_threads, 1, 0),
             registry: Registry::new(cfg.max_threads),
+            scan_policy: ScanPolicy::from_config(&cfg),
             cfg,
             tele: SchemeTelemetry::new(),
         })
     }
 
     fn register(self: &Arc<Self>) -> MpHandle {
-        let tid = self.registry.acquire();
+        let lease = self.registry.acquire();
+        let tid = lease.tid;
+        let mut tele = HandleTelemetry::new(tid);
+        if lease.recycled {
+            tele.record_tid_recycle();
+        }
         MpHandle {
             scheme: self.clone(),
             tid,
@@ -213,12 +221,15 @@ impl Smr for Mp {
             hps_dirty: false,
             victim_next: 0,
             rearmed: false,
-            retired: CachePadded::new(Vec::new()),
+            // Adopt parked orphans: churned-out handles leave behind
+            // whatever their drain scan could not free; this handle frees
+            // them at its next scan instead of letting them pile to teardown.
+            retired: CachePadded::new(self.registry.adopt_orphans()),
             scan_scratch: Vec::new(),
             snaps: Vec::new(),
-            retire_counter: 0,
+            scan: ScanState::new(&self.scan_policy),
             unlink_counter: 0,
-            tele: CachePadded::new(HandleTelemetry::new(tid)),
+            tele: CachePadded::new(tele),
         }
     }
 
@@ -383,7 +394,7 @@ impl MpHandle {
     /// the retained `scan_scratch` instead of draining into a fresh `Vec`.
     fn empty(&mut self) {
         self.tele.record_empty();
-        let scan_t0 = telemetry::timer();
+        let scan_t0 = Instant::now();
         let caps_before = self.scan_caps();
         core::sync::atomic::fence(Ordering::SeqCst);
         let naive = self.scheme.cfg.ablation_naive_scan;
@@ -398,6 +409,7 @@ impl MpHandle {
         debug_assert!(pending.is_empty());
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
+        let mut kept_bytes = 0usize;
         'next_node: for r in pending.drain(..) {
             // Ablation: without the snapshot optimization, the live slot
             // arrays are re-read for every retired node.
@@ -415,6 +427,7 @@ impl MpHandle {
                 // tests/mp_depth.rs). Address protection is epoch-free and
                 // the waste bound's #HP term is unaffected.
                 if snap.hazards(r.addr()) {
+                    kept_bytes += r.bytes() as usize;
                     self.retired.push(r);
                     continue 'next_node;
                 }
@@ -426,6 +439,7 @@ impl MpHandle {
                     continue;
                 }
                 if !is_use_hp_class(r.index) && snap.covers(range_lo, range_hi) {
+                    kept_bytes += r.bytes() as usize;
                     self.retired.push(r);
                     continue 'next_node;
                 }
@@ -440,6 +454,7 @@ impl MpHandle {
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
         self.scheme.tele.pending.sub(freed);
+        self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         if self.scan_caps() > caps_before {
             self.tele.record_scan_heap_alloc();
         }
@@ -921,7 +936,9 @@ impl SmrHandle for MpHandle {
         self.scheme.tele.pending.add(1);
         let stamp = self.scheme.global_epoch.load(Ordering::SeqCst);
         // SAFETY: [INV-04] forwarded from this fn's own contract.
-        self.retired.push(unsafe { Retired::new(node.as_raw(), stamp) });
+        let r = unsafe { Retired::new(node.as_raw(), stamp) };
+        self.scan.note_retire(r.bytes());
+        self.retired.push(r);
         self.unlink_counter += 1;
         // §4.3.2: each thread increments the global epoch once every
         // `epoch_freq` node unlinks — the F of Theorem 4.2's bound.
@@ -929,8 +946,7 @@ impl SmrHandle for MpHandle {
             let e = self.scheme.global_epoch.fetch_add(1, Ordering::SeqCst) + 1;
             self.tele.record_epoch_advance(e);
         }
-        self.retire_counter += 1;
-        if self.retire_counter.is_multiple_of(self.scheme.cfg.empty_freq) {
+        if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty();
         }
     }
@@ -967,6 +983,10 @@ impl Drop for MpHandle {
         self.scheme.mp_slots.clear_row(self.tid, Ordering::Release);
         self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
         self.scheme.local_epochs.get(self.tid, 0).store(INACTIVE, Ordering::Release);
+        // Drain scan before parking leftovers — see HpHandle::drop: under
+        // watermark triggers plus handle churn, skipping this would leak
+        // every retired node of short-lived handles into the orphan list.
+        self.force_empty();
         self.scheme.registry.release(self.tid, std::mem::take(&mut *self.retired));
         // Hand this thread's cached pool blocks to the global shard so a
         // short-lived worker doesn't strand recycled memory.
@@ -979,10 +999,12 @@ mod tests {
     use super::*;
 
     fn setup(threads: usize) -> Arc<Mp> {
+        // watermark 1: scan on every retire, as the old empty_freq=1 did.
         Mp::new(
             Config::default()
                 .with_max_threads(threads)
                 .with_empty_freq(1)
+                .with_scan_watermark(1)
                 .with_epoch_freq(1000), // avoid mid-test epoch churn unless wanted
         )
     }
@@ -1077,6 +1099,7 @@ mod tests {
             Config::default()
                 .with_max_threads(1)
                 .with_empty_freq(1)
+                .with_scan_watermark(1)
                 .with_epoch_freq(1000)
                 .with_margin(margin),
         );
@@ -1351,6 +1374,7 @@ mod tests {
             .with_max_threads(2)
             .with_slots_per_thread(2)
             .with_empty_freq(1)
+            .with_scan_watermark(1)
             .with_epoch_freq(1000);
         let smr = Mp::new(cfg);
         let mut reader = smr.register();
@@ -1398,6 +1422,7 @@ mod tests {
             .with_max_threads(2)
             .with_slots_per_thread(2)
             .with_empty_freq(1)
+            .with_scan_watermark(1)
             .with_epoch_freq(10);
         let smr = Mp::new(cfg);
         let mut stalled = smr.register();

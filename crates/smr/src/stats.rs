@@ -74,6 +74,16 @@ pub struct OpStats {
     /// realloc during a reclamation scan). Zero in steady state — the
     /// zero-allocation-scan witness of the perf work.
     pub scan_heap_allocs: u64,
+    /// `empty()` passes that adopted a peer's published protection
+    /// snapshot instead of walking the slot rows (scan coalescing).
+    pub snapshot_reuses: u64,
+    /// Registrations that reused a tid released by an earlier handle
+    /// (thread-churn witness; always 0 or 1 per handle, summed on merge).
+    pub tid_recycles: u64,
+    /// Total wall nanoseconds spent inside `empty()` scans. Always on
+    /// (scans are rare, so the two clock reads per scan are noise);
+    /// `scan_nanos / frees` is the bench's `scan_ns_per_free` column.
+    pub scan_nanos: u64,
 }
 
 impl OpStats {
@@ -103,6 +113,20 @@ impl OpStats {
         self.pool_hits = self.pool_hits.saturating_add(other.pool_hits);
         self.pool_misses = self.pool_misses.saturating_add(other.pool_misses);
         self.scan_heap_allocs = self.scan_heap_allocs.saturating_add(other.scan_heap_allocs);
+        self.snapshot_reuses = self.snapshot_reuses.saturating_add(other.snapshot_reuses);
+        self.tid_recycles = self.tid_recycles.saturating_add(other.tid_recycles);
+        self.scan_nanos = self.scan_nanos.saturating_add(other.scan_nanos);
+    }
+
+    /// Average scan nanoseconds per reclaimed node — the amortized cost of
+    /// the reclamation path. The watermark trigger exists to keep this flat
+    /// as threads scale; the fixed-cadence ablation is its baseline.
+    pub fn scan_ns_per_free(&self) -> f64 {
+        if self.frees == 0 {
+            0.0
+        } else {
+            self.scan_nanos as f64 / self.frees as f64
+        }
     }
 
     /// Fences issued per traversed node (Figure 5's y-axis).
@@ -169,6 +193,9 @@ mod tests {
             pool_hits: 110,
             pool_misses: 120,
             scan_heap_allocs: 130,
+            snapshot_reuses: 140,
+            tid_recycles: 150,
+            scan_nanos: 160,
         };
         a.merge(&b);
         assert_eq!(a.fences, 11);
@@ -188,6 +215,9 @@ mod tests {
         assert_eq!(a.pool_hits, 110);
         assert_eq!(a.pool_misses, 120);
         assert_eq!(a.scan_heap_allocs, 130);
+        assert_eq!(a.snapshot_reuses, 140);
+        assert_eq!(a.tid_recycles, 150);
+        assert_eq!(a.scan_nanos, 160);
     }
 
     /// Soak-run wrap audit: merging into a counter near `u64::MAX`
@@ -213,6 +243,9 @@ mod tests {
             pool_hits: u64::MAX,
             pool_misses: u64::MAX,
             scan_heap_allocs: u64::MAX,
+            snapshot_reuses: u64::MAX,
+            tid_recycles: u64::MAX,
+            scan_nanos: u64::MAX,
         };
         let mut acc = near_max.clone();
         acc.merge(&OpStats { fences: 10, ops: 3, ..Default::default() });
@@ -243,5 +276,8 @@ mod tests {
         let p = OpStats { ops: 8, pool_hits: 6, pool_misses: 2, ..Default::default() };
         assert!((p.pool_hit_rate() - 0.75).abs() < 1e-12);
         assert!((p.allocs_per_op() - 0.25).abs() < 1e-12);
+        assert_eq!(z.scan_ns_per_free(), 0.0);
+        let s = OpStats { frees: 4, scan_nanos: 1000, ..Default::default() };
+        assert!((s.scan_ns_per_free() - 250.0).abs() < 1e-12);
     }
 }

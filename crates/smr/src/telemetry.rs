@@ -258,11 +258,17 @@ pub enum Counter {
     PoolMisses,
     /// Reclamation scans that had to grow a scratch buffer.
     ScanHeapAllocs,
+    /// Scans that adopted a peer's published protection snapshot.
+    SnapshotReuses,
+    /// Registrations that reused a previously released tid (churn).
+    TidRecycles,
+    /// Wall nanoseconds spent inside `empty()` scans (always on).
+    ScanNanos,
 }
 
 impl Counter {
     /// Every counter, in stable export order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::Fences,
         Counter::FencesStartOp,
         Counter::FencesEndOp,
@@ -280,6 +286,9 @@ impl Counter {
         Counter::PoolHits,
         Counter::PoolMisses,
         Counter::ScanHeapAllocs,
+        Counter::SnapshotReuses,
+        Counter::TidRecycles,
+        Counter::ScanNanos,
     ];
 
     /// Stable snake-case name (Prometheus/JSON key).
@@ -302,6 +311,9 @@ impl Counter {
             Counter::PoolHits => "pool_hits",
             Counter::PoolMisses => "pool_misses",
             Counter::ScanHeapAllocs => "scan_heap_allocs",
+            Counter::SnapshotReuses => "snapshot_reuses",
+            Counter::TidRecycles => "tid_recycles",
+            Counter::ScanNanos => "scan_nanos",
         }
     }
 }
@@ -325,6 +337,9 @@ fn counter_of(stats: &OpStats, c: Counter) -> u64 {
         Counter::PoolHits => stats.pool_hits,
         Counter::PoolMisses => stats.pool_misses,
         Counter::ScanHeapAllocs => stats.scan_heap_allocs,
+        Counter::SnapshotReuses => stats.snapshot_reuses,
+        Counter::TidRecycles => stats.tid_recycles,
+        Counter::ScanNanos => stats.scan_nanos,
     }
 }
 
@@ -420,6 +435,20 @@ impl HandleTelemetry {
         self.stats.scan_heap_allocs = self.stats.scan_heap_allocs.saturating_add(1);
     }
 
+    /// Counts a scan that adopted a peer's published protection snapshot
+    /// instead of walking the slot rows.
+    #[inline]
+    pub fn record_snapshot_reuse(&mut self) {
+        self.stats.snapshot_reuses = self.stats.snapshot_reuses.saturating_add(1);
+    }
+
+    /// Marks this handle's tid as recycled from an earlier registration
+    /// (called once, at registration, when the registry says so).
+    #[inline]
+    pub fn record_tid_recycle(&mut self) {
+        self.stats.tid_recycles = self.stats.tid_recycles.saturating_add(1);
+    }
+
     /// Counts an MP hazard-pointer fallback read and traces it, sampled.
     ///
     /// Fallback reads sit on the traversal critical path and can fire once
@@ -484,17 +513,24 @@ impl HandleTelemetry {
         self.op_hist.record(nanos);
     }
 
-    /// Records an `empty()` scan latency sample (nanoseconds).
+    /// Records an `empty()` scan latency sample (nanoseconds) into both
+    /// the always-on `scan_nanos` counter and the scan histogram.
     #[inline]
     pub fn record_scan_nanos(&mut self, nanos: u64) {
+        self.stats.scan_nanos = self.stats.scan_nanos.saturating_add(nanos);
         self.scan_hist.record(nanos);
     }
 
-    /// Folds an armed timer (from [`timer`]) into the scan histogram.
+    /// Folds a scan timer into the always-on `scan_nanos` counter (the
+    /// `scan_ns_per_free` bench column) and — when telemetry is armed —
+    /// the scan-latency histogram. Scans are watermark-paced, so the two
+    /// clock reads per scan are amortized over hundreds of retires.
     #[inline]
-    pub fn record_scan_elapsed(&mut self, t0: Option<Instant>) {
-        if let Some(t0) = t0 {
-            self.scan_hist.record(t0.elapsed().as_nanos() as u64);
+    pub fn record_scan_elapsed(&mut self, t0: Instant) {
+        let nanos = t0.elapsed().as_nanos() as u64;
+        self.stats.scan_nanos = self.stats.scan_nanos.saturating_add(nanos);
+        if armed() {
+            self.scan_hist.record(nanos);
         }
     }
 
@@ -734,6 +770,26 @@ impl TelemetrySnapshot {
         self.stats.scan_heap_allocs
     }
 
+    /// Scans that adopted a peer's published protection snapshot.
+    pub fn snapshot_reuses(&self) -> u64 {
+        self.stats.snapshot_reuses
+    }
+
+    /// Registrations that reused a previously released tid.
+    pub fn tid_recycles(&self) -> u64 {
+        self.stats.tid_recycles
+    }
+
+    /// Wall nanoseconds spent inside `empty()` scans.
+    pub fn scan_nanos(&self) -> u64 {
+        self.stats.scan_nanos
+    }
+
+    /// Scan nanoseconds per reclaimed node (amortized reclamation cost).
+    pub fn scan_ns_per_free(&self) -> f64 {
+        self.stats.scan_ns_per_free()
+    }
+
     /// Fences per traversed node (Fig. 5 y-axis).
     pub fn fences_per_node(&self) -> f64 {
         self.stats.fences_per_node()
@@ -958,6 +1014,9 @@ mod tests {
         t.record_pool_miss(0x40);
         t.record_nodes_traversed(4);
         t.record_scan_heap_alloc();
+        t.record_snapshot_reuse();
+        t.record_tid_recycle();
+        t.record_scan_nanos(500);
         t.record_fence(FenceSite::EndOp);
         t.record_fence(FenceSite::Announce);
         t.record_fence(FenceSite::Announce);
@@ -979,6 +1038,9 @@ mod tests {
         assert_eq!(t.counter(Counter::PoolMisses), 1);
         assert_eq!(t.counter(Counter::NodesTraversed), 4);
         assert_eq!(t.counter(Counter::ScanHeapAllocs), 1);
+        assert_eq!(t.counter(Counter::SnapshotReuses), 1);
+        assert_eq!(t.counter(Counter::TidRecycles), 1);
+        assert_eq!(t.counter(Counter::ScanNanos), 500);
 
         let mut snap = t.snapshot();
         snap.merge(&t.snapshot());
@@ -1031,7 +1093,7 @@ mod tests {
         for c in Counter::ALL {
             assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());
         }
-        assert_eq!(seen.len(), 17);
+        assert_eq!(seen.len(), 20);
         // The per-site counters always sum to the aggregate in recorded
         // state (enforced by `record_fence` taking a site), and their names
         // share the `fences_` prefix for exporter grouping.

@@ -7,7 +7,7 @@ use mp_smr::schemes::Mp;
 use mp_smr::{Atomic, Config, IndexPolicy, Shared, Smr, SmrHandle};
 
 fn cfg() -> Config {
-    Config::default().with_max_threads(3).with_empty_freq(1).with_epoch_freq(1000)
+    Config::default().with_max_threads(3).with_empty_freq(1).with_scan_watermark(1).with_epoch_freq(1000)
 }
 
 /// The snapshot-optimized and naive reclamation scans must agree on every
@@ -80,7 +80,7 @@ fn snapshot_and_naive_scans_agree() {
 /// each reader's own epoch filter, not a global minimum.
 #[test]
 fn per_reader_epoch_filters() {
-    let smr = Mp::new(Config::default().with_max_threads(3).with_empty_freq(1).with_epoch_freq(1));
+    let smr = Mp::new(Config::default().with_max_threads(3).with_empty_freq(1).with_scan_watermark(1).with_epoch_freq(1));
     let mut early = smr.register();
     let mut late = smr.register();
     let mut writer = smr.register();

@@ -70,6 +70,7 @@ fn margin_interval_protection() {
         let cfg = Config::default()
             .with_max_threads(2)
             .with_empty_freq(1)
+            .with_scan_watermark(1) // judge every retire immediately
             .with_epoch_freq(1_000_000)
             .with_margin(margin);
         let smr = Mp::new(cfg);
@@ -122,7 +123,7 @@ fn margin_interval_protection() {
 #[test]
 fn hp_protection_is_exact() {
     for protect in [false, true] {
-        let cfg = Config::default().with_max_threads(2).with_empty_freq(1);
+        let cfg = Config::default().with_max_threads(2).with_empty_freq(1).with_scan_watermark(1);
         let smr = Hp::new(cfg);
         let mut reader = smr.register();
         let mut writer = smr.register();

@@ -67,7 +67,7 @@ fn leaky_lifecycle_defers_to_scheme_drop() {
 fn tid_recycling_clears_protection() {
     // A dropped handle must not leave protections behind for its successor
     // tid, or retired nodes would be pinned forever.
-    let smr = Hp::new(Config::default().with_max_threads(1).with_empty_freq(1));
+    let smr = Hp::new(Config::default().with_max_threads(1).with_empty_freq(1).with_scan_watermark(1));
     let cell;
     {
         let mut h1 = smr.register();
@@ -144,7 +144,7 @@ fn two_schemes_coexist_in_one_process() {
 fn mp_class_boundary_index_is_hazard_protected() {
     // Index exactly at the USE_HP class boundary: packed bits collide with
     // USE_HP, so reads must take the hazard path and empty() must honor it.
-    let smr = Mp::new(Config::default().with_max_threads(2).with_empty_freq(1));
+    let smr = Mp::new(Config::default().with_max_threads(2).with_empty_freq(1).with_scan_watermark(1));
     let mut reader = smr.register();
     let mut writer = smr.register();
     writer.start_op();
@@ -177,7 +177,7 @@ fn mp_class_boundary_index_is_hazard_protected() {
 fn ibr_extends_interval_for_late_born_nodes() {
     // A node born *after* an operation started must still be protected by
     // the reader's reservation once read (the 2GE upper-bound extension).
-    let cfg = Config::default().with_max_threads(2).with_empty_freq(1).with_epoch_freq(1);
+    let cfg = Config::default().with_max_threads(2).with_empty_freq(1).with_scan_watermark(1).with_epoch_freq(1);
     let smr = Ibr::new(cfg);
     let mut reader = smr.register();
     let mut writer = smr.register();
@@ -213,7 +213,7 @@ fn ibr_extends_interval_for_late_born_nodes() {
 
 #[test]
 fn hp_unprotect_releases_exactly_one_slot() {
-    let smr = Hp::new(Config::default().with_max_threads(2).with_empty_freq(1));
+    let smr = Hp::new(Config::default().with_max_threads(2).with_empty_freq(1).with_scan_watermark(1));
     let mut reader = smr.register();
     let mut writer = smr.register();
     writer.start_op();

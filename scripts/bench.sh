@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Runs the throughput-trajectory bench and emits the machine-readable
-# BENCH_throughput.json (scheme x structure x thread-count, pool off vs on).
+# BENCH_throughput.json (scheme x structure x thread-count, pool off vs on,
+# plus a fixed-cadence scan ablation at the top thread count).
 #
 # Usage:
 #   scripts/bench.sh            # CI-scale run, JSON at the repo root
@@ -9,13 +10,83 @@
 #                               # target/bench-smoke/ (never clobbers the
 #                               # committed results); asserts the JSON is
 #                               # produced and well-formed
+#   scripts/bench.sh --soak     # oversubscribed Zipfian soak run, JSON at
+#                               # the repo root (committed BENCH_soak.json)
+#   scripts/bench.sh --soak-smoke   # sub-second soak into
+#                               # target/bench-smoke/ with sanity gates
 #   MP_BENCH_FULL=1 scripts/bench.sh   # paper-scale sweep
 #
 # Knobs: MP_BENCH_THREADS, MP_BENCH_DURATION_MS, MP_BENCH_PREFILL,
-# MP_BENCH_RUNS, MP_BENCH_DIR (output directory override).
+# MP_BENCH_RUNS, MP_BENCH_DIR (output directory override); soak runs use
+# MP_SOAK_DURATION_MS, MP_SOAK_OVERSUB, MP_SOAK_PREFILL, MP_SOAK_CHURN,
+# MP_SOAK_DIST.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --- soak modes ------------------------------------------------------------
+if [[ "${1:-}" == "--soak" || "${1:-}" == "--soak-smoke" ]]; then
+  if [[ "$1" == "--soak-smoke" ]]; then
+    # Absolute: `cargo bench` sets the CWD to the package directory, so a
+    # relative override would land under crates/bench/.
+    export MP_BENCH_DIR="${MP_BENCH_DIR:-$PWD/target/bench-smoke}"
+    export MP_SOAK_DURATION_MS="${MP_SOAK_DURATION_MS:-400}"
+    export MP_SOAK_OVERSUB="${MP_SOAK_OVERSUB:-4}"
+    export MP_SOAK_PREFILL="${MP_SOAK_PREFILL:-256}"
+    export MP_SOAK_CHURN="${MP_SOAK_CHURN:-1000}"
+  fi
+  SOAK_OUT="${MP_BENCH_DIR:-.}/BENCH_soak.json"
+  mkdir -p "$(dirname "$SOAK_OUT")"
+  echo "==> cargo bench --offline -p mp-bench --bench soak"
+  cargo bench --offline -p mp-bench --bench soak
+  [[ -s "$SOAK_OUT" ]] || { echo "!! $SOAK_OUT was not produced" >&2; exit 1; }
+  grep -q '"schema": "mp-bench/soak/v1"' "$SOAK_OUT" || {
+    echo "!! $SOAK_OUT missing schema marker" >&2
+    exit 1
+  }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SOAK_OUT" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = doc["results"]
+assert rows, "no soak rows"
+bad = []
+for r in rows:
+    who = "%s @%d threads" % (r["scheme"], r["threads"])
+    # Latency quantiles must be present, ordered, and nonzero.
+    if not (0 < r["p50_ns"] <= r["p99_ns"] <= r["p999_ns"]):
+        bad.append("%s: broken latency quantiles %r" %
+                   (who, (r["p50_ns"], r["p99_ns"], r["p999_ns"])))
+    # Reclamation must make net progress under churn: a handle that dies
+    # before its watermark must drain at Drop, and parked orphans must be
+    # adopted, not pile to teardown. frees_effective (retires minus the
+    # end-of-run pending residue) sees Drop-path frees that the merged
+    # handle telemetry cannot.
+    if r["retires"] > 0 and r["frees_effective"] == 0:
+        bad.append("%s: %d retires but zero net frees (drain/adoption dead)" %
+                   (who, r["retires"]))
+    if r["handle_churns"] == 0:
+        bad.append("%s: workers never churned handles" % who)
+    # Waste cap for the robust schemes (HP: thread-count bound; MP:
+    # Theorem 4.2). Sized to catch unbounded orphan growth (which scales
+    # with duration) while tolerating legitimate stall-pinned transients
+    # on an oversubscribed host. Epoch/era schemes legitimately pile up
+    # when oversubscription parks readers, so they are exempt here.
+    if r["scheme"] in ("MP", "HP") and r["peak_pending_nodes"] > 50000:
+        bad.append("%s: peak pending %d blows the robust-scheme waste cap" %
+                   (who, r["peak_pending_nodes"]))
+for b in bad:
+    print("!! " + b, file=sys.stderr)
+sys.exit(1 if bad else 0)
+PY
+    echo "==> OK: soak gates (quantiles, drain-on-drop frees, waste caps)"
+  else
+    echo "(python3 unavailable: skipping the soak gates)"
+  fi
+  echo "==> OK: $SOAK_OUT"
+  exit 0
+fi
+
+# --- throughput modes ------------------------------------------------------
 SMOKE=0
 if [[ "${1:-}" == "--smoke" ]]; then
   SMOKE=1
@@ -40,7 +111,7 @@ if [[ ! -s "$OUT" ]]; then
 fi
 
 # Well-formedness: schema marker, at least one result row, balanced braces.
-grep -q '"schema": "mp-bench/throughput/v2"' "$OUT" || {
+grep -q '"schema": "mp-bench/throughput/v3"' "$OUT" || {
   echo "!! $OUT missing schema marker" >&2
   exit 1
 }
@@ -68,7 +139,8 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 bad = [r for r in doc["results"]
        if r["scheme"] == "MP" and r["structure"] == "list"
-       and r["pool"] == "on" and r["fences_per_op"] > 4.0]
+       and r["pool"] == "on" and r.get("cadence", "watermark") == "watermark"
+       and r["fences_per_op"] > 4.0]
 for r in bad:
     print("!! MP fence budget blown: list @%d threads: %.3f fences/op "
           "(start_op %.3f, end_op %.3f, announce %.3f, hp_protect %.3f)"

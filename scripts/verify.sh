@@ -50,6 +50,12 @@ cargo clippy --offline -p mp-smr --all-targets --features oracle -- -D warnings
 echo "==> scripts/bench.sh --smoke"
 ./scripts/bench.sh --smoke
 
+# Soak smoke: a sub-second oversubscribed churn run per scheme that must
+# produce a well-formed BENCH_soak.json and pass the reclamation gates
+# (ordered latency quantiles, nonzero effective frees, bounded pending).
+echo "==> scripts/bench.sh --soak-smoke"
+./scripts/bench.sh --soak-smoke
+
 # Telemetry smoke: run the exporter example with telemetry armed and
 # check the artifacts parse — Prometheus text exposition with the
 # expected metric families, and JSON accepted by a strict parser (the

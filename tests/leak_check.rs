@@ -5,10 +5,11 @@
 //!
 //! Each churn round also cross-checks the per-handle [`OpStats`] counters
 //! against the scheme's global retired-pending gauge: a node can only be
-//! freed after being retired, and whatever was retired but not freed by
-//! the handles must be exactly what the scheme still reports as pending
-//! (DTA may legitimately report more — its freezing recovery parks nodes
-//! on the pending gauge without a handle-attributed retire).
+//! freed after being retired, so the scheme can never report more pending
+//! than the handles' `retires - frees` — though it may report less, since
+//! every handle runs a final drain scan at Drop after its stats were
+//! sampled (DTA is exempt from the bound — its freezing recovery parks
+//! nodes on the pending gauge without a handle-attributed retire).
 
 use std::sync::Arc;
 
@@ -77,15 +78,14 @@ fn churn<S: Smr, D: ConcurrentSet<S>>() {
     );
     let outstanding = (merged.retires - merged.frees) as usize;
     let pending = smr.retired_pending();
-    if S::name() == "DTA" {
+    // Handles run a drain scan at Drop, *after* the worker cloned its
+    // stats, so the gauge may read below `retires - frees`; it can never
+    // exceed it (for DTA it can — freezing recovery parks nodes on the
+    // gauge without a handle-attributed retire, so no bound holds there).
+    if S::name() != "DTA" {
         assert!(
-            pending >= outstanding,
-            "{combo}: gauge reports {pending} pending < {outstanding} outstanding retires"
-        );
-    } else {
-        assert_eq!(
-            pending, outstanding,
-            "{combo}: gauge pending disagrees with retires - frees"
+            pending <= outstanding,
+            "{combo}: gauge reports {pending} pending > {outstanding} outstanding retires"
         );
     }
 

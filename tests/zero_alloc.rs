@@ -17,7 +17,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use margin_pointers::smr::node::gauge;
-use margin_pointers::smr::schemes::Mp;
+use margin_pointers::smr::schemes::{Hp, Mp};
 use margin_pointers::smr::{telemetry, Config, Smr, SmrHandle, Telemetry};
 
 /// Counts every heap allocation made by the process.
@@ -115,6 +115,55 @@ fn steady_state_churn_does_not_allocate() {
         snap.pool_misses()
     );
     assert!(h.events().is_none(), "disarmed handles must not carry an event ring");
+
+    drop(h);
+    drop(smr);
+
+    // Watermark-triggered scans must be equally allocation-free: this
+    // phase never calls `force_empty` — every scan fires from the
+    // retired-count watermark on the retire path, so the adaptive trigger
+    // machinery itself is proven to stay off the heap in steady state.
+    let smr = Hp::new(
+        Config::default().with_max_threads(2).with_slots_per_thread(4).with_scan_watermark(64),
+    );
+    let mut h = smr.register();
+    for _ in 0..8 {
+        h.start_op();
+        for i in 0..256u64 {
+            let n = h.alloc(i);
+            // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
+            unsafe { h.retire(n) };
+        }
+        h.end_op();
+    }
+    h.force_empty();
+    h.reset_telemetry();
+
+    let heap_allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..64 {
+        h.start_op();
+        for i in 0..128u64 {
+            let n = h.alloc(i);
+            // SAFETY: [INV-12] test-controlled: the nodes involved are test-owned (unpublished or unlinked here) or the protecting span is held open by the test.
+            unsafe { h.retire(n) };
+        }
+        h.end_op();
+    }
+    let heap_allocs = ALLOCS.load(Ordering::Relaxed) - heap_allocs_before;
+    let snap = h.snapshot();
+    assert!(snap.empties() > 0, "watermark scans must fire without force_empty");
+    assert_eq!(
+        heap_allocs, 0,
+        "watermark-triggered churn must not touch the heap \
+         (saw {heap_allocs} allocations over {} scans)",
+        snap.empties()
+    );
+    assert_eq!(snap.scan_heap_allocs(), 0, "no watermark scan grew a scratch buffer");
+    assert!(
+        snap.pool_hit_rate() > 0.9,
+        "pool hit rate {:.3} should exceed 0.9 under watermark churn",
+        snap.pool_hit_rate()
+    );
 
     // Everything retired was reclaimed or is still on the handle; dropping
     // handle + scheme returns the gauge to its baseline (no pool leak —
