@@ -33,14 +33,17 @@ pub struct Config {
     /// scan triggers when the handle's retired list reaches this length.
     /// `0` (the default) auto-derives HP's classical `k × H` rule —
     /// `max(empty_freq, 2 · max_threads · slots_per_thread)` — so scan
-    /// frequency tracks the retire rate, not the operation rate.
-    /// Overridable at scheme construction via `MP_SCAN_WATERMARK`.
+    /// frequency tracks the retire rate, not the operation rate. When left
+    /// at `0`, the `MP_SCAN_WATERMARK` environment variable (read at scheme
+    /// construction) supplies the value before the auto rule kicks in; an
+    /// explicit non-zero knob always wins over the environment.
     pub scan_watermark: usize,
     /// Adaptive scan watermark in retired *bytes* per handle: when non-zero,
     /// a scan also triggers once the handle's buffered retired bytes reach
     /// this figure (large payloads scan sooner than the node-count rule
-    /// alone would). `0` disables the bytes trigger. Overridable via
-    /// `MP_SCAN_WATERMARK_BYTES`.
+    /// alone would). `0` disables the bytes trigger unless the
+    /// `MP_SCAN_WATERMARK_BYTES` environment variable supplies one; an
+    /// explicit non-zero knob always wins over the environment.
     pub scan_watermark_bytes: usize,
     /// Events (allocations for HE/IBR/EBR, unlinks for MP) a thread performs
     /// between increments of the global epoch (`epoch_freq`; §6 uses 150·T).

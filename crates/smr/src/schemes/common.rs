@@ -5,6 +5,7 @@ use core::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use mp_util::CachePadded;
 
 use crate::api::Config;
+use crate::node::Retired;
 use crate::stats::FenceSite;
 use crate::telemetry::HandleTelemetry;
 
@@ -80,18 +81,27 @@ pub struct ScanPolicy {
 }
 
 impl ScanPolicy {
-    /// Resolves the effective policy: explicit `Config` knobs, then the
-    /// `MP_SCAN_WATERMARK` / `MP_SCAN_WATERMARK_BYTES` environment
-    /// overrides, then the `k × H` auto rule.
+    /// Resolves the effective policy: explicit `Config` knobs first, then
+    /// the `MP_SCAN_WATERMARK` / `MP_SCAN_WATERMARK_BYTES` environment
+    /// overrides (consulted only when the corresponding knob is 0, i.e.
+    /// unset — a stray env var must not repin the many tests that set
+    /// `with_scan_watermark(1)` explicitly), then the `k × H` auto rule.
     pub fn from_config(cfg: &Config) -> Self {
         let env_usize = |key: &str| -> Option<usize> {
             std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
         };
-        let mut nodes = env_usize("MP_SCAN_WATERMARK").unwrap_or(cfg.scan_watermark);
+        let mut nodes = cfg.scan_watermark;
+        if nodes == 0 {
+            nodes = env_usize("MP_SCAN_WATERMARK").unwrap_or(0);
+        }
         if nodes == 0 {
             nodes = cfg.empty_freq.max(2 * cfg.max_threads * cfg.slots_per_thread);
         }
-        let bytes = env_usize("MP_SCAN_WATERMARK_BYTES").unwrap_or(cfg.scan_watermark_bytes);
+        let bytes = if cfg.scan_watermark_bytes != 0 {
+            cfg.scan_watermark_bytes
+        } else {
+            env_usize("MP_SCAN_WATERMARK_BYTES").unwrap_or(0)
+        };
         ScanPolicy {
             watermark_nodes: nodes.max(1),
             watermark_bytes: bytes,
@@ -124,6 +134,17 @@ impl ScanState {
                 policy.watermark_bytes
             },
         }
+    }
+
+    /// Initial state for a handle that seeds its retired list with an
+    /// adopted backlog (orphans parked by churned-out peers): the bytes
+    /// trigger accounts the adopted payload up front instead of only
+    /// discovering it at the first rearm. The node-count trigger needs no
+    /// seeding — [`ScanState::due`] reads the retired list length directly.
+    pub fn with_backlog(policy: &ScanPolicy, backlog: &[Retired]) -> Self {
+        let mut s = ScanState::new(policy);
+        s.retired_bytes = backlog.iter().map(|r| r.bytes() as usize).sum();
+        s
     }
 
     /// Accounts one retired node of `bytes` payload.
@@ -294,6 +315,14 @@ impl SharedSnapshot {
         {
             return;
         }
+        // ORDERING: Release fence after the opening CAS (the crossbeam
+        // SeqLock pattern): it orders the odd version store before every
+        // Relaxed data write below, so a reader that observes any write
+        // from this section also observes the odd version on its
+        // validating re-read and rejects the torn snapshot. Without it,
+        // weakly-ordered hardware may let a data store become visible
+        // while both of the reader's version loads still return `v0`.
+        fence(Ordering::Release);
         for (dst, &g) in self.snap_gens.iter().zip(gens_now) {
             // ORDERING: Relaxed writes are published by the Release version
             // store that closes the seqlock write section.
@@ -415,6 +444,30 @@ mod tests {
         assert!(s.due(&p, 3), "1.5 KiB retired ≥ 1 KiB bytes watermark");
         s.rearm(&p, 0, 0);
         assert!(!s.due(&p, 3));
+    }
+
+    #[test]
+    fn scan_state_with_backlog_seeds_bytes_trigger() {
+        let cfg = Config::default()
+            .with_max_threads(8)
+            .with_slots_per_thread(8)
+            .with_scan_watermark_bytes(64);
+        let p = ScanPolicy::from_config(&cfg);
+        let node = crate::node::alloc_node([0u8; 64], 0, 0);
+        // SAFETY: [INV-12] test-local node, never published, retired once.
+        let backlog = vec![unsafe { Retired::new(node, 1) }];
+        // A handle adopting a large-byte orphan backlog must see the bytes
+        // watermark immediately, not only after its first rearm.
+        let s = ScanState::with_backlog(&p, &backlog);
+        assert!(s.due(&p, backlog.len()), "adopted bytes reach the watermark");
+        assert!(
+            !ScanState::new(&p).due(&p, backlog.len()),
+            "unseeded state under-counts the same backlog"
+        );
+        for r in backlog {
+            // SAFETY: [INV-05] never protected by any thread.
+            unsafe { r.reclaim() };
+        }
     }
 
     #[test]

@@ -88,19 +88,21 @@ impl Smr for Hp {
         if lease.recycled {
             tele.record_tid_recycle();
         }
+        // Adopt parked orphans: churned-out handles leave behind
+        // whatever their drain scan could not free; this handle frees
+        // them at its next scan instead of letting them pile to teardown.
+        let retired = self.registry.adopt_orphans();
+        let scan = ScanState::with_backlog(&self.scan_policy, &retired);
         HpHandle {
             scheme: self.clone(),
             tid: lease.tid,
             local: vec![NO_HAZARD; self.cfg.slots_per_thread],
-            // Adopt parked orphans: churned-out handles leave behind
-            // whatever their drain scan could not free; this handle frees
-            // them at its next scan instead of letting them pile to teardown.
-            retired: CachePadded::new(self.registry.adopt_orphans()),
+            retired: CachePadded::new(retired),
             scan_scratch: Vec::new(),
             hazard_scratch: Vec::new(),
             gens_scratch: Vec::new(),
             adopted_last: false,
-            scan: ScanState::new(&self.scan_policy),
+            scan,
             tele: CachePadded::new(tele),
         }
     }

@@ -85,17 +85,19 @@ impl Smr for Ibr {
         if lease.recycled {
             tele.record_tid_recycle();
         }
+        // Adopt parked orphans: churned-out handles leave behind
+        // whatever their drain scan could not free; this handle frees
+        // them at its next scan instead of letting them pile to teardown.
+        let retired = self.registry.adopt_orphans();
+        let scan = ScanState::with_backlog(&self.scan_policy, &retired);
         IbrHandle {
             scheme: self.clone(),
             tid: lease.tid,
             upper_local: INACTIVE,
-            // Adopt parked orphans: churned-out handles leave behind
-            // whatever their drain scan could not free; this handle frees
-            // them at its next scan instead of letting them pile to teardown.
-            retired: CachePadded::new(self.registry.adopt_orphans()),
+            retired: CachePadded::new(retired),
             scan_scratch: Vec::new(),
             interval_scratch: Vec::new(),
-            scan: ScanState::new(&self.scan_policy),
+            scan,
             alloc_counter: 0,
             tele: CachePadded::new(tele),
         }

@@ -200,6 +200,11 @@ impl Smr for Mp {
         if lease.recycled {
             tele.record_tid_recycle();
         }
+        // Adopt parked orphans: churned-out handles leave behind
+        // whatever their drain scan could not free; this handle frees
+        // them at its next scan instead of letting them pile to teardown.
+        let retired = self.registry.adopt_orphans();
+        let scan = ScanState::with_backlog(&self.scan_policy, &retired);
         MpHandle {
             scheme: self.clone(),
             tid,
@@ -221,13 +226,10 @@ impl Smr for Mp {
             hps_dirty: false,
             victim_next: 0,
             rearmed: false,
-            // Adopt parked orphans: churned-out handles leave behind
-            // whatever their drain scan could not free; this handle frees
-            // them at its next scan instead of letting them pile to teardown.
-            retired: CachePadded::new(self.registry.adopt_orphans()),
+            retired: CachePadded::new(retired),
             scan_scratch: Vec::new(),
             snaps: Vec::new(),
-            scan: ScanState::new(&self.scan_policy),
+            scan,
             unlink_counter: 0,
             tele: CachePadded::new(tele),
         }
