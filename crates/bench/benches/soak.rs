@@ -3,21 +3,27 @@
 //! Runs each scheme of the §6 comparison set (MP, IBR, HE, HP, EBR) on
 //! the hash map under deliberately hostile conditions: worker threads at
 //! a multiple of the host's cores, Zipfian(0.99) key popularity, and
-//! periodic handle churn under load. Emits `BENCH_soak.json` (schema
-//! `mp-bench/soak/v1`) at the workspace root (or `$MP_BENCH_DIR`).
+//! periodic handle churn under load. Optionally adds stalled readers and
+//! a backpressure byte cap, turning the run into the §1 survival scenario
+//! with engagement counts and peak RSS reported per scheme. Emits
+//! `BENCH_soak.json` (schema `mp-bench/soak/v2`) at the workspace root
+//! (or `$MP_BENCH_DIR`). Schemes are selected at runtime through the
+//! `AnySmr` facade, so the whole sweep is one monomorphization.
 //!
 //! Knobs: `MP_SOAK_DURATION_MS` (per scheme), `MP_SOAK_OVERSUB`
 //! (threads = oversub × cores, default 4), `MP_SOAK_PREFILL`,
 //! `MP_SOAK_CHURN` (ops between handle re-registrations),
-//! `MP_SOAK_DIST` (`zipf` | `hot` | `uniform`).
+//! `MP_SOAK_DIST` (`zipf` | `hot` | `uniform`), `MP_SOAK_STALLED`
+//! (stalled readers, default 0), `MP_SOAK_BP_BYTES` (backpressure hard
+//! cap, default 0 = ladder off).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use mp_bench::{json_str, run_soak, KeyDist, SoakParams, SoakResult, Table};
+use mp_bench::{json_str, run_soak_kind, KeyDist, SoakParams, SoakResult, Table};
 use mp_ds::HashMap;
-use mp_smr::schemes::{Ebr, He, Hp, Ibr, Mp};
+use mp_smr::{AnySmr, SchemeKind};
 
 fn env_u64(key: &str, default: u64) -> u64 {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -38,8 +44,10 @@ impl Row {
              \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
              \"scan_ns_per_free\": {:.2}, \"snapshot_reuses\": {}, \
              \"tid_recycles\": {}, \"handle_churns\": {}, \
-             \"peak_pending_nodes\": {}, \"end_pending_nodes\": {}, \
-             \"peak_rss_kb\": {}, \
+             \"peak_pending_nodes\": {}, \"peak_pending_bytes\": {}, \
+             \"end_pending_nodes\": {}, \"peak_rss_kb\": {}, \
+             \"stalled_readers\": {}, \"bp_help_engagements\": {}, \
+             \"bp_throttle_engagements\": {}, \"bp_releases\": {}, \
              \"retires\": {}, \"frees\": {}, \"frees_effective\": {}}}",
             json_str(self.scheme),
             p.threads,
@@ -55,8 +63,13 @@ impl Row {
             r.tid_recycles,
             r.handle_churns,
             r.peak_pending,
+            r.peak_pending_bytes,
             r.end_pending,
             r.peak_rss_kb,
+            p.stalled_readers,
+            r.bp_help_engagements,
+            r.bp_throttle_engagements,
+            r.bp_releases,
             r.telemetry.retires(),
             r.telemetry.frees(),
             // Net reclamation: Drop-path drain scans free nodes after their
@@ -88,6 +101,8 @@ fn main() {
     let duration = Duration::from_millis(env_u64("MP_SOAK_DURATION_MS", 20_000));
     let prefill = env_u64("MP_SOAK_PREFILL", 2_048) as usize;
     let churn = env_u64("MP_SOAK_CHURN", 20_000);
+    let stalled = env_u64("MP_SOAK_STALLED", 0) as usize;
+    let bp_bytes = env_u64("MP_SOAK_BP_BYTES", 0) as usize;
     let dist_name =
         std::env::var("MP_SOAK_DIST").unwrap_or_else(|_| "zipf".to_string());
     let dist = match dist_name.as_str() {
@@ -96,35 +111,36 @@ fn main() {
         _ => KeyDist::Zipfian(0.99),
     };
 
-    let mut p = SoakParams::new(threads, prefill, duration);
+    let mut p = SoakParams::new(threads, prefill, duration).with_stalled_readers(stalled);
     p.dist = dist;
     p.churn_every = churn;
+    p.config = p.config.with_backpressure_bytes(bp_bytes);
 
     eprintln!(
         "[soak] {} workers on {} core(s) ({}x oversubscribed), {} ms per scheme, \
-         dist {}, prefill {}, churn every {} ops",
+         dist {}, prefill {}, churn every {} ops, {} stalled reader(s), \
+         backpressure cap {} bytes",
         threads,
         cores,
         oversub,
         duration.as_millis(),
         dist_name,
         prefill,
-        churn
+        churn,
+        stalled,
+        bp_bytes
     );
 
+    // The §6 comparison set, runtime-selected through the facade. DTA is
+    // list-specific (degenerates to EBR without its freezer) and skipped.
+    let kinds =
+        [SchemeKind::Mp, SchemeKind::Ibr, SchemeKind::He, SchemeKind::Hp, SchemeKind::Ebr];
     let mut rows: Vec<Row> = Vec::new();
-    macro_rules! soak_scheme {
-        ($ty:ty, $name:expr) => {{
-            eprintln!("[soak] {} ...", $name);
-            let res = run_soak::<$ty, HashMap<$ty>>(&p);
-            rows.push(Row { scheme: $name, res });
-        }};
+    for kind in kinds {
+        eprintln!("[soak] {} ...", kind.name());
+        let res = run_soak_kind::<HashMap<AnySmr>>(kind, &p);
+        rows.push(Row { scheme: kind.name(), res });
     }
-    soak_scheme!(Mp, "MP");
-    soak_scheme!(Ibr, "IBR");
-    soak_scheme!(He, "HE");
-    soak_scheme!(Hp, "HP");
-    soak_scheme!(Ebr, "EBR");
 
     let mut table = Table::new(
         "Oversubscribed soak (hashmap, skewed keys, handle churn)",
@@ -140,6 +156,7 @@ fn main() {
             "peak-pending",
             "end-pending",
             "peak-rss MiB",
+            "bp-eng",
         ],
     );
     for row in &rows {
@@ -156,24 +173,28 @@ fn main() {
             r.peak_pending.to_string(),
             r.end_pending.to_string(),
             format!("{:.1}", r.peak_rss_kb as f64 / 1024.0),
+            (r.bp_help_engagements + r.bp_throttle_engagements).to_string(),
         ]);
     }
     table.emit("soak");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"mp-bench/soak/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"mp-bench/soak/v2\",");
     let _ = writeln!(
         json,
         "  \"config\": {{\"cores\": {}, \"oversub\": {}, \"threads\": {}, \
-         \"duration_ms\": {}, \"prefill\": {}, \"churn_every\": {}, \"dist\": {}}},",
+         \"duration_ms\": {}, \"prefill\": {}, \"churn_every\": {}, \"dist\": {}, \
+         \"stalled_readers\": {}, \"bp_cap_bytes\": {}}},",
         cores,
         oversub,
         threads,
         duration.as_millis(),
         prefill,
         churn,
-        json_str(&dist_name)
+        json_str(&dist_name),
+        stalled,
+        bp_bytes
     );
     let _ = write!(json, "  \"results\": [");
     for (i, row) in rows.iter().enumerate() {

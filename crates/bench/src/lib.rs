@@ -25,11 +25,11 @@ pub mod soak;
 pub mod workload;
 
 pub use driver::{
-    run, silence_injected_panics, BenchParams, BenchResult, FaultMode, Prefill, StallMode,
-    INJECTED_PANIC,
+    run, run_kind, silence_injected_panics, BenchParams, BenchResult, FaultMode, Prefill,
+    StallMode, INJECTED_PANIC,
 };
 pub use report::{csv_path, json_path, json_str, out_dir, Table};
-pub use soak::{rss_kb, run_soak, SoakParams, SoakResult};
+pub use soak::{rss_kb, run_soak, run_soak_kind, SoakParams, SoakResult};
 pub use workload::{KeyDist, KeySampler, Mix, READ_DOMINATED, READ_ONLY, WRITE_DOMINATED};
 
 /// Reads the thread counts to sweep (env `MP_BENCH_THREADS`, e.g. "1,2,4").

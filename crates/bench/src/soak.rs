@@ -19,7 +19,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use mp_ds::ConcurrentSet;
-use mp_smr::{Config, Smr, SmrHandle, Telemetry, TelemetrySnapshot};
+use mp_smr::{AnySmr, Config, SchemeKind, Smr, SmrHandle, Telemetry, TelemetrySnapshot};
 use mp_util::hist::Histogram;
 
 use crate::workload::{thread_rng, KeyDist, KeySampler, Mix, Op};
@@ -41,6 +41,12 @@ pub struct SoakParams {
     /// operations (0 disables churn). Staggered per thread so the churn
     /// points spread over the run.
     pub churn_every: u64,
+    /// Extra registered threads that pin an operation at the start of the
+    /// measured window and hold it to the end — the §1 stalled-reader
+    /// scenario, here to prove backpressure keeps the run survivable.
+    /// Prefer [`with_stalled_readers`](SoakParams::with_stalled_readers),
+    /// which also grows the registry to fit them.
+    pub stalled_readers: usize,
     /// Base RNG seed.
     pub seed: u64,
     /// SMR configuration.
@@ -59,6 +65,7 @@ impl SoakParams {
             dist: KeyDist::Zipfian(0.99),
             mix: Mix { contains: 70, insert: 15, remove: 15, name: "soak-70-15-15" },
             churn_every: 20_000,
+            stalled_readers: 0,
             seed: 0x50a4_5eed_0000_0001,
             // The hash map's shards delegate to the list (3 slots); a tight
             // slot budget keeps the auto watermark (k·H) low enough that
@@ -67,6 +74,14 @@ impl SoakParams {
                 .with_max_threads(threads + 2) // +prefill, +churn slack
                 .with_slots_per_thread(4),
         }
+    }
+
+    /// Adds `n` stalled readers, growing `Config::max_threads` to fit them.
+    pub fn with_stalled_readers(mut self, n: usize) -> SoakParams {
+        let max = self.config.max_threads + n - self.stalled_readers;
+        self.stalled_readers = n;
+        self.config = self.config.with_max_threads(max);
+        self
     }
 }
 
@@ -93,6 +108,9 @@ pub struct SoakResult {
     pub handle_churns: u64,
     /// Peak scheme-wide retired-but-unreclaimed nodes (5 ms poller).
     pub peak_pending: usize,
+    /// Peak scheme-wide retired payload bytes (same poller) — the figure
+    /// the backpressure watermarks act on.
+    pub peak_pending_bytes: usize,
     /// Retired-but-unreclaimed nodes after every worker handle dropped —
     /// orphans awaiting adoption or teardown. With drain-on-drop and
     /// orphan adoption this is the *net* unreclaimed residue, unlike the
@@ -101,6 +119,12 @@ pub struct SoakResult {
     pub end_pending: usize,
     /// Peak resident set size in KiB while the run was hot.
     pub peak_rss_kb: u64,
+    /// Times the backpressure ladder engaged its help-scan rung.
+    pub bp_help_engagements: u64,
+    /// Times the backpressure ladder engaged its throttle rung.
+    pub bp_throttle_engagements: u64,
+    /// Times the ladder released back to normal.
+    pub bp_releases: u64,
     /// Merged per-handle telemetry.
     pub telemetry: TelemetrySnapshot,
 }
@@ -120,8 +144,26 @@ pub fn rss_kb() -> u64 {
 
 /// Runs one soak point of scheme `S` on structure `D`.
 pub fn run_soak<S: Smr, D: ConcurrentSet<S>>(p: &SoakParams) -> SoakResult {
+    run_soak_with::<S, D>(p, |cfg| S::new(cfg))
+}
+
+/// Runs one soak point of the runtime-selected `kind` on structure `D` —
+/// the [`AnySmr`] facade path the soak bench drives, so one
+/// monomorphization covers the whole scheme sweep.
+pub fn run_soak_kind<D: ConcurrentSet<AnySmr>>(kind: SchemeKind, p: &SoakParams) -> SoakResult {
+    run_soak_with::<AnySmr, D>(p, |cfg| {
+        AnySmr::try_with_kind(kind, cfg).expect("valid soak config")
+    })
+}
+
+/// [`run_soak`] with an explicit scheme constructor (the facade entry
+/// point injects the selected kind through `make`).
+fn run_soak_with<S: Smr, D: ConcurrentSet<S>>(
+    p: &SoakParams,
+    make: impl FnOnce(Config) -> Arc<S>,
+) -> SoakResult {
     p.mix.check();
-    let smr = S::new(p.config.clone());
+    let smr = make(p.config.clone());
     let ds = Arc::new(D::new(&smr));
     let key_range = (2 * p.prefill.max(1)) as u64;
     let sampler = KeySampler::new(p.dist, key_range);
@@ -141,12 +183,13 @@ pub fn run_soak<S: Smr, D: ConcurrentSet<S>>(p: &SoakParams) -> SoakResult {
     }
 
     let stop = Arc::new(AtomicBool::new(false));
-    let barrier = Arc::new(Barrier::new(p.threads + 1));
+    let barrier = Arc::new(Barrier::new(p.threads + 1 + p.stalled_readers));
     let total_ops = Arc::new(AtomicU64::new(0));
     let total_churns = Arc::new(AtomicU64::new(0));
 
     let mut thread_outcomes: Vec<(TelemetrySnapshot, Histogram)> = Vec::new();
     let mut peak_pending = 0usize;
+    let mut peak_pending_bytes = 0usize;
     let mut peak_rss = 0u64;
 
     std::thread::scope(|scope| {
@@ -217,11 +260,29 @@ pub fn run_soak<S: Smr, D: ConcurrentSet<S>>(p: &SoakParams) -> SoakResult {
             }));
         }
 
+        for _ in 0..p.stalled_readers {
+            let smr = smr.clone();
+            let stop = stop.clone();
+            let barrier = barrier.clone();
+            scope.spawn(move || {
+                let mut h = smr.register();
+                barrier.wait();
+                // Pin an operation and stop taking steps for the whole
+                // run (§1's stalled reader). Epoch-based schemes pin every
+                // later retiree; backpressure must keep writers alive.
+                let _op = h.pin();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+
         barrier.wait();
         let deadline = Instant::now() + p.duration;
         while Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5).min(p.duration));
             peak_pending = peak_pending.max(smr.retired_pending());
+            peak_pending_bytes = peak_pending_bytes.max(smr.telemetry().pending_bytes());
             peak_rss = peak_rss.max(rss_kb());
             smr.sample_waste();
         }
@@ -230,7 +291,21 @@ pub fn run_soak<S: Smr, D: ConcurrentSet<S>>(p: &SoakParams) -> SoakResult {
             thread_outcomes.push(j.join().expect("soak worker panicked"));
         }
     });
+    // Post-stall drain: the stalled readers unpin only as their threads
+    // exit, which can be after the workers' final scans — so without this,
+    // `end_pending` would report the stall's pile-up rather than whether
+    // the backlog is recoverable. A fresh handle adopts the orphans and
+    // scans with no pins left standing; what remains is truly stranded.
+    {
+        let mut h = smr.register();
+        for _ in 0..4 {
+            h.force_empty();
+        }
+    }
     let end_pending = smr.retired_pending();
+    let bp = smr.telemetry().backpressure();
+    let (bp_help, bp_throttle, bp_releases) =
+        (bp.help_engagements(), bp.throttle_engagements(), bp.releases());
 
     let mut merged = TelemetrySnapshot::default();
     let mut latency = Histogram::new();
@@ -250,8 +325,12 @@ pub fn run_soak<S: Smr, D: ConcurrentSet<S>>(p: &SoakParams) -> SoakResult {
         tid_recycles: merged.tid_recycles(),
         handle_churns: total_churns.load(Ordering::Acquire),
         peak_pending,
+        peak_pending_bytes,
         end_pending,
         peak_rss_kb: peak_rss,
+        bp_help_engagements: bp_help,
+        bp_throttle_engagements: bp_throttle,
+        bp_releases,
         telemetry: merged,
     }
 }
@@ -278,6 +357,24 @@ mod tests {
             r.handle_churns
         );
         assert!(r.peak_rss_kb > 0 || !cfg!(target_os = "linux"));
+    }
+
+    #[test]
+    fn stalled_reader_engages_backpressure_through_the_facade() {
+        // One pinned reader under EBR pins every later retiree; a tiny cap
+        // guarantees the ladder engages within the smoke window. The kind
+        // goes through `run_soak_kind`, the facade path the bench drives.
+        let mut p =
+            SoakParams::new(4, 128, Duration::from_millis(150)).with_stalled_readers(1);
+        p.churn_every = 0; // keep the run simple: survival is the point
+        p.config = p.config.with_backpressure_bytes(16 << 10);
+        let r = run_soak_kind::<HashMap<AnySmr>>(SchemeKind::Ebr, &p);
+        assert!(r.total_ops > 0, "writers must stay live under backpressure: {r:?}");
+        assert!(
+            r.bp_help_engagements + r.bp_throttle_engagements >= 1,
+            "ladder never engaged despite a stalled reader and a 16 KiB cap: {r:?}"
+        );
+        assert!(r.peak_pending_bytes > 0, "poller never saw the gauge move");
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! Runtime scheme selection: [`SchemeKind`], [`AnySmr`], [`AnyHandle`].
+//!
+//! The seven schemes are distinct types, which is right for benchmarks
+//! (static dispatch, no accidental cross-scheme state) but wrong for
+//! operators: a binary that wants "the scheme named in `MP_SCHEME`" had to
+//! carry a hand-written match in every driver. `AnySmr` is that match,
+//! written once — an enum-dispatched facade implementing [`Smr`] whose
+//! handles ([`AnyHandle`]) implement [`SmrHandle`], so every generic client
+//! (data structures, the bench driver, the examples) runs unchanged over a
+//! scheme chosen at runtime:
+//!
+//! ```
+//! use mp_smr::{AnySmr, Config, SchemeKind, Smr, SmrHandle};
+//!
+//! let smr = AnySmr::try_with_kind(SchemeKind::Ebr, Config::default()).unwrap();
+//! assert_eq!(smr.scheme_name(), "EBR");
+//! let mut h = smr.try_register().unwrap();
+//! let mut op = h.pin();
+//! let node = op.alloc(42u32);
+//! unsafe { op.retire(node) };
+//! ```
+//!
+//! Selection precedence when no kind is given explicitly
+//! ([`AnySmr::try_new`], [`SmrBuilder::try_build_any`]): the `MP_SCHEME`
+//! environment variable if set (`mp`, `hp`, `ebr`, `he`, `ibr`, `dta`,
+//! `leaky`, case-insensitive), else MP.
+//!
+//! The cost is one enum discriminant branch per handle call — noise next
+//! to the fences the calls themselves issue. Benchmarks that measure those
+//! fences should keep instantiating concrete scheme types.
+//!
+//! [`SmrBuilder::try_build_any`]: crate::builder::SmrBuilder::try_build_any
+
+use std::sync::Arc;
+
+use crate::api::{Config, Smr, SmrHandle};
+use crate::backpressure::BackpressurePolicy;
+use crate::error::SmrError;
+use crate::packed::{Atomic, Shared};
+use crate::schemes::{Dta, Ebr, He, Hp, Ibr, Leaky, Mp};
+use crate::schemes::{DtaHandle, EbrHandle, HeHandle, HpHandle, IbrHandle, LeakyHandle, MpHandle};
+use crate::telemetry::{HandleTelemetry, SchemeTelemetry, Telemetry};
+
+/// Names one of the seven reclamation schemes, for runtime selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Margin pointers (the paper's scheme).
+    Mp,
+    /// Hazard pointers.
+    Hp,
+    /// Epoch-based reclamation.
+    Ebr,
+    /// Hazard eras.
+    He,
+    /// Interval-based reclamation.
+    Ibr,
+    /// Drop the Anchor.
+    Dta,
+    /// No reclamation (baseline).
+    Leaky,
+}
+
+impl SchemeKind {
+    /// Every selectable scheme, in the benchmark harness's canonical order.
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::Mp,
+        SchemeKind::Hp,
+        SchemeKind::Ebr,
+        SchemeKind::He,
+        SchemeKind::Ibr,
+        SchemeKind::Dta,
+        SchemeKind::Leaky,
+    ];
+
+    /// The scheme's display name, identical to its [`Smr::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Mp => "MP",
+            SchemeKind::Hp => "HP",
+            SchemeKind::Ebr => "EBR",
+            SchemeKind::He => "HE",
+            SchemeKind::Ibr => "IBR",
+            SchemeKind::Dta => "DTA",
+            SchemeKind::Leaky => "Leaky",
+        }
+    }
+
+    /// The kind named by the `MP_SCHEME` environment variable, or `None`
+    /// when the variable is unset or empty.
+    ///
+    /// # Panics
+    /// On an unrecognized value — an operator typo should fail the process
+    /// at startup, not silently benchmark the wrong scheme.
+    pub fn from_env() -> Option<SchemeKind> {
+        let raw = std::env::var("MP_SCHEME").ok()?;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return None;
+        }
+        match raw.parse() {
+            Ok(kind) => Some(kind),
+            Err(e) => panic!("MP_SCHEME: {e}"),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SchemeKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SchemeKind, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "mp" => Ok(SchemeKind::Mp),
+            "hp" => Ok(SchemeKind::Hp),
+            "ebr" => Ok(SchemeKind::Ebr),
+            "he" => Ok(SchemeKind::He),
+            "ibr" => Ok(SchemeKind::Ibr),
+            "dta" => Ok(SchemeKind::Dta),
+            "leaky" => Ok(SchemeKind::Leaky),
+            other => Err(format!(
+                "unknown scheme {other:?} (expected one of: mp, hp, ebr, he, ibr, dta, leaky)"
+            )),
+        }
+    }
+}
+
+/// Runtime-selected SMR scheme (see module docs).
+pub enum AnySmr {
+    /// A wrapped [`Mp`] instance.
+    Mp(Arc<Mp>),
+    /// A wrapped [`Hp`] instance.
+    Hp(Arc<Hp>),
+    /// A wrapped [`Ebr`] instance.
+    Ebr(Arc<Ebr>),
+    /// A wrapped [`He`] instance.
+    He(Arc<He>),
+    /// A wrapped [`Ibr`] instance.
+    Ibr(Arc<Ibr>),
+    /// A wrapped [`Dta`] instance.
+    Dta(Arc<Dta>),
+    /// A wrapped [`Leaky`] instance.
+    Leaky(Arc<Leaky>),
+}
+
+/// Per-thread handle for [`AnySmr`].
+pub enum AnyHandle {
+    /// A wrapped [`Mp`] handle.
+    Mp(MpHandle),
+    /// A wrapped [`Hp`] handle.
+    Hp(HpHandle),
+    /// A wrapped [`Ebr`] handle.
+    Ebr(EbrHandle),
+    /// A wrapped [`He`] handle.
+    He(HeHandle),
+    /// A wrapped [`Ibr`] handle.
+    Ibr(IbrHandle),
+    /// A wrapped [`Dta`] handle.
+    Dta(DtaHandle),
+    /// A wrapped [`Leaky`] handle.
+    Leaky(LeakyHandle),
+}
+
+/// One `match` covering every variant of [`AnySmr`] or [`AnyHandle`],
+/// binding the inner value as `$inner` for `$body`.
+macro_rules! delegate {
+    ($enum:ident, $on:expr, $inner:ident => $body:expr) => {
+        match $on {
+            $enum::Mp($inner) => $body,
+            $enum::Hp($inner) => $body,
+            $enum::Ebr($inner) => $body,
+            $enum::He($inner) => $body,
+            $enum::Ibr($inner) => $body,
+            $enum::Dta($inner) => $body,
+            $enum::Leaky($inner) => $body,
+        }
+    };
+}
+
+impl AnySmr {
+    /// Constructs the named scheme behind the facade.
+    pub fn try_with_kind(kind: SchemeKind, cfg: Config) -> Result<Arc<AnySmr>, SmrError> {
+        Ok(Arc::new(match kind {
+            SchemeKind::Mp => AnySmr::Mp(Mp::try_new(cfg)?),
+            SchemeKind::Hp => AnySmr::Hp(Hp::try_new(cfg)?),
+            SchemeKind::Ebr => AnySmr::Ebr(Ebr::try_new(cfg)?),
+            SchemeKind::He => AnySmr::He(He::try_new(cfg)?),
+            SchemeKind::Ibr => AnySmr::Ibr(Ibr::try_new(cfg)?),
+            SchemeKind::Dta => AnySmr::Dta(Dta::try_new(cfg)?),
+            SchemeKind::Leaky => AnySmr::Leaky(Leaky::try_new(cfg)?),
+        }))
+    }
+
+    /// Which scheme this facade wraps.
+    pub fn kind(&self) -> SchemeKind {
+        match self {
+            AnySmr::Mp(_) => SchemeKind::Mp,
+            AnySmr::Hp(_) => SchemeKind::Hp,
+            AnySmr::Ebr(_) => SchemeKind::Ebr,
+            AnySmr::He(_) => SchemeKind::He,
+            AnySmr::Ibr(_) => SchemeKind::Ibr,
+            AnySmr::Dta(_) => SchemeKind::Dta,
+            AnySmr::Leaky(_) => SchemeKind::Leaky,
+        }
+    }
+
+    /// The wrapped scheme's display name ("MP", "HP", …) — unlike
+    /// [`Smr::name`], which is static and answers `"ANY"` for this type.
+    pub fn scheme_name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// The wrapped [`Dta`] instance, when this facade selected DTA — for
+    /// clients that need the scheme-specific freezer hook.
+    pub fn as_dta(&self) -> Option<&Arc<Dta>> {
+        match self {
+            AnySmr::Dta(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl Smr for AnySmr {
+    type Handle = AnyHandle;
+
+    /// Constructs the scheme named by `MP_SCHEME` (default: MP).
+    fn try_new(cfg: Config) -> Result<Arc<Self>, SmrError> {
+        let kind = SchemeKind::from_env().unwrap_or(SchemeKind::Mp);
+        AnySmr::try_with_kind(kind, cfg)
+    }
+
+    fn try_register(self: &Arc<Self>) -> Result<AnyHandle, SmrError> {
+        Ok(match &**self {
+            AnySmr::Mp(s) => AnyHandle::Mp(s.try_register()?),
+            AnySmr::Hp(s) => AnyHandle::Hp(s.try_register()?),
+            AnySmr::Ebr(s) => AnyHandle::Ebr(s.try_register()?),
+            AnySmr::He(s) => AnyHandle::He(s.try_register()?),
+            AnySmr::Ibr(s) => AnyHandle::Ibr(s.try_register()?),
+            AnySmr::Dta(s) => AnyHandle::Dta(s.try_register()?),
+            AnySmr::Leaky(s) => AnyHandle::Leaky(s.try_register()?),
+        })
+    }
+
+    fn name() -> &'static str {
+        "ANY"
+    }
+
+    fn telemetry(&self) -> &SchemeTelemetry {
+        delegate!(AnySmr, self, s => s.telemetry())
+    }
+
+    fn backpressure_policy(&self) -> &BackpressurePolicy {
+        delegate!(AnySmr, self, s => s.backpressure_policy())
+    }
+}
+
+impl AnyHandle {
+    /// Which scheme this handle belongs to.
+    pub fn kind(&self) -> SchemeKind {
+        match self {
+            AnyHandle::Mp(_) => SchemeKind::Mp,
+            AnyHandle::Hp(_) => SchemeKind::Hp,
+            AnyHandle::Ebr(_) => SchemeKind::Ebr,
+            AnyHandle::He(_) => SchemeKind::He,
+            AnyHandle::Ibr(_) => SchemeKind::Ibr,
+            AnyHandle::Dta(_) => SchemeKind::Dta,
+            AnyHandle::Leaky(_) => SchemeKind::Leaky,
+        }
+    }
+}
+
+impl Telemetry for AnyHandle {
+    fn tele(&self) -> &HandleTelemetry {
+        delegate!(AnyHandle, self, h => h.tele())
+    }
+
+    fn tele_mut(&mut self) -> &mut HandleTelemetry {
+        delegate!(AnyHandle, self, h => h.tele_mut())
+    }
+}
+
+impl SmrHandle for AnyHandle {
+    fn start_op(&mut self) {
+        delegate!(AnyHandle, self, h => h.start_op())
+    }
+
+    fn end_op(&mut self) {
+        delegate!(AnyHandle, self, h => h.end_op())
+    }
+
+    fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
+        delegate!(AnyHandle, self, h => h.read(src, refno))
+    }
+
+    fn unprotect(&mut self, refno: usize) {
+        delegate!(AnyHandle, self, h => h.unprotect(refno))
+    }
+
+    fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T> {
+        delegate!(AnyHandle, self, h => h.alloc(data))
+    }
+
+    fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        delegate!(AnyHandle, self, h => h.alloc_with_index(data, index))
+    }
+
+    // SAFETY: [INV-11] trait contract forwarded verbatim to the wrapped
+    // handle; this facade adds no aliasing of its own.
+    unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
+        // SAFETY: [INV-04] forwarded from this fn's own contract.
+        delegate!(AnyHandle, self, h => unsafe { h.retire(node) })
+    }
+
+    fn update_lower_bound<T: Send + Sync>(&mut self, node: Shared<T>) {
+        delegate!(AnyHandle, self, h => h.update_lower_bound(node))
+    }
+
+    fn update_upper_bound<T: Send + Sync>(&mut self, node: Shared<T>) {
+        delegate!(AnyHandle, self, h => h.update_upper_bound(node))
+    }
+
+    fn retired_len(&self) -> usize {
+        delegate!(AnyHandle, self, h => h.retired_len())
+    }
+
+    fn force_empty(&mut self) {
+        delegate!(AnyHandle, self, h => h.force_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parses_all_names_case_insensitively() {
+        for kind in SchemeKind::ALL {
+            assert_eq!(kind.name().parse::<SchemeKind>().unwrap(), kind);
+            assert_eq!(kind.name().to_ascii_lowercase().parse::<SchemeKind>().unwrap(), kind);
+        }
+        assert!("btrfs".parse::<SchemeKind>().is_err());
+    }
+
+    #[test]
+    fn facade_runs_the_full_handle_protocol_per_scheme() {
+        for kind in SchemeKind::ALL {
+            let smr =
+                AnySmr::try_with_kind(kind, Config::default().with_max_threads(2)).unwrap();
+            assert_eq!(smr.kind(), kind);
+            assert_eq!(smr.scheme_name(), kind.name());
+            let mut h = smr.try_register().unwrap();
+            assert_eq!(h.kind(), kind);
+            let mut op = h.pin();
+            let node = op.alloc(7u64);
+            let cell = Atomic::new(node);
+            let r = op.read(&cell, 0);
+            // SAFETY: [INV-12] protected by the read above within this op.
+            assert_eq!(unsafe { *r.deref().data() }, 7);
+            cell.store(Shared::null(), core::sync::atomic::Ordering::Release);
+            // SAFETY: [INV-12] unlinked above, retired once.
+            unsafe { op.retire(node) };
+            drop(op);
+            h.force_empty();
+            drop(h);
+        }
+    }
+
+    #[test]
+    fn registry_exhaustion_surfaces_through_the_facade() {
+        let smr =
+            AnySmr::try_with_kind(SchemeKind::Hp, Config::default().with_max_threads(1)).unwrap();
+        let h = smr.try_register().unwrap();
+        match smr.try_register() {
+            Err(SmrError::RegistryExhausted { max_threads }) => assert_eq!(max_threads, 1),
+            Err(e) => panic!("unexpected error: {e}"),
+            Ok(_) => panic!("expected RegistryExhausted"),
+        }
+        drop(h);
+        assert!(smr.try_register().is_ok(), "slot recycles after handle drop");
+    }
+
+    #[test]
+    fn dta_accessor_exposes_the_freezer_hook() {
+        let smr =
+            AnySmr::try_with_kind(SchemeKind::Dta, Config::default().with_max_threads(1)).unwrap();
+        assert!(smr.as_dta().is_some());
+        let smr =
+            AnySmr::try_with_kind(SchemeKind::Mp, Config::default().with_max_threads(1)).unwrap();
+        assert!(smr.as_dta().is_none());
+    }
+}

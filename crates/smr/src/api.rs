@@ -11,6 +11,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::error::SmrError;
 use crate::packed::{Atomic, Shared};
 use crate::stats::OpStats;
 use crate::telemetry::{self, SchemeTelemetry, Telemetry};
@@ -70,6 +71,15 @@ pub struct Config {
     /// previous scan reclaimed). Baseline for the scan-cost-per-free
     /// comparison in `BENCH_throughput.json`.
     pub ablation_fixed_cadence: bool,
+    /// Backpressure hard cap in retired payload bytes (0 = disabled).
+    /// When the scheme's retired-bytes gauge reaches half this figure,
+    /// retiring threads escalate onto the help-scan rung (adopt orphans,
+    /// scan for laggards); at the full figure allocations additionally
+    /// take a bounded backoff. When left at `0`, the `MP_BP_BYTES`
+    /// environment variable (read at scheme construction) supplies the
+    /// cap; an explicit non-zero knob always wins over the environment.
+    /// See [`crate::backpressure`].
+    pub backpressure_bytes: usize,
     /// Ablation switch: MP index assignment policy (default midpoint).
     pub index_policy: IndexPolicy,
 }
@@ -102,6 +112,7 @@ impl Default for Config {
             ablation_naive_scan: false,
             ablation_per_slot_fence: false,
             ablation_fixed_cadence: false,
+            backpressure_bytes: 0,
             index_policy: IndexPolicy::Midpoint,
         }
     }
@@ -267,6 +278,13 @@ impl Config {
         self
     }
 
+    /// Sets the backpressure hard cap in retired payload bytes
+    /// (`0` = ladder disabled unless `MP_BP_BYTES` supplies a cap).
+    pub fn with_backpressure_bytes(mut self, n: usize) -> Self {
+        self.backpressure_bytes = n;
+        self
+    }
+
     /// Selects MP's index assignment policy (ablation).
     pub fn with_index_policy(mut self, p: IndexPolicy) -> Self {
         self.index_policy = p;
@@ -279,12 +297,41 @@ pub trait Smr: Send + Sync + Sized + 'static {
     /// The per-thread handle type.
     type Handle: SmrHandle;
 
+    /// Constructs the scheme with the given configuration, reporting an
+    /// invalid configuration as [`SmrError::Config`] instead of panicking.
+    fn try_new(cfg: Config) -> Result<Arc<Self>, SmrError>;
+
+    /// Registers the calling context as a participating thread and returns
+    /// its handle, or [`SmrError::RegistryExhausted`] when
+    /// `Config::max_threads` handles are already live — a recoverable
+    /// condition: retry after a peer drops its handle (tids recycle).
+    fn try_register(self: &Arc<Self>) -> Result<Self::Handle, SmrError>;
+
     /// Constructs the scheme with the given configuration.
-    fn new(cfg: Config) -> Arc<Self>;
+    ///
+    /// Panicking shim over [`try_new`](Smr::try_new), kept for one release;
+    /// new code should prefer the fallible constructor.
+    fn new(cfg: Config) -> Arc<Self> {
+        match Self::try_new(cfg) {
+            Ok(smr) => smr,
+            Err(e) => panic!("{e}"),
+        }
+    }
 
     /// Registers the calling context as a participating thread and returns
     /// its handle. Panics if `Config::max_threads` handles are already live.
-    fn register(self: &Arc<Self>) -> Self::Handle;
+    ///
+    /// Panicking shim over [`try_register`](Smr::try_register), kept for
+    /// one release; new code should prefer the fallible constructor.
+    fn register(self: &Arc<Self>) -> Self::Handle {
+        match self.try_register() {
+            Ok(h) => h,
+            Err(SmrError::RegistryExhausted { .. }) => {
+                panic!("SMR: more handles registered than Config::max_threads")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
 
     /// Human-readable scheme name (used by the benchmark harness).
     fn name() -> &'static str;
@@ -294,19 +341,34 @@ pub trait Smr: Send + Sync + Sized + 'static {
     /// same state, so consumers never match on scheme types.
     fn telemetry(&self) -> &SchemeTelemetry;
 
+    /// The backpressure watermarks this scheme instance resolved at
+    /// construction (see [`crate::backpressure`]).
+    fn backpressure_policy(&self) -> &crate::backpressure::BackpressurePolicy;
+
     /// Global gauge: retired nodes not yet reclaimed, across all handles
     /// (the paper's *wasted memory*). Includes orphaned retired nodes.
     fn retired_pending(&self) -> usize {
         self.telemetry().pending()
     }
 
+    /// Whether the scheme is at or above its backpressure hard cap right
+    /// now — `Err` carries the gauge reading and the cap. For producers
+    /// that prefer shedding load over being throttled; always `Ok` when
+    /// backpressure is disabled.
+    fn check_backpressure(&self) -> Result<(), crate::error::BackpressureError> {
+        crate::backpressure::check(self.backpressure_policy(), self.telemetry().pending_bytes())
+    }
+
     /// Appends one sample — (now, pending nodes, pending bytes) — to the
     /// waste time-series. Allocation-free and lock-free; call it from a
     /// poller loop or hand the scheme to a
-    /// [`WasteSampler`](crate::telemetry::WasteSampler).
+    /// [`WasteSampler`](crate::telemetry::WasteSampler). Both figures are
+    /// scheme-wide (this instance only): the bytes no longer read the
+    /// process-global node gauge, which conflated concurrently live
+    /// schemes.
     fn sample_waste(&self) {
         let t = self.telemetry();
-        t.waste().record(t.pending() as u64, crate::node::gauge::retired_bytes() as u64);
+        t.waste().record(t.pending() as u64, t.pending_bytes() as u64);
     }
 }
 
@@ -526,6 +588,7 @@ mod tests {
         assert!(c.margin > 1 << 16);
         assert_eq!(c.scan_watermark, 0, "watermark auto-derives k·H by default");
         assert_eq!(c.scan_watermark_bytes, 0, "bytes trigger off by default");
+        assert_eq!(c.backpressure_bytes, 0, "backpressure ladder off by default");
         assert!(!c.ablation_fixed_cadence);
     }
 
@@ -548,6 +611,7 @@ mod tests {
             .with_stall_patience(2)
             .with_scan_watermark(128)
             .with_scan_watermark_bytes(1 << 20)
+            .with_backpressure_bytes(1 << 22)
             .with_fixed_cadence(true);
         assert_eq!(c.max_threads, 4);
         assert_eq!(c.slots_per_thread, 3);
@@ -559,6 +623,7 @@ mod tests {
         assert_eq!(c.stall_patience, 2);
         assert_eq!(c.scan_watermark, 128);
         assert_eq!(c.scan_watermark_bytes, 1 << 20);
+        assert_eq!(c.backpressure_bytes, 1 << 22);
         assert!(c.ablation_fixed_cadence);
     }
 

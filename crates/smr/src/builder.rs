@@ -28,16 +28,21 @@
 
 use std::sync::Arc;
 
+use crate::any::{AnySmr, SchemeKind};
 use crate::api::{Config, IndexPolicy, Smr};
+use crate::error::SmrError;
 use crate::telemetry;
 
 /// Fluent builder unifying [`Config`], the telemetry arming switch, and
 /// the node-pool toggle. Construct with [`SmrBuilder::new`] (paper §6
 /// defaults) or [`SmrBuilder::from_config`], chain setters, finish with
-/// [`build`](SmrBuilder::build).
+/// [`try_build`](SmrBuilder::try_build) for a statically chosen scheme or
+/// [`try_build_any`](SmrBuilder::try_build_any) for one selected at
+/// runtime via [`scheme`](SmrBuilder::scheme) / `MP_SCHEME`.
 #[derive(Debug, Clone, Default)]
 pub struct SmrBuilder {
     cfg: Config,
+    kind: Option<SchemeKind>,
     telemetry: Option<bool>,
     event_capacity: Option<usize>,
     pool: Option<bool>,
@@ -143,6 +148,20 @@ impl SmrBuilder {
         self
     }
 
+    /// Sets the backpressure hard cap in retired payload bytes
+    /// (`0` = ladder disabled unless `MP_BP_BYTES` supplies a cap).
+    pub fn backpressure_bytes(mut self, n: usize) -> Self {
+        self.cfg = self.cfg.with_backpressure_bytes(n);
+        self
+    }
+
+    /// Selects the scheme [`try_build_any`](SmrBuilder::try_build_any)
+    /// constructs, overriding the `MP_SCHEME` environment variable.
+    pub fn scheme(mut self, kind: SchemeKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
     /// Arms (or disarms) timed/traced telemetry process-wide before
     /// construction, overriding `MP_TELEMETRY`. Handles registered from
     /// the built scheme then carry event rings and record latencies.
@@ -166,9 +185,37 @@ impl SmrBuilder {
         self
     }
 
+    /// Applies the process-global switches and constructs the scheme,
+    /// reporting an invalid accumulated [`Config`] as
+    /// [`SmrError::Config`].
+    pub fn try_build<S: Smr>(self) -> Result<Arc<S>, SmrError> {
+        self.apply_globals();
+        S::try_new(self.cfg)
+    }
+
     /// Applies the process-global switches and constructs the scheme
     /// (which validates the accumulated [`Config`]).
+    ///
+    /// Panicking shim over [`try_build`](SmrBuilder::try_build), kept for
+    /// one release; new code should prefer the fallible constructor.
     pub fn build<S: Smr>(self) -> Arc<S> {
+        match self.try_build() {
+            Ok(smr) => smr,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Constructs the scheme selected at runtime behind the [`AnySmr`]
+    /// facade: the kind set via [`scheme`](SmrBuilder::scheme) if any,
+    /// else the `MP_SCHEME` environment variable, else MP.
+    pub fn try_build_any(self) -> Result<Arc<AnySmr>, SmrError> {
+        let kind =
+            self.kind.or_else(SchemeKind::from_env).unwrap_or(SchemeKind::Mp);
+        self.apply_globals();
+        AnySmr::try_with_kind(kind, self.cfg)
+    }
+
+    fn apply_globals(&self) {
         if let Some(cap) = self.event_capacity {
             telemetry::set_event_capacity(cap);
         }
@@ -178,7 +225,6 @@ impl SmrBuilder {
         if let Some(pool_on) = self.pool {
             mp_util::pool::set_enabled(pool_on);
         }
-        S::new(self.cfg)
     }
 }
 
@@ -241,5 +287,23 @@ mod tests {
     #[should_panic(expected = "margin must exceed")]
     fn builder_rejects_invalid_margin_eagerly() {
         let _ = SmrBuilder::new().margin(1 << 10);
+    }
+
+    #[test]
+    fn explicit_scheme_kind_wins_for_build_any() {
+        let smr = SmrBuilder::new()
+            .max_threads(2)
+            .scheme(crate::any::SchemeKind::He)
+            .try_build_any()
+            .unwrap();
+        assert_eq!(smr.scheme_name(), "HE");
+        let _h = smr.try_register().unwrap();
+    }
+
+    #[test]
+    fn try_build_surfaces_config_errors() {
+        let cfg = Config { max_threads: 0, ..Config::default() };
+        let res = SmrBuilder::from_config(cfg).try_build::<Mp>();
+        assert!(matches!(res, Err(crate::error::SmrError::Config(_))));
     }
 }

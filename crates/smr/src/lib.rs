@@ -42,8 +42,11 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod any;
 pub mod api;
+pub mod backpressure;
 pub mod builder;
+pub mod error;
 pub mod node;
 #[cfg(feature = "oracle")]
 pub mod oracle;
@@ -53,8 +56,11 @@ pub mod schemes;
 pub mod stats;
 pub mod telemetry;
 
+pub use any::{AnyHandle, AnySmr, SchemeKind};
 pub use api::{Config, ConfigError, IndexPolicy, OpGuard, Smr, SmrHandle};
+pub use backpressure::{BackpressurePolicy, BackpressureState, BpLevel};
 pub use builder::SmrBuilder;
+pub use error::{BackpressureError, SmrError};
 pub use node::{gauge, SmrNode};
 pub use packed::{Atomic, Shared};
 pub use stats::{FenceSite, OpStats};

@@ -173,13 +173,6 @@ impl Registry {
         }
     }
 
-    /// Claims a tid lock-free. Panics if more than `max_threads` handles
-    /// are live — the slot arrays are fixed-size, exactly as in the paper's
-    /// C model.
-    pub(crate) fn acquire(&self) -> TidLease {
-        self.try_acquire().expect("SMR: more handles registered than Config::max_threads")
-    }
-
     /// Parks one retired node directly in the orphan list (reclaimed only
     /// at scheme teardown).
     pub(crate) fn park_orphan(&self, r: Retired) {
@@ -259,12 +252,12 @@ mod tests {
     #[test]
     fn registry_recycles_tids() {
         let r = Registry::new(2);
-        let a = r.acquire();
-        let b = r.acquire();
+        let a = r.try_acquire().unwrap();
+        let b = r.try_acquire().unwrap();
         assert_ne!(a.tid, b.tid);
         assert!(!a.recycled && !b.recycled, "first acquisitions are fresh");
         r.release(a.tid, Vec::new());
-        let c = r.acquire();
+        let c = r.try_acquire().unwrap();
         assert_eq!(c.tid, a.tid, "released tid must be reused");
         assert!(c.recycled, "reuse must be flagged for the churn counter");
     }
@@ -327,17 +320,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "more handles registered")]
-    fn registry_exhaustion_panics() {
+    fn registry_exhaustion_is_recoverable() {
         let r = Registry::new(1);
-        let _a = r.acquire();
-        let _b = r.acquire();
+        let a = r.try_acquire().expect("first claim fits");
+        assert!(r.try_acquire().is_none(), "capacity 1 is exhausted");
+        r.release(a.tid, Vec::new());
+        assert!(r.try_acquire().is_some(), "exhaustion clears when a peer churns out");
     }
 
     #[test]
     fn orphans_counted() {
         let r = Registry::new(1);
-        let tid = r.acquire().tid;
+        let tid = r.try_acquire().unwrap().tid;
         let node = crate::node::alloc_node(5u32, 0, 0);
         let retired = unsafe { Retired::new(node, 1) }; // SAFETY: [INV-12] never published.
         r.release(tid, vec![retired]);

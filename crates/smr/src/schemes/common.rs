@@ -28,27 +28,44 @@ pub fn counted_fence(tele: &mut HandleTelemetry, site: FenceSite) {
 }
 
 /// Global gauge shared by every scheme instance: retired-but-unreclaimed
-/// node count (the paper's wasted memory).
+/// node count and payload bytes (the paper's wasted memory).
+///
+/// Both dimensions are kept on the *scheme* (not process-wide like
+/// [`crate::node::gauge`]) so waste sampling and backpressure decisions
+/// attribute memory to the scheme that actually holds it — several scheme
+/// instances in one process (the conformance matrix, the bench harness) no
+/// longer read each other's bytes.
 #[derive(Default)]
-pub struct PendingGauge(AtomicUsize);
+pub struct PendingGauge {
+    nodes: AtomicUsize,
+    bytes: AtomicUsize,
+}
 
 impl PendingGauge {
-    /// Records `n` newly retired nodes.
+    /// Records `n` newly retired nodes carrying `bytes` total payload.
     #[inline]
-    pub fn add(&self, n: usize) {
-        self.0.fetch_add(n, Ordering::AcqRel);
+    pub fn add(&self, n: usize, bytes: usize) {
+        self.nodes.fetch_add(n, Ordering::AcqRel);
+        self.bytes.fetch_add(bytes, Ordering::AcqRel);
     }
 
-    /// Records `n` reclaimed nodes.
+    /// Records `n` reclaimed nodes releasing `bytes` total payload.
     #[inline]
-    pub fn sub(&self, n: usize) {
-        self.0.fetch_sub(n, Ordering::AcqRel);
+    pub fn sub(&self, n: usize, bytes: usize) {
+        self.nodes.fetch_sub(n, Ordering::AcqRel);
+        self.bytes.fetch_sub(bytes, Ordering::AcqRel);
     }
 
-    /// Current wasted-memory count.
+    /// Current wasted-memory count in nodes.
     #[inline]
     pub fn get(&self) -> usize {
-        self.0.load(Ordering::Acquire)
+        self.nodes.load(Ordering::Acquire)
+    }
+
+    /// Current wasted-memory total in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Acquire)
     }
 }
 
@@ -380,9 +397,10 @@ mod tests {
     #[test]
     fn gauge_add_sub() {
         let g = PendingGauge::default();
-        g.add(5);
-        g.sub(2);
+        g.add(5, 320);
+        g.sub(2, 128);
         assert_eq!(g.get(), 3);
+        assert_eq!(g.bytes(), 192);
     }
 
     #[test]

@@ -28,6 +28,8 @@ use core::sync::atomic::Ordering;
 use mp_util::CachePadded;
 
 use crate::api::{Config, Smr, SmrHandle};
+use crate::backpressure::{self, BackpressurePolicy, BpLevel};
+use crate::error::SmrError;
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
@@ -61,6 +63,7 @@ pub struct Dta {
     anchors: SlotArray,
     registry: Registry,
     scan_policy: ScanPolicy,
+    bp_policy: BackpressurePolicy,
     cfg: Config,
     tele: SchemeTelemetry,
     /// Client-registered freezing procedure.
@@ -108,15 +111,17 @@ pub struct DtaHandle {
     class_scratch: Vec<ThreadClass>,
     scan: ScanState,
     alloc_counter: usize,
+    /// In-op backpressure rung (monotone within one op; reset by start_op).
+    bp_rung: BpLevel,
     tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Dta {
     type Handle = DtaHandle;
 
-    fn new(cfg: Config) -> Arc<Self> {
-        cfg.validate().expect("invalid SMR Config");
-        Arc::new(Dta {
+    fn try_new(cfg: Config) -> Result<Arc<Self>, SmrError> {
+        cfg.validate()?;
+        Ok(Arc::new(Dta {
             clock: EpochClock::new(),
             announce: SlotArray::new(cfg.max_threads, 1, INACTIVE),
             anchors: SlotArray::new(cfg.max_threads, 1, 0),
@@ -128,19 +133,23 @@ impl Smr for Dta {
                 frozen: HashSet::new(),
             }),
             scan_policy: ScanPolicy::from_config(&cfg),
+            bp_policy: BackpressurePolicy::from_config(&cfg),
             cfg,
             tele: SchemeTelemetry::new(),
             freezer: RwLock::new(None),
-        })
+        }))
     }
 
-    fn register(self: &Arc<Self>) -> DtaHandle {
-        let lease = self.registry.acquire();
+    fn try_register(self: &Arc<Self>) -> Result<DtaHandle, SmrError> {
+        let lease = self
+            .registry
+            .try_acquire()
+            .ok_or(SmrError::RegistryExhausted { max_threads: self.cfg.max_threads })?;
         let mut tele = HandleTelemetry::new(lease.tid);
         if lease.recycled {
             tele.record_tid_recycle();
         }
-        DtaHandle {
+        Ok(DtaHandle {
             scheme: self.clone(),
             tid: lease.tid,
             stamp: 0,
@@ -149,8 +158,9 @@ impl Smr for Dta {
             class_scratch: Vec::new(),
             scan: ScanState::new(&self.scan_policy),
             alloc_counter: 0,
+            bp_rung: BpLevel::Normal,
             tele: CachePadded::new(tele),
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -159,6 +169,10 @@ impl Smr for Dta {
 
     fn telemetry(&self) -> &SchemeTelemetry {
         &self.tele
+    }
+
+    fn backpressure_policy(&self) -> &BackpressurePolicy {
+        &self.bp_policy
     }
 }
 
@@ -205,10 +219,10 @@ impl Dta {
     // SAFETY: [INV-11] obligation stated in `# Safety` above; the freezer's
     // replace_reachable_segment cites the winning splice at the call site.
     pub unsafe fn park_frozen<T: Send + Sync>(&self, node: Shared<T>) {
-        self.tele.pending.add(1);
         // SAFETY: [INV-04] forwarded from this fn's own contract (removed,
         // never retired before).
         let retired = unsafe { Retired::new(node.as_raw(), u64::MAX) };
+        self.tele.pending.add(1, retired.bytes() as usize);
         self.registry.park_orphan(retired);
     }
 
@@ -314,6 +328,7 @@ impl DtaHandle {
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
         let mut kept_bytes = 0usize;
+        let mut freed_bytes = 0usize;
         'next: for r in pending.drain(..) {
             if rec.frozen.contains(&r.addr()) {
                 kept_bytes += r.bytes() as usize;
@@ -346,6 +361,7 @@ impl DtaHandle {
                 }
             }
             self.tele.record_free(r.addr());
+            freed_bytes += r.bytes() as usize;
             // SAFETY: [INV-05] the classification above (under the recovery
             // lock, after the SeqCst fence) admits no thread class that can
             // still reference this node.
@@ -354,7 +370,7 @@ impl DtaHandle {
         drop(rec);
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.scheme.tele.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed, freed_bytes);
         self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         if self.retired.capacity() + self.scan_scratch.capacity() + self.class_scratch.capacity()
             > caps_before
@@ -362,6 +378,18 @@ impl DtaHandle {
             self.tele.record_scan_heap_alloc();
         }
         self.tele.record_scan_elapsed(scan_t0);
+    }
+
+    /// Backpressure help-scan. Unlike the other schemes this does NOT adopt
+    /// orphans: DTA's orphan list doubles as the frozen-node park (see
+    /// [`Dta::park_frozen`]), and frozen nodes must stay parked until scheme
+    /// teardown — adopting them would shuttle permanently-pinned nodes
+    /// through every scan. The scan itself still helps by re-classifying
+    /// stalled peers (possibly freezing them) and draining this handle's
+    /// backlog. See [`crate::backpressure`].
+    fn help_scan(&mut self) {
+        self.tele.record_help_scan();
+        self.empty();
     }
 
     /// The scheme this handle belongs to (used by the DTA list to register
@@ -409,6 +437,7 @@ impl SmrHandle for DtaHandle {
         // the waste-bound monitor.
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("DTA");
+        self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
         let e = self.scheme.clock.advance(); // fresh stamp ⇒ visible progress
@@ -433,6 +462,12 @@ impl SmrHandle for DtaHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        backpressure::before_alloc(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        );
         self.tele.record_alloc();
         self.alloc_counter += 1;
         if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
@@ -448,17 +483,26 @@ impl SmrHandle for DtaHandle {
     // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
         self.tele.record_retire(node.addr());
-        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         // SAFETY: [INV-04] forwarded from this fn's own contract.
         let mut r = unsafe { Retired::new(node.as_raw(), stamp) };
         // Record when the unlinking operation began (≤ the unlink itself);
         // the neutralization window is keyed on this (see `empty`).
         r.op_start = self.stamp;
+        self.scheme.tele.pending.add(1, r.bytes() as usize);
         self.scan.note_retire(r.bytes());
         self.retired.push(r);
         if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty();
+        }
+        if backpressure::after_retire(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            self.scheme.tele.pending_bytes(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        ) {
+            self.help_scan();
         }
     }
 

@@ -19,6 +19,8 @@ use core::sync::atomic::Ordering;
 use mp_util::CachePadded;
 
 use crate::api::{Config, Smr, SmrHandle};
+use crate::backpressure::{self, BackpressurePolicy, BpLevel};
+use crate::error::SmrError;
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
@@ -32,6 +34,7 @@ pub struct Ebr {
     /// One announcement slot per thread: observed epoch, or `INACTIVE`.
     announce: SlotArray,
     scan_policy: ScanPolicy,
+    bp_policy: BackpressurePolicy,
     registry: Registry,
     cfg: Config,
     tele: SchemeTelemetry,
@@ -47,26 +50,32 @@ pub struct EbrHandle {
     scan_scratch: Vec<Retired>,
     scan: ScanState,
     alloc_counter: usize,
+    /// In-op backpressure rung (monotone within one op; reset by start_op).
+    bp_rung: BpLevel,
     tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Ebr {
     type Handle = EbrHandle;
 
-    fn new(cfg: Config) -> Arc<Self> {
-        cfg.validate().expect("invalid SMR Config");
-        Arc::new(Ebr {
+    fn try_new(cfg: Config) -> Result<Arc<Self>, SmrError> {
+        cfg.validate()?;
+        Ok(Arc::new(Ebr {
             clock: EpochClock::new(),
             announce: SlotArray::new(cfg.max_threads, 1, INACTIVE),
             scan_policy: ScanPolicy::from_config(&cfg),
+            bp_policy: BackpressurePolicy::from_config(&cfg),
             registry: Registry::new(cfg.max_threads),
             cfg,
             tele: SchemeTelemetry::new(),
-        })
+        }))
     }
 
-    fn register(self: &Arc<Self>) -> EbrHandle {
-        let lease = self.registry.acquire();
+    fn try_register(self: &Arc<Self>) -> Result<EbrHandle, SmrError> {
+        let lease = self
+            .registry
+            .try_acquire()
+            .ok_or(SmrError::RegistryExhausted { max_threads: self.cfg.max_threads })?;
         let mut tele = HandleTelemetry::new(lease.tid);
         if lease.recycled {
             tele.record_tid_recycle();
@@ -76,15 +85,16 @@ impl Smr for Ebr {
         // them at its next scan instead of letting them pile to teardown.
         let retired = self.registry.adopt_orphans();
         let scan = ScanState::with_backlog(&self.scan_policy, &retired);
-        EbrHandle {
+        Ok(EbrHandle {
             scheme: self.clone(),
             tid: lease.tid,
             retired: CachePadded::new(retired),
             scan_scratch: Vec::new(),
             scan,
             alloc_counter: 0,
+            bp_rung: BpLevel::Normal,
             tele: CachePadded::new(tele),
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -93,6 +103,10 @@ impl Smr for Ebr {
 
     fn telemetry(&self) -> &SchemeTelemetry {
         &self.tele
+    }
+
+    fn backpressure_policy(&self) -> &BackpressurePolicy {
+        &self.bp_policy
     }
 }
 
@@ -144,6 +158,7 @@ impl EbrHandle {
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
         let mut kept_bytes = 0usize;
+        let mut freed_bytes = 0usize;
         for r in pending.drain(..) {
             // Free if every active thread announced strictly after the
             // retirement epoch (see module docs). No active thread: free.
@@ -153,6 +168,7 @@ impl EbrHandle {
             };
             if safe {
                 self.tele.record_free(r.addr());
+                freed_bytes += r.bytes() as usize;
                 // SAFETY: [INV-05] unreachable since retirement and, by the
                 // epoch argument above (every active announcement is newer
                 // than the retire stamp), referenced by no active thread.
@@ -164,12 +180,23 @@ impl EbrHandle {
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.scheme.tele.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed, freed_bytes);
         self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         if self.retired.capacity() + self.scan_scratch.capacity() > caps_before {
             self.tele.record_scan_heap_alloc();
         }
         self.tele.record_scan_elapsed(scan_t0);
+    }
+
+    /// Backpressure help-scan: adopt orphaned retired lists and scan them.
+    /// Under a stalled announcement this cannot shrink the pinned suffix
+    /// (EBR is not robust), but it does drain orphans and anything retired
+    /// before the stalled epoch. See [`crate::backpressure`].
+    fn help_scan(&mut self) {
+        self.tele.record_help_scan();
+        let orphans = self.scheme.registry.adopt_orphans();
+        self.retired.extend(orphans);
+        self.empty();
     }
 }
 
@@ -179,6 +206,7 @@ impl SmrHandle for EbrHandle {
         // one stalled thread legitimately pins every later retiree (§1).
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("EBR");
+        self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
         let e = self.scheme.clock.now();
@@ -201,6 +229,12 @@ impl SmrHandle for EbrHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        backpressure::before_alloc(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        );
         self.tele.record_alloc();
         self.alloc_counter += 1;
         if self.alloc_counter.is_multiple_of(self.scheme.cfg.epoch_freq) {
@@ -216,14 +250,23 @@ impl SmrHandle for EbrHandle {
     // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
         self.tele.record_retire(node.addr());
-        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         // SAFETY: [INV-04] forwarded from this fn's own contract.
         let r = unsafe { Retired::new(node.as_raw(), stamp) };
+        self.scheme.tele.pending.add(1, r.bytes() as usize);
         self.scan.note_retire(r.bytes());
         self.retired.push(r);
         if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty();
+        }
+        if backpressure::after_retire(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            self.scheme.tele.pending_bytes(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        ) {
+            self.help_scan();
         }
     }
 

@@ -21,6 +21,8 @@ use core::sync::atomic::Ordering;
 use mp_util::CachePadded;
 
 use crate::api::{Config, Smr, SmrHandle};
+use crate::backpressure::{self, BackpressurePolicy, BpLevel};
+use crate::error::SmrError;
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
@@ -37,6 +39,7 @@ pub struct He {
     /// adopted instead of re-walked when no announcement changed.
     shared_snap: SharedSnapshot,
     scan_policy: ScanPolicy,
+    bp_policy: BackpressurePolicy,
     registry: Registry,
     cfg: Config,
     tele: SchemeTelemetry,
@@ -62,27 +65,33 @@ pub struct HeHandle {
     /// released era can linger in an adopted snapshot.
     adopted_last: bool,
     scan: ScanState,
+    /// In-op backpressure rung (monotone within one op; reset by start_op).
+    bp_rung: BpLevel,
     tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for He {
     type Handle = HeHandle;
 
-    fn new(cfg: Config) -> Arc<Self> {
-        cfg.validate().expect("invalid SMR Config");
-        Arc::new(He {
+    fn try_new(cfg: Config) -> Result<Arc<Self>, SmrError> {
+        cfg.validate()?;
+        Ok(Arc::new(He {
             clock: EpochClock::new(),
             era_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, INACTIVE),
             shared_snap: SharedSnapshot::new(cfg.max_threads, cfg.slots_per_thread),
             scan_policy: ScanPolicy::from_config(&cfg),
+            bp_policy: BackpressurePolicy::from_config(&cfg),
             registry: Registry::new(cfg.max_threads),
             cfg,
             tele: SchemeTelemetry::new(),
-        })
+        }))
     }
 
-    fn register(self: &Arc<Self>) -> HeHandle {
-        let lease = self.registry.acquire();
+    fn try_register(self: &Arc<Self>) -> Result<HeHandle, SmrError> {
+        let lease = self
+            .registry
+            .try_acquire()
+            .ok_or(SmrError::RegistryExhausted { max_threads: self.cfg.max_threads })?;
         let mut tele = HandleTelemetry::new(lease.tid);
         if lease.recycled {
             tele.record_tid_recycle();
@@ -92,7 +101,7 @@ impl Smr for He {
         // them at its next scan instead of letting them pile to teardown.
         let retired = self.registry.adopt_orphans();
         let scan = ScanState::with_backlog(&self.scan_policy, &retired);
-        HeHandle {
+        Ok(HeHandle {
             scheme: self.clone(),
             tid: lease.tid,
             local: vec![INACTIVE; self.cfg.slots_per_thread],
@@ -102,8 +111,9 @@ impl Smr for He {
             gens_scratch: Vec::new(),
             adopted_last: false,
             scan,
+            bp_rung: BpLevel::Normal,
             tele: CachePadded::new(tele),
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -112,6 +122,10 @@ impl Smr for He {
 
     fn telemetry(&self) -> &SchemeTelemetry {
         &self.tele
+    }
+
+    fn backpressure_policy(&self) -> &BackpressurePolicy {
+        &self.bp_policy
     }
 }
 
@@ -204,12 +218,14 @@ impl HeHandle {
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
         let mut kept_bytes = 0usize;
+        let mut freed_bytes = 0usize;
         for r in pending.drain(..) {
             if interval_hit(&self.era_scratch, r.birth, r.retire) {
                 kept_bytes += r.bytes() as usize;
                 self.retired.push(r);
             } else {
                 self.tele.record_free(r.addr());
+                freed_bytes += r.bytes() as usize;
                 // SAFETY: [INV-05] the snapshot taken after the SeqCst fence
                 // shows no announced era overlapping the node's lifetime, so
                 // no thread can have validated a protection for it (§3.3).
@@ -218,7 +234,7 @@ impl HeHandle {
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.scheme.tele.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed, freed_bytes);
         self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         if self.retired.capacity()
             + self.scan_scratch.capacity()
@@ -247,12 +263,23 @@ impl HeHandle {
             crate::oracle::check_waste_bound("HE", self.retired.len(), bound);
         }
     }
+
+    /// Backpressure help-scan: adopt whatever retired lists churned-out
+    /// peers parked as orphans, then scan against the *live* era slots.
+    /// See [`crate::backpressure`].
+    fn help_scan(&mut self) {
+        self.tele.record_help_scan();
+        let orphans = self.scheme.registry.adopt_orphans();
+        self.retired.extend(orphans);
+        self.empty(false);
+    }
 }
 
 impl SmrHandle for HeHandle {
     fn start_op(&mut self) {
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("HE");
+        self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
     }
@@ -297,6 +324,12 @@ impl SmrHandle for HeHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        backpressure::before_alloc(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        );
         self.tele.record_alloc();
         let ptr = crate::node::alloc_node_in(data, index, self.scheme.clock.now(), &mut self.tele);
         // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
@@ -307,10 +340,10 @@ impl SmrHandle for HeHandle {
     // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
         self.tele.record_retire(node.addr());
-        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         // SAFETY: [INV-04] forwarded from this fn's own contract.
         let r = unsafe { Retired::new(node.as_raw(), stamp) };
+        self.scheme.tele.pending.add(1, r.bytes() as usize);
         self.scan.note_retire(r.bytes());
         self.retired.push(r);
         // HE advances the era every constant number of deletions (§3.3).
@@ -320,6 +353,15 @@ impl SmrHandle for HeHandle {
         }
         if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty(true);
+        }
+        if backpressure::after_retire(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            self.scheme.tele.pending_bytes(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        ) {
+            self.help_scan();
         }
     }
 

@@ -21,6 +21,8 @@ use core::sync::atomic::Ordering;
 use mp_util::CachePadded;
 
 use crate::api::{Config, Smr, SmrHandle};
+use crate::backpressure::{self, BackpressurePolicy, BpLevel};
+use crate::error::SmrError;
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::Registry;
@@ -36,6 +38,7 @@ pub struct Hp {
     /// adopted instead of re-walked when no protection changed underneath.
     shared_snap: SharedSnapshot,
     scan_policy: ScanPolicy,
+    bp_policy: BackpressurePolicy,
     registry: Registry,
     cfg: Config,
     tele: SchemeTelemetry,
@@ -64,26 +67,32 @@ pub struct HpHandle {
     /// released hazard can linger in an adopted snapshot.
     adopted_last: bool,
     scan: ScanState,
+    /// In-op backpressure rung (monotone within one op; reset by start_op).
+    bp_rung: BpLevel,
     tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Hp {
     type Handle = HpHandle;
 
-    fn new(cfg: Config) -> Arc<Self> {
-        cfg.validate().expect("invalid SMR Config");
-        Arc::new(Hp {
+    fn try_new(cfg: Config) -> Result<Arc<Self>, SmrError> {
+        cfg.validate()?;
+        Ok(Arc::new(Hp {
             hp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_HAZARD),
             shared_snap: SharedSnapshot::new(cfg.max_threads, cfg.slots_per_thread),
             scan_policy: ScanPolicy::from_config(&cfg),
+            bp_policy: BackpressurePolicy::from_config(&cfg),
             registry: Registry::new(cfg.max_threads),
             cfg,
             tele: SchemeTelemetry::new(),
-        })
+        }))
     }
 
-    fn register(self: &Arc<Self>) -> HpHandle {
-        let lease = self.registry.acquire();
+    fn try_register(self: &Arc<Self>) -> Result<HpHandle, SmrError> {
+        let lease = self
+            .registry
+            .try_acquire()
+            .ok_or(SmrError::RegistryExhausted { max_threads: self.cfg.max_threads })?;
         let mut tele = HandleTelemetry::new(lease.tid);
         if lease.recycled {
             tele.record_tid_recycle();
@@ -93,7 +102,7 @@ impl Smr for Hp {
         // them at its next scan instead of letting them pile to teardown.
         let retired = self.registry.adopt_orphans();
         let scan = ScanState::with_backlog(&self.scan_policy, &retired);
-        HpHandle {
+        Ok(HpHandle {
             scheme: self.clone(),
             tid: lease.tid,
             local: vec![NO_HAZARD; self.cfg.slots_per_thread],
@@ -103,8 +112,9 @@ impl Smr for Hp {
             gens_scratch: Vec::new(),
             adopted_last: false,
             scan,
+            bp_rung: BpLevel::Normal,
             tele: CachePadded::new(tele),
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -113,6 +123,10 @@ impl Smr for Hp {
 
     fn telemetry(&self) -> &SchemeTelemetry {
         &self.tele
+    }
+
+    fn backpressure_policy(&self) -> &BackpressurePolicy {
+        &self.bp_policy
     }
 }
 
@@ -132,7 +146,7 @@ impl Drop for Hp {
         // scheme, so `&mut self` here proves no handle exists and orphaned
         // retired lists can no longer be protected by anyone.
         unsafe { self.registry.reclaim_orphans() };
-        self.tele.pending.sub(self.tele.pending.get());
+        self.tele.pending.sub(self.tele.pending.get(), self.tele.pending.bytes());
     }
 }
 
@@ -225,6 +239,7 @@ impl HpHandle {
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
         let mut kept_bytes = 0usize;
+        let mut freed_bytes = 0usize;
         for r in pending.drain(..) {
             let protected = if naive {
                 self.hazard_hit_naive(r.addr())
@@ -236,6 +251,7 @@ impl HpHandle {
                 self.retired.push(r);
             } else {
                 self.tele.record_free(r.addr());
+                freed_bytes += r.bytes() as usize;
                 // SAFETY: [INV-05] the node is retired (unreachable) and no
                 // hazard slot held its address after the SeqCst fence, so no
                 // thread can have validated a protection for it.
@@ -244,7 +260,7 @@ impl HpHandle {
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.scheme.tele.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed, freed_bytes);
         self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         let caps_after = self.retired.capacity()
             + self.scan_scratch.capacity()
@@ -267,12 +283,26 @@ impl HpHandle {
             );
         }
     }
+
+    /// Backpressure help-scan: adopt whatever retired lists churned-out
+    /// peers parked as orphans, then scan against the *live* slots (no
+    /// snapshot adoption — helping exists to free memory now, not to be
+    /// cheap). See [`crate::backpressure`].
+    fn help_scan(&mut self) {
+        self.tele.record_help_scan();
+        let orphans = self.scheme.registry.adopt_orphans();
+        self.retired.extend(orphans);
+        // The scan's rearm (inside empty) re-baselines the backlog, so no
+        // separate bookkeeping is needed for the adopted nodes.
+        self.empty(false);
+    }
 }
 
 impl SmrHandle for HpHandle {
     fn start_op(&mut self) {
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("HP");
+        self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
     }
@@ -339,6 +369,12 @@ impl SmrHandle for HpHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        backpressure::before_alloc(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        );
         self.tele.record_alloc();
         let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.tele);
         // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
@@ -349,13 +385,22 @@ impl SmrHandle for HpHandle {
     // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
         self.tele.record_retire(node.addr());
-        self.scheme.tele.pending.add(1);
         // SAFETY: [INV-04] forwarded from this fn's own contract.
         let r = unsafe { Retired::new(node.as_raw(), 0) };
+        self.scheme.tele.pending.add(1, r.bytes() as usize);
         self.scan.note_retire(r.bytes());
         self.retired.push(r);
         if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty(true);
+        }
+        if backpressure::after_retire(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            self.scheme.tele.pending_bytes(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        ) {
+            self.help_scan();
         }
     }
 

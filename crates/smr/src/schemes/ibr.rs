@@ -27,6 +27,8 @@ use core::sync::atomic::Ordering;
 use mp_util::CachePadded;
 
 use crate::api::{Config, Smr, SmrHandle};
+use crate::backpressure::{self, BackpressurePolicy, BpLevel};
+use crate::error::SmrError;
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
@@ -43,6 +45,7 @@ pub struct Ibr {
     /// Two slots per thread: reserved `[lower, upper]` (INACTIVE = idle).
     reservations: SlotArray,
     scan_policy: ScanPolicy,
+    bp_policy: BackpressurePolicy,
     registry: Registry,
     cfg: Config,
     tele: SchemeTelemetry,
@@ -61,26 +64,32 @@ pub struct IbrHandle {
     interval_scratch: Vec<(u64, u64)>,
     scan: ScanState,
     alloc_counter: usize,
+    /// In-op backpressure rung (monotone within one op; reset by start_op).
+    bp_rung: BpLevel,
     tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Ibr {
     type Handle = IbrHandle;
 
-    fn new(cfg: Config) -> Arc<Self> {
-        cfg.validate().expect("invalid SMR Config");
-        Arc::new(Ibr {
+    fn try_new(cfg: Config) -> Result<Arc<Self>, SmrError> {
+        cfg.validate()?;
+        Ok(Arc::new(Ibr {
             clock: EpochClock::new(),
             reservations: SlotArray::new(cfg.max_threads, 2, INACTIVE),
             scan_policy: ScanPolicy::from_config(&cfg),
+            bp_policy: BackpressurePolicy::from_config(&cfg),
             registry: Registry::new(cfg.max_threads),
             cfg,
             tele: SchemeTelemetry::new(),
-        })
+        }))
     }
 
-    fn register(self: &Arc<Self>) -> IbrHandle {
-        let lease = self.registry.acquire();
+    fn try_register(self: &Arc<Self>) -> Result<IbrHandle, SmrError> {
+        let lease = self
+            .registry
+            .try_acquire()
+            .ok_or(SmrError::RegistryExhausted { max_threads: self.cfg.max_threads })?;
         let mut tele = HandleTelemetry::new(lease.tid);
         if lease.recycled {
             tele.record_tid_recycle();
@@ -90,7 +99,7 @@ impl Smr for Ibr {
         // them at its next scan instead of letting them pile to teardown.
         let retired = self.registry.adopt_orphans();
         let scan = ScanState::with_backlog(&self.scan_policy, &retired);
-        IbrHandle {
+        Ok(IbrHandle {
             scheme: self.clone(),
             tid: lease.tid,
             upper_local: INACTIVE,
@@ -99,8 +108,9 @@ impl Smr for Ibr {
             interval_scratch: Vec::new(),
             scan,
             alloc_counter: 0,
+            bp_rung: BpLevel::Normal,
             tele: CachePadded::new(tele),
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -109,6 +119,10 @@ impl Smr for Ibr {
 
     fn telemetry(&self) -> &SchemeTelemetry {
         &self.tele
+    }
+
+    fn backpressure_policy(&self) -> &BackpressurePolicy {
+        &self.bp_policy
     }
 }
 
@@ -156,6 +170,7 @@ impl IbrHandle {
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
         let mut kept_bytes = 0usize;
+        let mut freed_bytes = 0usize;
         for r in pending.drain(..) {
             let conflict =
                 self.interval_scratch.iter().any(|&(lo, hi)| !(r.retire < lo || r.birth > hi));
@@ -164,6 +179,7 @@ impl IbrHandle {
                 self.retired.push(r);
             } else {
                 self.tele.record_free(r.addr());
+                freed_bytes += r.bytes() as usize;
                 // SAFETY: [INV-05] the snapshot taken after the SeqCst fence
                 // shows every active interval began after the node was
                 // retired or ended before it was born, so no thread's
@@ -173,7 +189,7 @@ impl IbrHandle {
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.scheme.tele.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed, freed_bytes);
         self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         if self.retired.capacity() + self.scan_scratch.capacity() + self.interval_scratch.capacity()
             > caps_before
@@ -181,6 +197,15 @@ impl IbrHandle {
             self.tele.record_scan_heap_alloc();
         }
         self.tele.record_scan_elapsed(scan_t0);
+    }
+
+    /// Backpressure help-scan: adopt orphaned retired lists and scan them
+    /// against the live reservations. See [`crate::backpressure`].
+    fn help_scan(&mut self) {
+        self.tele.record_help_scan();
+        let orphans = self.scheme.registry.adopt_orphans();
+        self.retired.extend(orphans);
+        self.empty();
     }
 }
 
@@ -191,6 +216,7 @@ impl SmrHandle for IbrHandle {
         // whose intervals overlap it.
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("IBR");
+        self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
         let e = self.scheme.clock.now();
@@ -228,6 +254,12 @@ impl SmrHandle for IbrHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        backpressure::before_alloc(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        );
         self.tele.record_alloc();
         self.alloc_counter += 1;
         // IBR advances the epoch every constant number of allocations (§3.3).
@@ -244,14 +276,23 @@ impl SmrHandle for IbrHandle {
     // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
         self.tele.record_retire(node.addr());
-        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.clock.now();
         // SAFETY: [INV-04] forwarded from this fn's own contract.
         let r = unsafe { Retired::new(node.as_raw(), stamp) };
+        self.scheme.tele.pending.add(1, r.bytes() as usize);
         self.scan.note_retire(r.bytes());
         self.retired.push(r);
         if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty();
+        }
+        if backpressure::after_retire(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            self.scheme.tele.pending_bytes(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        ) {
+            self.help_scan();
         }
     }
 

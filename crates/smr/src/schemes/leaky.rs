@@ -12,6 +12,8 @@ use core::sync::atomic::Ordering;
 use mp_util::CachePadded;
 
 use crate::api::{Config, Smr, SmrHandle};
+use crate::backpressure::{self, BackpressurePolicy, BpLevel};
+use crate::error::SmrError;
 use crate::node::Retired;
 use crate::packed::{Atomic, Shared};
 use crate::registry::Registry;
@@ -20,6 +22,8 @@ use crate::telemetry::{HandleTelemetry, SchemeTelemetry, Telemetry};
 /// The leaky "scheme": never reclaims (see module docs).
 pub struct Leaky {
     registry: Registry,
+    bp_policy: BackpressurePolicy,
+    max_threads: usize,
     tele: SchemeTelemetry,
 }
 
@@ -29,29 +33,40 @@ pub struct LeakyHandle {
     tid: usize,
     /// Cache-padded retired-list head (no false sharing between handles).
     retired: CachePadded<Vec<Retired>>,
+    /// In-op backpressure rung (monotone within one op; reset by start_op).
+    bp_rung: BpLevel,
     tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Leaky {
     type Handle = LeakyHandle;
 
-    fn new(cfg: Config) -> Arc<Self> {
-        cfg.validate().expect("invalid SMR Config");
-        Arc::new(Leaky { registry: Registry::new(cfg.max_threads), tele: SchemeTelemetry::new() })
+    fn try_new(cfg: Config) -> Result<Arc<Self>, SmrError> {
+        cfg.validate()?;
+        Ok(Arc::new(Leaky {
+            registry: Registry::new(cfg.max_threads),
+            bp_policy: BackpressurePolicy::from_config(&cfg),
+            max_threads: cfg.max_threads,
+            tele: SchemeTelemetry::new(),
+        }))
     }
 
-    fn register(self: &Arc<Self>) -> LeakyHandle {
-        let lease = self.registry.acquire();
+    fn try_register(self: &Arc<Self>) -> Result<LeakyHandle, SmrError> {
+        let lease = self
+            .registry
+            .try_acquire()
+            .ok_or(SmrError::RegistryExhausted { max_threads: self.max_threads })?;
         let mut tele = HandleTelemetry::new(lease.tid);
         if lease.recycled {
             tele.record_tid_recycle();
         }
-        LeakyHandle {
+        Ok(LeakyHandle {
             scheme: self.clone(),
             tid: lease.tid,
             retired: CachePadded::new(Vec::new()),
+            bp_rung: BpLevel::Normal,
             tele: CachePadded::new(tele),
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -60,6 +75,10 @@ impl Smr for Leaky {
 
     fn telemetry(&self) -> &SchemeTelemetry {
         &self.tele
+    }
+
+    fn backpressure_policy(&self) -> &BackpressurePolicy {
+        &self.bp_policy
     }
 }
 
@@ -88,6 +107,7 @@ impl SmrHandle for LeakyHandle {
         // but its allocations and retires are still lifecycle-tracked.
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("Leaky");
+        self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
     }
@@ -104,6 +124,12 @@ impl SmrHandle for LeakyHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        backpressure::before_alloc(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        );
         self.tele.record_alloc();
         let ptr = crate::node::alloc_node_in(data, index, 0, &mut self.tele);
         // SAFETY: [INV-02] `ptr` was just returned by the node allocator.
@@ -114,9 +140,21 @@ impl SmrHandle for LeakyHandle {
     // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
         self.tele.record_retire(node.addr());
-        self.scheme.tele.pending.add(1);
         // SAFETY: [INV-04] forwarded from this fn's own contract.
-        self.retired.push(unsafe { Retired::new(node.as_raw(), 0) });
+        let r = unsafe { Retired::new(node.as_raw(), 0) };
+        self.scheme.tele.pending.add(1, r.bytes() as usize);
+        self.retired.push(r);
+        // Leaky has no scan, so the help rung cannot free anything — but
+        // the ladder still tracks the gauge so the throttle rung (and the
+        // engagement telemetry) work, keeping the no-reclamation baseline
+        // honest about its memory pressure.
+        let _ = backpressure::after_retire(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            self.scheme.tele.pending_bytes(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        );
     }
 
     fn retired_len(&self) -> usize {

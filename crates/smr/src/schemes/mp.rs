@@ -72,6 +72,8 @@ use core::sync::atomic::{AtomicU64, Ordering};
 use mp_util::CachePadded;
 
 use crate::api::{Config, Smr, SmrHandle};
+use crate::backpressure::{self, BackpressurePolicy, BpLevel};
+use crate::error::SmrError;
 use crate::node::{is_use_hp_class, Retired, USE_HP};
 use crate::packed::{Atomic, Shared};
 use crate::registry::{Registry, SlotArray};
@@ -102,6 +104,7 @@ pub struct Mp {
     mp_versions: SlotArray,
     registry: Registry,
     scan_policy: ScanPolicy,
+    bp_policy: BackpressurePolicy,
     cfg: Config,
     tele: SchemeTelemetry,
 }
@@ -172,15 +175,17 @@ pub struct MpHandle {
     snaps: Vec<ThreadSnap>,
     scan: ScanState,
     unlink_counter: usize,
+    /// In-op backpressure rung (monotone within one op; reset by start_op).
+    bp_rung: BpLevel,
     tele: CachePadded<HandleTelemetry>,
 }
 
 impl Smr for Mp {
     type Handle = MpHandle;
 
-    fn new(cfg: Config) -> Arc<Self> {
-        cfg.validate().expect("invalid SMR Config");
-        Arc::new(Mp {
+    fn try_new(cfg: Config) -> Result<Arc<Self>, SmrError> {
+        cfg.validate()?;
+        Ok(Arc::new(Mp {
             global_epoch: AtomicU64::new(1),
             mp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_MARGIN),
             hp_slots: SlotArray::new(cfg.max_threads, cfg.slots_per_thread, NO_HAZARD),
@@ -188,13 +193,17 @@ impl Smr for Mp {
             mp_versions: SlotArray::new(cfg.max_threads, 1, 0),
             registry: Registry::new(cfg.max_threads),
             scan_policy: ScanPolicy::from_config(&cfg),
+            bp_policy: BackpressurePolicy::from_config(&cfg),
             cfg,
             tele: SchemeTelemetry::new(),
-        })
+        }))
     }
 
-    fn register(self: &Arc<Self>) -> MpHandle {
-        let lease = self.registry.acquire();
+    fn try_register(self: &Arc<Self>) -> Result<MpHandle, SmrError> {
+        let lease = self
+            .registry
+            .try_acquire()
+            .ok_or(SmrError::RegistryExhausted { max_threads: self.cfg.max_threads })?;
         let tid = lease.tid;
         let mut tele = HandleTelemetry::new(tid);
         if lease.recycled {
@@ -205,7 +214,7 @@ impl Smr for Mp {
         // them at its next scan instead of letting them pile to teardown.
         let retired = self.registry.adopt_orphans();
         let scan = ScanState::with_backlog(&self.scan_policy, &retired);
-        MpHandle {
+        Ok(MpHandle {
             scheme: self.clone(),
             tid,
             local_mps: vec![NO_MARGIN; self.cfg.slots_per_thread],
@@ -231,8 +240,9 @@ impl Smr for Mp {
             snaps: Vec::new(),
             scan,
             unlink_counter: 0,
+            bp_rung: BpLevel::Normal,
             tele: CachePadded::new(tele),
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -241,6 +251,10 @@ impl Smr for Mp {
 
     fn telemetry(&self) -> &SchemeTelemetry {
         &self.tele
+    }
+
+    fn backpressure_policy(&self) -> &BackpressurePolicy {
+        &self.bp_policy
     }
 }
 
@@ -412,6 +426,7 @@ impl MpHandle {
         std::mem::swap(&mut pending, &mut *self.retired);
         let before = pending.len();
         let mut kept_bytes = 0usize;
+        let mut freed_bytes = 0usize;
         'next_node: for r in pending.drain(..) {
             // Ablation: without the snapshot optimization, the live slot
             // arrays are re-read for every retired node.
@@ -447,6 +462,7 @@ impl MpHandle {
                 }
             }
             self.tele.record_free(r.addr());
+            freed_bytes += r.bytes() as usize;
             // SAFETY: [INV-05] the scan above found no HP holding the
             // address and no margin (of a thread whose epoch admits the
             // node's lifetime) covering its index, so no thread can have
@@ -455,7 +471,7 @@ impl MpHandle {
         }
         self.scan_scratch = pending;
         let freed = before - self.retired.len();
-        self.scheme.tele.pending.sub(freed);
+        self.scheme.tele.pending.sub(freed, freed_bytes);
         self.scan.rearm(&self.scheme.scan_policy, self.retired.len(), kept_bytes);
         if self.scan_caps() > caps_before {
             self.tele.record_scan_heap_alloc();
@@ -478,6 +494,17 @@ impl MpHandle {
             let f = cfg.epoch_freq as u128;
             crate::oracle::check_waste_bound("MP", self.retired.len(), t * h + t * h * m * f * t);
         }
+    }
+
+    /// Backpressure help-scan: adopt whatever retired lists churned-out
+    /// peers parked as orphans, then scan. See [`crate::backpressure`].
+    fn help_scan(&mut self) {
+        self.tele.record_help_scan();
+        let orphans = self.scheme.registry.adopt_orphans();
+        self.retired.extend(orphans);
+        // The scan's rearm (inside empty) re-baselines the backlog, so no
+        // separate bookkeeping is needed for the adopted nodes.
+        self.empty();
     }
 
     /// Hazard-pointer protection of `w`'s target, with validation.
@@ -803,6 +830,7 @@ impl SmrHandle for MpHandle {
     fn start_op(&mut self) {
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("MP");
+        self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
         self.lower_bound = 0;
@@ -924,6 +952,12 @@ impl SmrHandle for MpHandle {
     }
 
     fn alloc_with_index<T: Send + Sync>(&mut self, data: T, index: u32) -> Shared<T> {
+        backpressure::before_alloc(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        );
         self.tele.record_alloc();
         let birth = self.scheme.global_epoch.load(Ordering::SeqCst);
         let ptr = crate::node::alloc_node_in(data, index, birth, &mut self.tele);
@@ -935,10 +969,10 @@ impl SmrHandle for MpHandle {
     // exactly once (the winning unlink CAS is at the call site).
     unsafe fn retire<T: Send + Sync>(&mut self, node: Shared<T>) {
         self.tele.record_retire(node.addr());
-        self.scheme.tele.pending.add(1);
         let stamp = self.scheme.global_epoch.load(Ordering::SeqCst);
         // SAFETY: [INV-04] forwarded from this fn's own contract.
         let r = unsafe { Retired::new(node.as_raw(), stamp) };
+        self.scheme.tele.pending.add(1, r.bytes() as usize);
         self.scan.note_retire(r.bytes());
         self.retired.push(r);
         self.unlink_counter += 1;
@@ -950,6 +984,15 @@ impl SmrHandle for MpHandle {
         }
         if self.scan.due(&self.scheme.scan_policy, self.retired.len()) {
             self.empty();
+        }
+        if backpressure::after_retire(
+            &self.scheme.bp_policy,
+            self.scheme.tele.backpressure(),
+            self.scheme.tele.pending_bytes(),
+            &mut self.bp_rung,
+            &mut self.tele,
+        ) {
+            self.help_scan();
         }
     }
 

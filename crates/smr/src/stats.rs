@@ -84,6 +84,14 @@ pub struct OpStats {
     /// (scans are rare, so the two clock reads per scan are noise);
     /// `scan_nanos / frees` is the bench's `scan_ns_per_free` column.
     pub scan_nanos: u64,
+    /// Backpressure help-scans: reclamation passes this handle ran because
+    /// the scheme's retired-bytes gauge crossed the help watermark (the
+    /// first rung of the backpressure ladder), adopting orphans first.
+    pub help_scans: u64,
+    /// Backpressure throttle waits: bounded backoffs taken on the
+    /// allocation path while the gauge sat above the hard cap (the second
+    /// rung of the ladder).
+    pub throttle_waits: u64,
 }
 
 impl OpStats {
@@ -116,6 +124,8 @@ impl OpStats {
         self.snapshot_reuses = self.snapshot_reuses.saturating_add(other.snapshot_reuses);
         self.tid_recycles = self.tid_recycles.saturating_add(other.tid_recycles);
         self.scan_nanos = self.scan_nanos.saturating_add(other.scan_nanos);
+        self.help_scans = self.help_scans.saturating_add(other.help_scans);
+        self.throttle_waits = self.throttle_waits.saturating_add(other.throttle_waits);
     }
 
     /// Average scan nanoseconds per reclaimed node — the amortized cost of
@@ -196,6 +206,8 @@ mod tests {
             snapshot_reuses: 140,
             tid_recycles: 150,
             scan_nanos: 160,
+            help_scans: 170,
+            throttle_waits: 180,
         };
         a.merge(&b);
         assert_eq!(a.fences, 11);
@@ -218,6 +230,8 @@ mod tests {
         assert_eq!(a.snapshot_reuses, 140);
         assert_eq!(a.tid_recycles, 150);
         assert_eq!(a.scan_nanos, 160);
+        assert_eq!(a.help_scans, 170);
+        assert_eq!(a.throttle_waits, 180);
     }
 
     /// Soak-run wrap audit: merging into a counter near `u64::MAX`
@@ -246,6 +260,8 @@ mod tests {
             snapshot_reuses: u64::MAX,
             tid_recycles: u64::MAX,
             scan_nanos: u64::MAX,
+            help_scans: u64::MAX,
+            throttle_waits: u64::MAX,
         };
         let mut acc = near_max.clone();
         acc.merge(&OpStats { fences: 10, ops: 3, ..Default::default() });

@@ -135,6 +135,12 @@ pub enum EventKind {
     HpFallback = 5,
     /// The global epoch/era advanced (payload: new epoch).
     EpochAdvance = 6,
+    /// The scheme's backpressure ladder escalated (payload: the new
+    /// [`BpLevel`](crate::backpressure::BpLevel) as `u64`).
+    BackpressureEngage = 7,
+    /// The scheme's backpressure ladder released back to a lower rung
+    /// (payload: the new level as `u64`).
+    BackpressureRelease = 8,
 }
 
 impl EventKind {
@@ -147,6 +153,8 @@ impl EventKind {
             4 => EventKind::ProtectCollision,
             5 => EventKind::HpFallback,
             6 => EventKind::EpochAdvance,
+            7 => EventKind::BackpressureEngage,
+            8 => EventKind::BackpressureRelease,
             _ => return None,
         })
     }
@@ -160,6 +168,8 @@ impl EventKind {
             EventKind::ProtectCollision => "protect_collision",
             EventKind::HpFallback => "hp_fallback",
             EventKind::EpochAdvance => "epoch_advance",
+            EventKind::BackpressureEngage => "backpressure_engage",
+            EventKind::BackpressureRelease => "backpressure_release",
         }
     }
 }
@@ -264,11 +274,18 @@ pub enum Counter {
     TidRecycles,
     /// Wall nanoseconds spent inside `empty()` scans (always on).
     ScanNanos,
+    /// Backpressure help-scans: reclamation passes this handle ran on
+    /// behalf of laggards because the retired-bytes gauge crossed the
+    /// help watermark.
+    HelpScans,
+    /// Backpressure throttle waits: bounded backoffs taken on the
+    /// allocation path while the gauge sat above the hard cap.
+    ThrottleWaits,
 }
 
 impl Counter {
     /// Every counter, in stable export order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 22] = [
         Counter::Fences,
         Counter::FencesStartOp,
         Counter::FencesEndOp,
@@ -289,6 +306,8 @@ impl Counter {
         Counter::SnapshotReuses,
         Counter::TidRecycles,
         Counter::ScanNanos,
+        Counter::HelpScans,
+        Counter::ThrottleWaits,
     ];
 
     /// Stable snake-case name (Prometheus/JSON key).
@@ -314,6 +333,8 @@ impl Counter {
             Counter::SnapshotReuses => "snapshot_reuses",
             Counter::TidRecycles => "tid_recycles",
             Counter::ScanNanos => "scan_nanos",
+            Counter::HelpScans => "help_scans",
+            Counter::ThrottleWaits => "throttle_waits",
         }
     }
 }
@@ -340,6 +361,8 @@ fn counter_of(stats: &OpStats, c: Counter) -> u64 {
         Counter::SnapshotReuses => stats.snapshot_reuses,
         Counter::TidRecycles => stats.tid_recycles,
         Counter::ScanNanos => stats.scan_nanos,
+        Counter::HelpScans => stats.help_scans,
+        Counter::ThrottleWaits => stats.throttle_waits,
     }
 }
 
@@ -495,6 +518,19 @@ impl HandleTelemetry {
     #[inline]
     pub fn record_epoch_advance(&mut self, epoch: u64) {
         self.trace(EventKind::EpochAdvance, epoch);
+    }
+
+    /// Counts a backpressure help-scan this handle ran on behalf of
+    /// laggards (the scan itself is counted separately by `record_empty`).
+    #[inline]
+    pub fn record_help_scan(&mut self) {
+        self.stats.help_scans = self.stats.help_scans.saturating_add(1);
+    }
+
+    /// Counts one bounded throttle wait taken on the allocation path.
+    #[inline]
+    pub fn record_throttle_wait(&mut self) {
+        self.stats.throttle_waits = self.stats.throttle_waits.saturating_add(1);
     }
 
     /// Pushes an event when tracing is armed for this handle; a single
@@ -785,6 +821,16 @@ impl TelemetrySnapshot {
         self.stats.scan_nanos
     }
 
+    /// Backpressure help-scans run on behalf of laggards.
+    pub fn help_scans(&self) -> u64 {
+        self.stats.help_scans
+    }
+
+    /// Bounded backpressure throttle waits on the allocation path.
+    pub fn throttle_waits(&self) -> u64 {
+        self.stats.throttle_waits
+    }
+
     /// Scan nanoseconds per reclaimed node (amortized reclamation cost).
     pub fn scan_ns_per_free(&self) -> f64 {
         self.stats.scan_ns_per_free()
@@ -836,7 +882,7 @@ pub struct WasteSample {
     pub t_micros: u64,
     /// Retired-but-unreclaimed nodes (scheme-wide, incl. orphans).
     pub pending_nodes: u64,
-    /// Retired-but-unreclaimed bytes (process-wide node-byte gauge).
+    /// Retired-but-unreclaimed bytes (scheme-wide, incl. orphans).
     pub pending_bytes: u64,
 }
 
@@ -912,11 +958,13 @@ impl WasteSeries {
 }
 
 /// Scheme-wide telemetry: the pending-waste gauge every scheme already
-/// kept, plus the waste time-series. Returned by
+/// kept (now tracking bytes alongside nodes), the waste time-series, and
+/// the backpressure ladder state. Returned by
 /// [`Smr::telemetry`](crate::Smr::telemetry).
 pub struct SchemeTelemetry {
     pub(crate) pending: PendingGauge,
     waste: WasteSeries,
+    backpressure: crate::backpressure::BackpressureState,
 }
 
 impl Default for SchemeTelemetry {
@@ -928,7 +976,11 @@ impl Default for SchemeTelemetry {
 impl SchemeTelemetry {
     /// Fresh state (constructed by each scheme's `new`).
     pub fn new() -> SchemeTelemetry {
-        SchemeTelemetry { pending: PendingGauge::default(), waste: WasteSeries::new() }
+        SchemeTelemetry {
+            pending: PendingGauge::default(),
+            waste: WasteSeries::new(),
+            backpressure: crate::backpressure::BackpressureState::new(),
+        }
     }
 
     /// Retired-but-unreclaimed nodes right now (the paper's wasted
@@ -937,9 +989,22 @@ impl SchemeTelemetry {
         self.pending.get()
     }
 
+    /// Retired-but-unreclaimed payload bytes right now, for this scheme
+    /// instance only (orphans included). This is the gauge backpressure
+    /// decisions read.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.bytes()
+    }
+
     /// The waste time-series.
     pub fn waste(&self) -> &WasteSeries {
         &self.waste
+    }
+
+    /// The backpressure ladder state: current rung plus engagement /
+    /// release counters (see [`crate::backpressure`]).
+    pub fn backpressure(&self) -> &crate::backpressure::BackpressureState {
+        &self.backpressure
     }
 }
 
@@ -1017,6 +1082,8 @@ mod tests {
         t.record_snapshot_reuse();
         t.record_tid_recycle();
         t.record_scan_nanos(500);
+        t.record_help_scan();
+        t.record_throttle_wait();
         t.record_fence(FenceSite::EndOp);
         t.record_fence(FenceSite::Announce);
         t.record_fence(FenceSite::Announce);
@@ -1041,6 +1108,8 @@ mod tests {
         assert_eq!(t.counter(Counter::SnapshotReuses), 1);
         assert_eq!(t.counter(Counter::TidRecycles), 1);
         assert_eq!(t.counter(Counter::ScanNanos), 500);
+        assert_eq!(t.counter(Counter::HelpScans), 1);
+        assert_eq!(t.counter(Counter::ThrottleWaits), 1);
 
         let mut snap = t.snapshot();
         snap.merge(&t.snapshot());
@@ -1093,7 +1162,7 @@ mod tests {
         for c in Counter::ALL {
             assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());
         }
-        assert_eq!(seen.len(), 20);
+        assert_eq!(seen.len(), 22);
         // The per-site counters always sum to the aggregate in recorded
         // state (enforced by `record_fence` taking a site), and their names
         // share the `fences_` prefix for exporter grouping.

@@ -15,6 +15,8 @@ use std::path::{Path, PathBuf};
 
 use mp_util::hist::{bucket_bound, Histogram};
 
+use crate::backpressure::BackpressureState;
+
 use super::{Counter, TelemetrySnapshot, WasteSample};
 
 /// Output directory for exporter artifacts: `MP_BENCH_DIR` if set (the
@@ -58,12 +60,14 @@ fn push_histogram(
 
 /// Renders the snapshot in Prometheus text exposition format: one
 /// `mp_<counter>_total` counter per [`Counter`], both latency histograms
-/// with cumulative power-of-two buckets, and the waste gauges (latest
-/// sample of the series).
+/// with cumulative power-of-two buckets, the waste gauges (latest sample
+/// of the series), and — when `bp` is given — the scheme's backpressure
+/// ladder state (current level plus engagement/release totals).
 pub fn prometheus_text(
     scheme: &str,
     snap: &TelemetrySnapshot,
     waste: &[WasteSample],
+    bp: Option<&BackpressureState>,
 ) -> String {
     let p = metric_prefix();
     let mut out = String::with_capacity(4096);
@@ -102,6 +106,25 @@ pub fn prometheus_text(
             let _ = writeln!(out, "{name}{{scheme=\"{scheme}\"}} {v}");
         }
     }
+    if let Some(bp) = bp {
+        let name = format!("{p}_backpressure_level");
+        let _ = writeln!(
+            out,
+            "# HELP {name} Backpressure ladder level (0 normal, 1 help-scan, 2 throttle)."
+        );
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name}{{scheme=\"{scheme}\"}} {}", bp.level() as u8);
+        for (metric, help, v) in [
+            ("help_engagements", "help-scan rung", bp.help_engagements()),
+            ("throttle_engagements", "throttle rung", bp.throttle_engagements()),
+            ("releases", "drops back to normal", bp.releases()),
+        ] {
+            let name = format!("{p}_backpressure_{metric}_total");
+            let _ = writeln!(out, "# HELP {name} Backpressure ladder transitions: {help}.");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}{{scheme=\"{scheme}\"}} {v}");
+        }
+    }
     out
 }
 
@@ -123,8 +146,14 @@ fn json_hist(out: &mut String, h: &Histogram) {
 
 /// Renders the snapshot as a self-contained JSON document (schema
 /// `mp-telemetry/v1`): counters, derived ratios, both histograms (sparse
-/// buckets), the waste time-series, and the event-drop count.
-pub fn json(scheme: &str, snap: &TelemetrySnapshot, waste: &[WasteSample]) -> String {
+/// buckets), the waste time-series, the event-drop count, and — when `bp`
+/// is given — a `backpressure` object with the ladder state.
+pub fn json(
+    scheme: &str,
+    snap: &TelemetrySnapshot,
+    waste: &[WasteSample],
+    bp: Option<&BackpressureState>,
+) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n  \"schema\": \"mp-telemetry/v1\",\n");
     let _ = writeln!(out, "  \"scheme\": \"{scheme}\",");
@@ -149,7 +178,21 @@ pub fn json(scheme: &str, snap: &TelemetrySnapshot, waste: &[WasteSample]) -> St
     json_hist(&mut out, snap.op_latency());
     out.push_str(",\n  \"scan_latency\": ");
     json_hist(&mut out, snap.scan_latency());
-    let _ = write!(out, ",\n  \"events_dropped\": {},\n  \"waste\": [", snap.events_dropped());
+    let _ = write!(out, ",\n  \"events_dropped\": {}", snap.events_dropped());
+    if let Some(bp) = bp {
+        let level = bp.level();
+        let _ = write!(
+            out,
+            ",\n  \"backpressure\": {{\"level\": {}, \"level_name\": \"{}\", \
+             \"help_engagements\": {}, \"throttle_engagements\": {}, \"releases\": {}}}",
+            level as u8,
+            level.name(),
+            bp.help_engagements(),
+            bp.throttle_engagements(),
+            bp.releases()
+        );
+    }
+    out.push_str(",\n  \"waste\": [");
     for (i, s) in waste.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
@@ -171,14 +214,15 @@ pub fn write_artifacts(
     scheme: &str,
     snap: &TelemetrySnapshot,
     waste: &[WasteSample],
+    bp: Option<&BackpressureState>,
 ) -> std::io::Result<(PathBuf, PathBuf)> {
     let dir = out_dir();
     std::fs::create_dir_all(&dir)?;
     let stem = scheme.to_lowercase().replace([' ', '/'], "_");
     let prom_path = dir.join(format!("telemetry_{stem}.prom"));
     let json_path = dir.join(format!("telemetry_{stem}.json"));
-    std::fs::write(&prom_path, prometheus_text(scheme, snap, waste))?;
-    std::fs::write(&json_path, json(scheme, snap, waste))?;
+    std::fs::write(&prom_path, prometheus_text(scheme, snap, waste, bp))?;
+    std::fs::write(&json_path, json(scheme, snap, waste, bp))?;
     Ok((prom_path, json_path))
 }
 
@@ -441,7 +485,7 @@ mod tests {
 
     #[test]
     fn prometheus_output_is_valid_and_complete() {
-        let text = prometheus_text("MP", &sample_snapshot(), &sample_waste());
+        let text = prometheus_text("MP", &sample_snapshot(), &sample_waste(), None);
         let samples = validate_prometheus(&text).expect("must validate");
         // 13 counters + 2 histograms (≥3 lines each) + drops + 2 gauges.
         assert!(samples >= 13 + 6 + 1 + 2, "got {samples} samples:\n{text}");
@@ -451,11 +495,23 @@ mod tests {
         assert!(text.contains("mp_op_latency_nanos_count{scheme=\"MP\"} 2"));
         assert!(text.contains("le=\"+Inf\"} 2"));
         assert!(text.contains("mp_wasted_nodes{scheme=\"MP\"} 2"), "latest waste sample");
+        assert!(!text.contains("backpressure"), "no ladder metrics without state");
+    }
+
+    #[test]
+    fn prometheus_exports_the_backpressure_ladder() {
+        let bp = BackpressureState::new();
+        let text = prometheus_text("MP", &sample_snapshot(), &sample_waste(), Some(&bp));
+        validate_prometheus(&text).expect("must validate");
+        assert!(text.contains("mp_backpressure_level{scheme=\"MP\"} 0"));
+        assert!(text.contains("mp_backpressure_help_engagements_total{scheme=\"MP\"} 0"));
+        assert!(text.contains("mp_backpressure_throttle_engagements_total{scheme=\"MP\"} 0"));
+        assert!(text.contains("mp_backpressure_releases_total{scheme=\"MP\"} 0"));
     }
 
     #[test]
     fn json_output_is_valid_and_complete() {
-        let doc = json("MP", &sample_snapshot(), &sample_waste());
+        let doc = json("MP", &sample_snapshot(), &sample_waste(), None);
         validate_json(&doc).expect("must be well-formed JSON");
         assert!(doc.contains("\"schema\": \"mp-telemetry/v1\""));
         assert!(doc.contains("\"scheme\": \"MP\""));
@@ -466,11 +522,20 @@ mod tests {
     }
 
     #[test]
+    fn json_exports_the_backpressure_ladder() {
+        let bp = BackpressureState::new();
+        let doc = json("MP", &sample_snapshot(), &sample_waste(), Some(&bp));
+        validate_json(&doc).expect("must be well-formed JSON");
+        assert!(doc.contains("\"backpressure\": {\"level\": 0, \"level_name\": \"normal\""));
+        assert!(doc.contains("\"help_engagements\": 0"));
+    }
+
+    #[test]
     fn empty_snapshot_still_exports_cleanly() {
         let snap = TelemetrySnapshot::default();
-        let text = prometheus_text("HE", &snap, &[]);
+        let text = prometheus_text("HE", &snap, &[], None);
         assert!(validate_prometheus(&text).unwrap() >= 13);
-        validate_json(&json("HE", &snap, &[])).unwrap();
+        validate_json(&json("HE", &snap, &[], None)).unwrap();
     }
 
     #[test]
@@ -494,7 +559,7 @@ mod tests {
         // and restore carefully around the call.
         let prev = std::env::var_os("MP_BENCH_DIR");
         std::env::set_var("MP_BENCH_DIR", &dir);
-        let result = write_artifacts("MP", &sample_snapshot(), &sample_waste());
+        let result = write_artifacts("MP", &sample_snapshot(), &sample_waste(), None);
         match prev {
             Some(v) => std::env::set_var("MP_BENCH_DIR", v),
             None => std::env::remove_var("MP_BENCH_DIR"),

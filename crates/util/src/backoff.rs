@@ -45,6 +45,20 @@ impl Backoff {
     pub fn is_completed(&self) -> bool {
         self.step > SPIN_LIMIT
     }
+
+    /// One backoff step that is polite past saturation: spins while the
+    /// ramp is still short, yields the scheduler slice once
+    /// [`is_completed`](Backoff::is_completed) — the building block for
+    /// bounded throttle waits (SMR backpressure) and other loops that must
+    /// wait on another thread's progress without ever parking.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.is_completed() {
+            std::thread::yield_now();
+        } else {
+            self.spin();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -64,5 +78,20 @@ mod tests {
         assert!(b.is_completed());
         b.reset();
         assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn snooze_spins_then_yields() {
+        let mut b = Backoff::new();
+        // Below saturation snooze behaves like spin (escalates the step)...
+        b.snooze();
+        assert!(!b.is_completed());
+        for _ in 0..=SPIN_LIMIT {
+            b.snooze();
+        }
+        // ...and past it it only yields, never un-saturating.
+        assert!(b.is_completed());
+        b.snooze();
+        assert!(b.is_completed());
     }
 }

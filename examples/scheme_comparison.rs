@@ -2,10 +2,13 @@
 //!
 //! Runs the paper's read-dominated workload on the NM tree under every
 //! scheme and prints throughput, fences per traversed node, and wasted
-//! memory — a miniature of the paper's evaluation (§6).
+//! memory — a miniature of the paper's evaluation (§6). The schemes are
+//! selected at runtime through the [`AnySmr`] facade, so the whole table
+//! is one monomorphization; set `MP_SCHEME=<name>` to run a single row:
 //!
 //! ```sh
 //! cargo run --release --example scheme_comparison
+//! MP_SCHEME=ebr cargo run --release --example scheme_comparison
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -13,24 +16,27 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use margin_pointers::ds::{skiplist, ConcurrentSet, NmTree};
-use margin_pointers::smr::schemes::{Ebr, He, Hp, Ibr, Leaky, Mp};
-use margin_pointers::smr::{Smr, SmrBuilder, Telemetry, TelemetrySnapshot};
+use margin_pointers::smr::{
+    AnySmr, SchemeKind, Smr, SmrBuilder, Telemetry, TelemetrySnapshot,
+};
 
 const THREADS: usize = 4;
 const PREFILL: u64 = 20_000;
 const RUN: Duration = Duration::from_millis(400);
 
-fn bench<S: Smr>() -> (f64, usize, TelemetrySnapshot) {
-    let smr = SmrBuilder::new()
+fn bench(kind: SchemeKind) -> (f64, usize, TelemetrySnapshot) {
+    let smr: Arc<AnySmr> = SmrBuilder::new()
         .max_threads(THREADS + 1)
         .slots_per_thread(skiplist::SLOTS_NEEDED)
         .margin(1 << 27) // margin sized for PREFILL's index density
-        .build::<S>();
-    let set: Arc<NmTree<S>> = Arc::new(NmTree::new(&smr));
+        .scheme(kind)
+        .try_build_any()
+        .expect("valid config");
+    let set: Arc<NmTree<AnySmr>> = Arc::new(NmTree::new(&smr));
     {
         // Uniform random prefill (§6): the NM tree is unbalanced, so random
         // insertion order is what keeps depth logarithmic.
-        let mut h = smr.register();
+        let mut h = smr.try_register().expect("registry slot");
         let mut x = 0x243f_6a88_85a3_08d3u64;
         let mut added = 0;
         while added < PREFILL {
@@ -51,7 +57,7 @@ fn bench<S: Smr>() -> (f64, usize, TelemetrySnapshot) {
         for t in 0..THREADS as u64 {
             let (smr, set, stop) = (smr.clone(), set.clone(), stop.clone());
             joins.push(s.spawn(move || {
-                let mut h = smr.register();
+                let mut h = smr.try_register().expect("registry slot");
                 let mut x = t + 1;
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -92,6 +98,12 @@ fn bench<S: Smr>() -> (f64, usize, TelemetrySnapshot) {
 }
 
 fn main() {
+    // DTA is excluded from the sweep: without its list-specific freezer it
+    // degenerates to EBR and the row would mislead.
+    let kinds: Vec<SchemeKind> = match SchemeKind::from_env() {
+        Some(k) => vec![k],
+        None => SchemeKind::ALL.into_iter().filter(|k| *k != SchemeKind::Dta).collect(),
+    };
     println!(
         "NM tree, read-dominated, {THREADS} threads, S={PREFILL} \
          (paper §6 in miniature)\n"
@@ -100,14 +112,9 @@ fn main() {
         "{:>6}  {:>8}  {:>12}  {:>12}  {:>9}  {:>10}  {:>11}",
         "scheme", "Mops/s", "fences/node", "peak wasted", "pool-hit", "allocs/op", "scan-allocs"
     );
-    for (name, (mops, peak, snap)) in [
-        ("MP", bench::<Mp>()),
-        ("HP", bench::<Hp>()),
-        ("EBR", bench::<Ebr>()),
-        ("HE", bench::<He>()),
-        ("IBR", bench::<Ibr>()),
-        ("Leaky", bench::<Leaky>()),
-    ] {
+    for kind in kinds {
+        let (mops, peak, snap) = bench(kind);
+        let name = kind.name();
         let fpn = snap.fences_per_node();
         println!(
             "{name:>6}  {mops:>8.3}  {fpn:>12.4}  {peak:>12}  {:>9.3}  {:>10.4}  {:>11}",

@@ -143,7 +143,9 @@ fn main() {
         println!("  peak: {} nodes / {} bytes pending", peak.pending_nodes, peak.pending_bytes);
     }
 
-    let (prom, json) = export::write_artifacts("MP", &merged, &waste).expect("write artifacts");
+    let bp = smr.telemetry().backpressure();
+    let (prom, json) =
+        export::write_artifacts("MP", &merged, &waste, Some(bp)).expect("write artifacts");
     let samples = export::validate_artifact_files(&prom, &json).expect("artifacts must validate");
     println!("== exporters ==");
     println!("  {} ({samples} Prometheus samples)", prom.display());

@@ -19,7 +19,8 @@
 # Knobs: MP_BENCH_THREADS, MP_BENCH_DURATION_MS, MP_BENCH_PREFILL,
 # MP_BENCH_RUNS, MP_BENCH_DIR (output directory override); soak runs use
 # MP_SOAK_DURATION_MS, MP_SOAK_OVERSUB, MP_SOAK_PREFILL, MP_SOAK_CHURN,
-# MP_SOAK_DIST.
+# MP_SOAK_DIST, MP_SOAK_STALLED (stalled readers), MP_SOAK_BP_BYTES
+# (backpressure hard cap), MP_SOAK_RSS_CAP_KB (survival-gate RSS ceiling).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,22 +34,29 @@ if [[ "${1:-}" == "--soak" || "${1:-}" == "--soak-smoke" ]]; then
     export MP_SOAK_OVERSUB="${MP_SOAK_OVERSUB:-4}"
     export MP_SOAK_PREFILL="${MP_SOAK_PREFILL:-256}"
     export MP_SOAK_CHURN="${MP_SOAK_CHURN:-1000}"
+    # Smoke runs double as the stalled-reader survival gate: one pinned
+    # reader plus a small backpressure cap, so the ladder provably engages
+    # and the RSS/drain gates below have teeth.
+    export MP_SOAK_STALLED="${MP_SOAK_STALLED:-1}"
+    export MP_SOAK_BP_BYTES="${MP_SOAK_BP_BYTES:-32768}"
   fi
   SOAK_OUT="${MP_BENCH_DIR:-.}/BENCH_soak.json"
   mkdir -p "$(dirname "$SOAK_OUT")"
   echo "==> cargo bench --offline -p mp-bench --bench soak"
   cargo bench --offline -p mp-bench --bench soak
   [[ -s "$SOAK_OUT" ]] || { echo "!! $SOAK_OUT was not produced" >&2; exit 1; }
-  grep -q '"schema": "mp-bench/soak/v1"' "$SOAK_OUT" || {
+  grep -q '"schema": "mp-bench/soak/v2"' "$SOAK_OUT" || {
     echo "!! $SOAK_OUT missing schema marker" >&2
     exit 1
   }
   if command -v python3 >/dev/null 2>&1; then
     python3 - "$SOAK_OUT" <<'PY'
-import json, sys
+import json, os, sys
 doc = json.load(open(sys.argv[1]))
 rows = doc["results"]
 assert rows, "no soak rows"
+stalled = doc["config"].get("stalled_readers", 0)
+rss_cap_kb = int(os.environ.get("MP_SOAK_RSS_CAP_KB", "1572864"))  # 1.5 GiB
 bad = []
 for r in rows:
     who = "%s @%d threads" % (r["scheme"], r["threads"])
@@ -74,11 +82,30 @@ for r in rows:
     if r["scheme"] in ("MP", "HP") and r["peak_pending_nodes"] > 50000:
         bad.append("%s: peak pending %d blows the robust-scheme waste cap" %
                    (who, r["peak_pending_nodes"]))
+    # Stalled-reader survival gates: with a pinned reader and a byte cap
+    # configured, every scheme must (a) demonstrably engage the
+    # backpressure ladder, (b) stay under a generous peak-RSS ceiling —
+    # the "throttle, never OOM" contract — and (c) for the bounded-waste
+    # schemes, drain its end-of-run backlog once the stall ends
+    # (epoch/era schemes legitimately strand pinned retirees).
+    # HP is exempt from the engagement check: its per-slot hazard bound
+    # keeps the backlog at a few hundred nodes under a bare-pin stall, so
+    # its ladder legitimately never has anything to push back on.
+    if stalled > 0:
+        if r["scheme"] != "HP" and \
+           r["bp_help_engagements"] + r["bp_throttle_engagements"] < 1:
+            bad.append("%s: stalled reader present but backpressure never engaged" % who)
+        if r["peak_rss_kb"] > rss_cap_kb:
+            bad.append("%s: peak RSS %d KiB exceeds the %d KiB survival ceiling" %
+                       (who, r["peak_rss_kb"], rss_cap_kb))
+        if r["scheme"] in ("MP", "HP") and r["end_pending_nodes"] > 10000:
+            bad.append("%s: end pending %d did not drain after the stall" %
+                       (who, r["end_pending_nodes"]))
 for b in bad:
     print("!! " + b, file=sys.stderr)
 sys.exit(1 if bad else 0)
 PY
-    echo "==> OK: soak gates (quantiles, drain-on-drop frees, waste caps)"
+    echo "==> OK: soak gates (quantiles, drain-on-drop frees, waste caps, stalled-reader survival)"
   else
     echo "(python3 unavailable: skipping the soak gates)"
   fi

@@ -34,7 +34,7 @@ use mp_util::{Checker, RngExt, SmallRng};
 use margin_pointers::ds::{ConcurrentSet, DtaList, HashMap, LinkedList, NmTree, SkipList};
 use margin_pointers::smr::oracle;
 use margin_pointers::smr::schemes::{Dta, Ebr, He, Hp, Ibr, Leaky, Mp};
-use margin_pointers::smr::{Config, OpStats, Smr, SmrHandle};
+use margin_pointers::smr::{Config, OpStats, Smr, SmrError, SmrHandle, Telemetry};
 
 /// Keys are drawn from `[0, KEY_SPACE)`; the sequential probe uses a key
 /// above it.
@@ -378,6 +378,268 @@ mod mp_stalled_wide_margin {
             peak_pending <= 2_000 + 5 * WATERMARK,
             "watermark batching pinned {peak_pending} nodes; scans not firing under stall"
         );
+    }
+}
+
+/// Robustness scenario matrix (the PR 9 tentpole's test side): four
+/// thread-misbehavior scenarios × the four schemes the paper's comparison
+/// leans on, at a higher thread count than the base suite and with the
+/// backpressure ladder armed via a deliberately tiny byte cap, so every
+/// run doubles as a backpressure-under-fault witness. Each scenario must
+/// (a) complete — no deadlock, no OOM, workers make progress, (b) keep the
+/// structure usable afterwards (sequential probe routes survivors through
+/// the oracle's canary check), (c) engage the ladder at least once, and
+/// (d) for the bounded-waste schemes (MP, HP, HE) keep the peak
+/// retired-bytes gauge within a small multiple of the cap. EBR is exempt
+/// from (d) by design — a stalled or leaked pin defeats epoch reclamation
+/// (§1), which is exactly the paper's motivation; survival and engagement
+/// are still asserted.
+mod scenario_matrix {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    const WORKERS: usize = 6;
+    const OPS_PER_WORKER: u64 = 1_500;
+    /// Tiny hard cap so the ladder provably engages within the plan
+    /// (help watermark = cap/2 ≈ a few dozen list nodes).
+    const CAP_BYTES: usize = 4 << 10;
+    /// Robustness multiple for the capped schemes: the gauge may overshoot
+    /// the cap by in-flight batches and scan-cadence backlog, but a
+    /// bounded-waste scheme under backpressure must stay within this.
+    const CAP_SLACK: usize = 16;
+
+    /// Which way the extra thread misbehaves.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Scenario {
+        /// Pins an operation and stops taking steps until the workers
+        /// finish (§1's stalled reader, under backpressure this time).
+        StalledPin,
+        /// Leaks an *open* operation and its handle via `mem::forget`,
+        /// then panics: the strongest stall — no drop path ever runs, the
+        /// pin and the registry slot are gone for good.
+        PanicLeak,
+        /// Churns `try_register` to exhaustion: the matrix's recoverable-
+        /// error leg — exhaustion must surface as `RegistryExhausted` (not
+        /// a panic), and a retry after dropping must reuse a tid.
+        SlotExhaustion,
+        /// A thread that retired nodes disappears without dropping its
+        /// handle (kill -9 in miniature): its backlog is stranded and the
+        /// gauge stays permanently elevated; everyone else must cope.
+        KilledThread,
+    }
+
+    /// Aggressive cadences plus the armed ladder. `max_threads` leaves
+    /// exactly a couple of spare slots so `SlotExhaustion` reaches the
+    /// limit quickly while the other scenarios keep their probe slot.
+    fn matrix_cfg() -> Config {
+        Config::default()
+            .with_max_threads(WORKERS + 4)
+            .with_slots_per_thread(margin_pointers::ds::skiplist::SLOTS_NEEDED)
+            .with_empty_freq(64)
+            .with_epoch_freq(16)
+            .with_backpressure_bytes(CAP_BYTES)
+    }
+
+    fn run_scenario<S: Smr>(scenario: Scenario, waste_capped: bool) {
+        oracle::set_replay_seed(0x5ce9_a210);
+        let smr = S::new(matrix_cfg());
+        let ds = Arc::new(LinkedList::<S>::new(&smr));
+        {
+            let mut h = smr.register();
+            for k in 0..KEY_SPACE {
+                ds.insert(&mut h, k);
+            }
+        }
+
+        let done = Arc::new(AtomicBool::new(false));
+        let workers_done = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(WORKERS + 2)); // workers + misbehaver + poller
+        let mut peak_bytes = 0usize;
+        let mut total_ops = 0u64;
+
+        std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for t in 0..WORKERS {
+                let smr = smr.clone();
+                let ds = ds.clone();
+                let barrier = barrier.clone();
+                let workers_done = workers_done.clone();
+                joins.push(s.spawn(move || {
+                    let mut h = smr.register();
+                    barrier.wait();
+                    let mut k = (t as u64).wrapping_mul(17) + 1;
+                    for _ in 0..OPS_PER_WORKER {
+                        k = (k.wrapping_mul(31) + 7) % KEY_SPACE;
+                        ds.insert(&mut h, k);
+                        ds.remove(&mut h, k);
+                    }
+                    workers_done.fetch_add(1, Ordering::AcqRel);
+                    h.stats().ops
+                }));
+            }
+
+            {
+                let smr = smr.clone();
+                let ds = ds.clone();
+                let done = done.clone();
+                let barrier = barrier.clone();
+                if scenario == Scenario::PanicLeak {
+                    silence_injected_panics();
+                }
+                s.spawn(move || {
+                    barrier.wait();
+                    match scenario {
+                        Scenario::StalledPin => {
+                            let mut h = smr.register();
+                            let _op = h.pin();
+                            while !done.load(Ordering::Acquire) {
+                                std::thread::yield_now();
+                            }
+                        }
+                        Scenario::PanicLeak => {
+                            let mut h = smr.register();
+                            // Real retires first, so the leaked pin has
+                            // live protections and backlog around it.
+                            for k in 0..8u64 {
+                                ds.insert(&mut h, k);
+                                ds.remove(&mut h, k);
+                            }
+                            let unwound =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                    let mut h = h;
+                                    let op = h.pin();
+                                    // FORBID-OK: the scenario under test *is* the leak —
+                                    // an op guard and handle that never run their drops.
+                                    std::mem::forget(op);
+                                    // FORBID-OK: see above; the slot is gone for good.
+                                    std::mem::forget(h);
+                                    panic!("{INJECTED_PANIC}");
+                                }));
+                            assert!(unwound.is_err(), "injected panic must unwind");
+                        }
+                        Scenario::SlotExhaustion => {
+                            let h = smr.register(); // holds one slot throughout
+                            let mut recycled_seen = false;
+                            while !done.load(Ordering::Acquire) {
+                                // Grab every free slot...
+                                let mut extras = Vec::new();
+                                loop {
+                                    match smr.try_register() {
+                                        Ok(extra) => extras.push(extra),
+                                        Err(SmrError::RegistryExhausted { max_threads }) => {
+                                            assert_eq!(max_threads, WORKERS + 4);
+                                            break;
+                                        }
+                                        Err(e) => panic!("unexpected register error: {e}"),
+                                    }
+                                }
+                                // ...then release them and reacquire one:
+                                // recovery must work and reuse a tid.
+                                drop(extras);
+                                let mut again = smr
+                                    .try_register()
+                                    .expect("slot must be reacquirable after drops");
+                                recycled_seen |= again.snapshot().tid_recycles() >= 1;
+                                // A real op on the recycled lease.
+                                ds.contains(&mut again, 1);
+                            }
+                            drop(h);
+                            assert!(recycled_seen, "no reacquire ever observed a recycled tid");
+                        }
+                        Scenario::KilledThread => {
+                            let mut h = smr.register();
+                            // Build up a retired backlog below the scan
+                            // cadence, so it is stranded un-scanned...
+                            for k in 0..16u64 {
+                                ds.insert(&mut h, 1_000 + k);
+                                ds.remove(&mut h, 1_000 + k);
+                            }
+                            // FORBID-OK: modelling a killed thread — the handle's
+                            // drop (drain + orphan park) must never run.
+                            std::mem::forget(h);
+                        }
+                    }
+                });
+            }
+
+            barrier.wait();
+            while workers_done.load(Ordering::Acquire) < WORKERS {
+                peak_bytes = peak_bytes.max(smr.telemetry().pending_bytes());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            peak_bytes = peak_bytes.max(smr.telemetry().pending_bytes());
+            done.store(true, Ordering::Release);
+            for j in joins {
+                total_ops += j.join().expect("worker panicked");
+            }
+        });
+
+        // (a) Progress under the fault *and* the armed ladder.
+        assert!(
+            total_ops >= WORKERS as u64 * OPS_PER_WORKER,
+            "workers did not complete their plans: {total_ops}"
+        );
+        // (c) The ladder demonstrably engaged.
+        let bp = smr.telemetry().backpressure();
+        assert!(
+            bp.engagements() >= 1,
+            "{}: backpressure never engaged despite a {CAP_BYTES}-byte cap",
+            S::name()
+        );
+        // (d) Bounded-waste schemes keep the gauge near the cap even while
+        // a thread misbehaves; EBR is exempt (§1).
+        if waste_capped {
+            assert!(
+                peak_bytes <= CAP_BYTES * CAP_SLACK,
+                "{}: peak retired bytes {peak_bytes} exceeded {CAP_SLACK}x the \
+                 {CAP_BYTES}-byte cap while backpressure was engaged",
+                S::name()
+            );
+        }
+        // (b) The structure still works; the scan routes survivors through
+        // the oracle's canary check.
+        let mut h = smr.register();
+        let probe = KEY_SPACE + 7;
+        assert!(ds.insert(&mut h, probe));
+        assert!(ds.remove(&mut h, probe));
+        for k in 0..KEY_SPACE {
+            ds.contains(&mut h, k);
+        }
+    }
+
+    macro_rules! scenario_suite {
+        ($($module:ident => $scheme:ident capped $capped:literal;)*) => {$(
+            mod $module {
+                use super::*;
+
+                #[test]
+                fn survives_a_stalled_pin_under_backpressure() {
+                    run_scenario::<$scheme>(Scenario::StalledPin, $capped);
+                }
+
+                #[test]
+                fn survives_a_leaked_pin_and_handle() {
+                    run_scenario::<$scheme>(Scenario::PanicLeak, $capped);
+                }
+
+                #[test]
+                fn recovers_from_registry_exhaustion_with_tid_reuse() {
+                    run_scenario::<$scheme>(Scenario::SlotExhaustion, $capped);
+                }
+
+                #[test]
+                fn survives_a_killed_thread_with_stranded_backlog() {
+                    run_scenario::<$scheme>(Scenario::KilledThread, $capped);
+                }
+            }
+        )*};
+    }
+
+    scenario_suite! {
+        mp  => Mp  capped true;
+        hp  => Hp  capped true;
+        he  => He  capped true;
+        ebr => Ebr capped false;
     }
 }
 

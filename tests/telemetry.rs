@@ -87,12 +87,14 @@ fn armed_run_traces_exports_and_disarmed_run_has_no_ring() {
     assert!(!waste.is_empty(), "sample_waste records into the series");
 
     // Exporters round-trip through their own validators on real data.
-    let prom = export::prometheus_text("MP", &merged, &waste);
+    let bp = smr.telemetry().backpressure();
+    let prom = export::prometheus_text("MP", &merged, &waste, Some(bp));
     let n = export::validate_prometheus(&prom).expect("valid Prometheus exposition");
     assert!(n > 10, "expected a full metric family set, got {n} samples");
     assert!(prom.contains("mp_ops_total"), "counter families present");
     assert!(prom.contains("mp_scan_latency_nanos_bucket"), "histogram families present");
-    export::validate_json(&export::json("MP", &merged, &waste)).expect("valid JSON");
+    assert!(prom.contains("mp_backpressure_level"), "ladder gauge present");
+    export::validate_json(&export::json("MP", &merged, &waste, Some(bp))).expect("valid JSON");
 
     // --- Phase 2: disarmed. Counters still tick; no ring, no timing.
     telemetry::set_armed(false);
