@@ -202,8 +202,8 @@ impl ListFreezer {
                     while cc.as_raw() != after_zone.as_raw() && !cc.is_null() {
                         // SAFETY: [INV-03] copies were never published.
                         let cc_node = unsafe { cc.deref() }.data();
-                        // ORDERING: owned — the copy chain was never
-                        // published, so no other thread can observe it.
+                        // ORDERING: reason = owned-store — the copy chain was
+                        // never published, so no other thread can observe it.
                         let nx = cc_node.next.load(Ordering::Relaxed);
                         // SAFETY: [INV-03] never published; freed once here.
                         unsafe { cc.drop_owned() };
@@ -457,8 +457,8 @@ impl Drop for DtaList {
         while !curr.is_null() {
             // SAFETY: [INV-03] exclusive access during drop; nodes freed once.
             let node = unsafe { curr.deref() }.data();
-            // ORDERING: exclusive teardown — `&mut self` rules out concurrent
-            // writers, so the Relaxed load cannot race.
+            // ORDERING: reason = exclusive — teardown under `&mut self` rules
+            // out concurrent writers, so the Relaxed load cannot race.
             let next = node.next.load(Ordering::Relaxed).unmarked();
             // SAFETY: [INV-03] exclusive access; each node freed exactly once.
             unsafe { curr.drop_owned() };

@@ -308,8 +308,8 @@ impl<S: Smr, V> Drop for LinkedList<S, V> {
         while !curr.is_null() {
             // SAFETY: [INV-03] exclusive access during drop; nodes freed once.
             let node = unsafe { curr.deref() }.data();
-            // ORDERING: exclusive teardown — `&mut self` rules out concurrent
-            // writers, so the Relaxed load cannot race.
+            // ORDERING: reason = exclusive — teardown under `&mut self` rules
+            // out concurrent writers, so the Relaxed load cannot race.
             let next = node.next.load(Ordering::Relaxed).unmarked();
             // SAFETY: [INV-03] exclusive access; each node freed exactly once.
             unsafe { curr.drop_owned() };

@@ -358,10 +358,10 @@ impl<S: Smr, V: Send + Sync + 'static> NmTree<S, V> {
             }
             // SAFETY: [INV-03] exclusive access; the tree is quiescent.
             let node = unsafe { n.deref() }.data();
-            // ORDERING: exclusive — `&mut self` enforces quiescence; these
-            // loads have no concurrent writer to race with.
+            // ORDERING: reason = quiescent — `&mut self` enforces quiescence;
+            // these loads have no concurrent writer to race with.
             let l = node.left.load(Ordering::Relaxed);
-            let r = node.right.load(Ordering::Relaxed); // ORDERING: exclusive, as above.
+            let r = node.right.load(Ordering::Relaxed); // ORDERING: reason = quiescent — as above.
             if l.is_null() && r.is_null() {
                 if node.key < INF0 {
                     out.push(node.key);
@@ -585,10 +585,10 @@ impl<S: Smr, V> Drop for NmTree<S, V> {
             // SAFETY: [INV-03] exclusive during drop; nodes freed once
             // (tree shape: every node has a single parent edge).
             let node = unsafe { n.deref() }.data();
-            // ORDERING: exclusive teardown — `&mut self` rules out
-            // concurrent writers, so the Relaxed loads cannot race.
+            // ORDERING: reason = exclusive — teardown under `&mut self` rules
+            // out concurrent writers, so the Relaxed loads cannot race.
             stack.push(node.left.load(Ordering::Relaxed).unmarked());
-            stack.push(node.right.load(Ordering::Relaxed).unmarked()); // ORDERING: exclusive, as above.
+            stack.push(node.right.load(Ordering::Relaxed).unmarked()); // ORDERING: reason = exclusive — as above.
             // SAFETY: [INV-03] exclusive access; each node freed exactly once.
             unsafe { n.drop_owned() };
         }

@@ -260,8 +260,8 @@ impl<S: Smr, V: Send + Sync + 'static> SkipList<S, V> {
             // Midpoint index of the search interval find just maintained.
             let payload = Node::new(key, value, height);
             for (l, succ) in r.succs.iter().enumerate().take(height) {
-                // ORDERING: owned — the node is unpublished; the level-0
-                // AcqRel CAS below is what publishes these stores.
+                // ORDERING: reason = owned-store — the node is unpublished;
+                // the level-0 AcqRel CAS below is what publishes these stores.
                 payload.next[l].store(*succ, Ordering::Relaxed);
             }
             let new = h.alloc(payload);
@@ -346,8 +346,8 @@ impl<S: Smr, V: Send + Sync + Default + 'static> ConcurrentSet<S> for SkipList<S
             h.alloc_with_index(Node::new(u64::MAX, V::default(), MAX_HEIGHT), u32::MAX - 1);
         let head_payload = Node::new(0, V::default(), MAX_HEIGHT);
         for l in 0..MAX_HEIGHT {
-            // ORDERING: owned — head is unpublished until the constructor
-            // returns; the structure is handed out via &self afterwards.
+            // ORDERING: reason = owned-store — head is unpublished until the
+            // constructor returns; it is handed out via &self afterwards.
             head_payload.next[l].store(tail, Ordering::Relaxed);
         }
         let head = h.alloc_with_index(head_payload, 0);
@@ -448,8 +448,8 @@ impl<S: Smr, V> Drop for SkipList<S, V> {
         while !curr.is_null() {
             // SAFETY: [INV-03] exclusive during drop; each node freed once.
             let node = unsafe { curr.deref() }.data();
-            // ORDERING: exclusive teardown — `&mut self` rules out concurrent
-            // writers, so the Relaxed load cannot race.
+            // ORDERING: reason = exclusive — teardown under `&mut self` rules
+            // out concurrent writers, so the Relaxed load cannot race.
             let next = node.next[0].load(Ordering::Relaxed).unmarked();
             // SAFETY: [INV-03] exclusive access; each node freed exactly once.
             unsafe { curr.drop_owned() };

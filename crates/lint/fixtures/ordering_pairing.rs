@@ -1,0 +1,40 @@
+//! Negative fixture — pass 2 (ordering): pairing-graph *resolution* errors.
+//! Linted by `tests/lint_fixtures.rs` under the display path
+//! `crates/smr/src/node.rs`, so the real `crates/lint/ordering.rules`
+//! classifications apply: `new`/`reclaim` are gated `retire_load` sites,
+//! `live_nodes` is `counter`, and `Drop::drop` is `exempt`. Every
+//! annotation head below parses — the errors come from resolving the
+//! `pairs` references against the file's site table.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Hdr(AtomicU64);
+
+impl Drop for Hdr {
+    /// Classified `exempt`: a real site, but outside the protocol argument.
+    fn drop(&mut self) {
+        let _ = self.0.load(Ordering::Acquire);
+    }
+}
+
+impl Hdr {
+    /// Counter-role site: un-gated, but also not a legal pairing target.
+    pub fn live_nodes(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn new(&self) {
+        // ORDERING: pairs = node.rs:drop — cites the exempt Drop site.
+        let _ = self.0.load(Ordering::Relaxed); //~ ERROR[ordering]: cites a site classified `exempt`
+        // ORDERING: pairs = node.rs:reclaim — that fn holds only Relaxed
+        // sites, so there is nothing to pair with.
+        let _ = self.0.load(Ordering::Relaxed); //~ ERROR[ordering]: role-incompatible pair
+    }
+
+    pub fn reclaim(&self) {
+        // ORDERING: pairs = node.rs:nonexistent_fn — no such site anywhere.
+        let _ = self.0.load(Ordering::Relaxed); //~ ERROR[ordering]: dangling `pairs = node.rs:nonexistent_fn`
+        // ORDERING: pairs = node.rs:live_nodes — cites the counter site.
+        let _ = self.0.load(Ordering::Relaxed); //~ ERROR[ordering]: cites a site classified `counter`
+    }
+}

@@ -1,5 +1,5 @@
 //! Positive fixture — pass 2 (ordering): gated sites with strong orderings
-//! or pairing-fence justifications. Linted under the display path
+//! or structured `// ORDERING:` annotations. Linted under the display path
 //! `crates/smr/src/schemes/hp.rs` (publish/retire_load rules apply); must
 //! be clean.
 
@@ -13,15 +13,17 @@ impl Slot {
         self.0.load(Ordering::SeqCst)
     }
 
-    /// Relaxed at a publish site, justified by naming the pairing fence.
+    /// Relaxed at a publish site, justified by citing the pairing site —
+    /// `read` above carries the SeqCst this pairing needs, so the
+    /// reference resolves within the file.
     pub fn start_op(&self) {
-        // ORDERING: Release publish; pairs with the Acquire snapshot load
-        // on the reclamation-scan side.
+        // ORDERING: pairs = schemes/hp.rs:read — the validated SeqCst
+        // re-read on the protect path orders this publish.
         self.0.store(1, Ordering::Relaxed);
     }
 
-    /// Trailing-comment form of the justification.
+    /// Trailing-comment form of a structural reason.
     pub fn empty(&self) -> bool {
-        self.0.load(Ordering::Relaxed) == 0 // ORDERING: exclusive — caller holds &mut.
+        self.0.load(Ordering::Relaxed) == 0 // ORDERING: reason = exclusive — caller holds &mut.
     }
 }

@@ -132,6 +132,39 @@ impl RuleSet {
             file.ends_with(&r.path_suffix) && glob_match(&r.fn_glob, fn_name)
         })
     }
+
+    /// Self-check: rules unreachable under first-match-wins. Rule `B` is
+    /// shadowed by an earlier rule `A` when every (file, fn) matching `B`
+    /// also matches `A`: `B`'s path suffix ends with `A`'s (so any file
+    /// matching `B` matches `A`) and `A`'s fn glob covers `B`'s. Returns
+    /// `(earlier, shadowed)` pairs — silent config rot otherwise.
+    pub fn shadowed(&self) -> Vec<(&Rule, &Rule)> {
+        let mut out = Vec::new();
+        for (bi, b) in self.rules.iter().enumerate() {
+            if let Some(a) = self.rules[..bi].iter().find(|a| {
+                b.path_suffix.ends_with(&a.path_suffix) && glob_covers(&a.fn_glob, &b.fn_glob)
+            }) {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+}
+
+/// True if every fn name matching glob `b` also matches glob `a`.
+fn glob_covers(a: &str, b: &str) -> bool {
+    if a == "*" {
+        return true;
+    }
+    if b == "*" {
+        return false;
+    }
+    match (a.strip_suffix('*'), b.strip_suffix('*')) {
+        (Some(ap), Some(bp)) => bp.starts_with(ap),
+        (Some(ap), None) => b.starts_with(ap),
+        (None, Some(_)) => false,
+        (None, None) => a == b,
+    }
 }
 
 fn glob_match(glob: &str, name: Option<&str>) -> bool {
@@ -173,6 +206,33 @@ mod tests {
         assert!(RuleSet::parse("a.rs f sloppy\n", "test").is_err());
         assert!(RuleSet::parse("a.rs f\n", "test").is_err());
         assert!(RuleSet::parse("# only comments\n", "test").is_err());
+    }
+
+    #[test]
+    fn shadowed_rules_detected() {
+        // Exact duplicate: shadowed.
+        let rs = RuleSet::parse("a.rs read publish\na.rs read counter\n", "t").unwrap();
+        assert_eq!(rs.shadowed().len(), 1);
+        // Earlier `*` swallows everything after it for that suffix.
+        let rs = RuleSet::parse("a.rs * cas\na.rs read publish\n", "t").unwrap();
+        let sh = rs.shadowed();
+        assert_eq!(sh.len(), 1);
+        assert_eq!(sh[0].0.line, 1);
+        assert_eq!(sh[0].1.line, 2);
+        // Earlier prefix glob covers a longer exact name.
+        let rs = RuleSet::parse("a.rs snap* retire_load\na.rs snapshot_into publish\n", "t").unwrap();
+        assert_eq!(rs.shadowed().len(), 1);
+        // Shorter path suffix matches a superset of files.
+        let rs = RuleSet::parse("mp.rs read publish\nschemes/mp.rs read cas\n", "t").unwrap();
+        assert_eq!(rs.shadowed().len(), 1);
+        // Not shadowed: disjoint fns, disjoint suffixes, or the wider rule later.
+        let rs = RuleSet::parse(
+            "a.rs read publish\na.rs empty retire_load\nb.rs read cas\na.rs * counter\n\
+             schemes/mp.rs read publish\nmp.rs read cas\n",
+            "t",
+        )
+        .unwrap();
+        assert!(rs.shadowed().is_empty(), "{:?}", rs.shadowed());
     }
 
     #[test]

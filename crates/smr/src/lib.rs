@@ -47,6 +47,8 @@ pub mod api;
 pub mod backpressure;
 pub mod builder;
 pub mod error;
+#[cfg(feature = "hb-oracle")]
+pub mod hb;
 pub mod node;
 #[cfg(feature = "oracle")]
 pub mod oracle;

@@ -176,6 +176,8 @@ fn alloc_node_tracked<T>(data: T, index: u32, birth: u64) -> (*mut SmrNode<T>, b
     }
     #[cfg(feature = "oracle")]
     crate::oracle::on_alloc(ptr as u64, birth); // CAST-OK: shadow-table key; oracle tracks addresses as u64.
+    #[cfg(feature = "hb-oracle")]
+    crate::hb::on_alloc(ptr as u64); // CAST-OK: hb-ledger key; tracker records addresses as u64.
     (ptr, from_pool)
 }
 
@@ -221,6 +223,8 @@ pub(crate) unsafe fn dealloc_node<T>(ptr: *mut SmrNode<T>) {
     unsafe {
         // CAST-OK: shadow-table key; oracle tracks addresses as u64.
         crate::oracle::on_free(ptr as u64, (*ptr).header.birth);
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_free(ptr as u64); // CAST-OK: hb-ledger key; tracker records addresses as u64.
         poison_and_quarantine(ptr);
     }
     #[cfg(not(feature = "oracle"))]
@@ -248,6 +252,8 @@ pub(crate) unsafe fn take_node<T>(ptr: *mut SmrNode<T>) -> T {
     unsafe {
         // CAST-OK: shadow-table key; oracle tracks addresses as u64.
         crate::oracle::on_free(ptr as u64, (*ptr).header.birth);
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_free(ptr as u64); // CAST-OK: hb-ledger key; tracker records addresses as u64.
         let data = core::ptr::read(core::ptr::addr_of!((*ptr).data));
         core::ptr::write_bytes(
             // CAST-OK: byte-wise poison fill of the payload just moved out.
@@ -332,6 +338,8 @@ impl Retired {
         let (birth, index) = unsafe { ((*header).birth, (*header).index) };
         #[cfg(feature = "oracle")]
         crate::oracle::on_retire(header as u64, birth);
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_retire(header as u64); // CAST-OK: hb-ledger key; tracker records addresses as u64.
         // SAFETY: [INV-04] exactly one thread retires the node, and the
         // field is atomic — concurrent scans of foreign retired state stay
         // well-defined while this store publishes the retire epoch.

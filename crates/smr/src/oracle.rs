@@ -93,7 +93,7 @@ pub fn enter_scheme(name: &'static str) {
 }
 
 /// Diagnostic suffix: offending scheme, thread, and replay seed.
-fn context() -> String {
+pub(crate) fn context() -> String {
     let scheme = SCHEME.with(|s| s.get());
     let thread = std::thread::current();
     let name = thread.name().map(str::to_owned).unwrap_or_else(|| format!("{:?}", thread.id()));
@@ -105,7 +105,7 @@ fn context() -> String {
     }
 }
 
-fn violation(what: &str, addr: u64, detail: String) -> ! {
+pub(crate) fn violation(what: &str, addr: u64, detail: String) -> ! {
     panic!("reclamation oracle: {what} of node {addr:#x} ({detail}; {})", context());
 }
 

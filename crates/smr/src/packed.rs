@@ -192,6 +192,11 @@ impl<T> Shared<T> {
         unsafe {
             crate::node::oracle_check_canary(self.as_raw() as *const crate::node::Header)
         };
+        // Hb-oracle: beyond "not freed yet" (the canary above), demand a
+        // tracked happens-before justification — blanket epoch coverage or
+        // a validated protection record — for dereferencing a retired node.
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_deref(self.addr());
         // SAFETY: [INV-02] the word decodes to a live (protected, per this
         // fn's contract) allocation, so the reference is valid for 'a.
         unsafe { &*self.as_raw() }

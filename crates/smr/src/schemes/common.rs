@@ -24,6 +24,8 @@ pub const NO_MARGIN: u64 = u64::MAX;
 #[inline]
 pub fn counted_fence(tele: &mut HandleTelemetry, site: FenceSite) {
     fence(Ordering::SeqCst);
+    #[cfg(feature = "hb-oracle")]
+    crate::hb::on_fence_sc();
     tele.record_fence(site);
 }
 
@@ -256,7 +258,8 @@ impl SharedSnapshot {
         // no RMW needed. This sits on HP's per-hop protect path, where a
         // locked fetch_add would double the per-hop barrier cost.
         //
-        // ORDERING: the Relaxed load reads a cell only this thread writes.
+        // ORDERING: reason = exclusive — the Relaxed load reads a cell only
+        // this thread writes (single-writer counter; no RMW needed).
         // Release on the store: a generation reader that observes this bump
         // also observes the slot store sequenced before it, so a publisher
         // whose captured generations include the bump walks a slot array
@@ -284,29 +287,37 @@ impl SharedSnapshot {
             return false;
         }
         for (i, &g) in gens_now.iter().enumerate() {
-            // ORDERING: Relaxed is sound under the seqlock: the re-read of
-            // `version` below (with the Acquire fence) rejects any value
-            // raced with a concurrent publish.
+            // ORDERING: reason = seqlock — the re-read of `version` below
+            // (with the Acquire fence) rejects any value raced with a
+            // concurrent publish.
             if self.snap_gens[i].load(Ordering::Relaxed) != g {
                 return false;
             }
         }
-        // ORDERING: Relaxed; the Acquire fence + version re-read below
-        // reject any value raced with a concurrent publish.
+        // ORDERING: reason = seqlock — the Acquire fence + version re-read
+        // below reject any value raced with a concurrent publish.
         let n = self.len.load(Ordering::Relaxed);
         if n > self.data.len() {
             return false;
         }
         out.clear();
         for slot in &self.data[..n] {
-            // ORDERING: Relaxed; the Acquire fence + version re-read below
-            // reject any slot value raced with a concurrent publish.
+            // ORDERING: reason = seqlock — the Acquire fence + version
+            // re-read below reject any slot value raced with a publish.
             out.push(slot.load(Ordering::Relaxed));
         }
         fence(Ordering::Acquire);
-        // ORDERING: Relaxed re-read is the classic seqlock validation: the
-        // Acquire fence above orders it after the data reads.
-        self.version.load(Ordering::Relaxed) == v1
+        // ORDERING: reason = seqlock — the Relaxed re-read is the classic
+        // seqlock validation; the Acquire fence above orders it after the
+        // data reads.
+        let ok = self.version.load(Ordering::Relaxed) == v1;
+        #[cfg(feature = "hb-oracle")]
+        if ok {
+            // CAST-OK: hb-ledger site key; the snapshot instance's address
+            // names this seqlock so parallel tests never share a site.
+            crate::hb::on_snapshot_adopt(self as *const Self as u64);
+        }
+        ok
     }
 
     /// Publishes a freshly walked snapshot (`snap`, sorted) together with
@@ -316,15 +327,15 @@ impl SharedSnapshot {
         if snap.len() > self.data.len() || gens_now.len() != self.snap_gens.len() {
             return;
         }
-        // ORDERING: Relaxed pre-read; the Acquire CAS below is the
-        // synchronizing claim, so a stale value only fails the CAS.
+        // ORDERING: reason = seqlock — pre-read; the Acquire CAS below is
+        // the synchronizing claim, so a stale value only fails the CAS.
         let v0 = self.version.load(Ordering::Relaxed);
         if v0 & 1 == 1 {
             return;
         }
-        // ORDERING: Relaxed on failure publishes nothing (we yield to the
-        // concurrent publisher); Acquire on success pairs with the closing
-        // Release version store of the previous write section.
+        // ORDERING: reason = seqlock — Relaxed on failure publishes nothing
+        // (we yield to the concurrent publisher); Acquire on success pairs
+        // with the closing Release version store of the previous section.
         if self
             .version
             .compare_exchange(v0, v0 + 1, Ordering::Acquire, Ordering::Relaxed)
@@ -341,19 +352,62 @@ impl SharedSnapshot {
         // while both of the reader's version loads still return `v0`.
         fence(Ordering::Release);
         for (dst, &g) in self.snap_gens.iter().zip(gens_now) {
-            // ORDERING: Relaxed writes are published by the Release version
-            // store that closes the seqlock write section.
+            // ORDERING: reason = seqlock — these Relaxed writes are
+            // published by the Release version store closing the section.
             dst.store(g, Ordering::Relaxed);
         }
         for (dst, &v) in self.data.iter().zip(snap) {
-            // ORDERING: Relaxed; published by the closing Release version
-            // store below.
+            // ORDERING: reason = seqlock — published by the closing Release
+            // version store below.
             dst.store(v, Ordering::Relaxed);
         }
-        // ORDERING: Relaxed; published by the closing Release version store
-        // below.
+        // ORDERING: reason = seqlock — published by the closing Release
+        // version store below.
         self.len.store(snap.len(), Ordering::Relaxed);
         self.version.store(v0 + 2, Ordering::Release);
+        #[cfg(feature = "hb-oracle")]
+        // CAST-OK: hb-ledger site key; the snapshot instance's address
+        // names this seqlock so parallel tests never share a site.
+        crate::hb::on_snapshot_publish(self as *const Self as u64);
+    }
+
+    /// `publish_snapshot` with the section-opening `Release` fence
+    /// *deliberately omitted* — the seeded negative for the happens-before
+    /// oracle's adoption check (`tests/hb_oracle.rs`). Kept as a duplicate
+    /// body rather than a flag on the real path so the production publish
+    /// carries zero test plumbing. Never call this outside that test.
+    #[cfg(feature = "hb-oracle")]
+    #[doc(hidden)]
+    pub fn publish_snapshot_skip_release_fence(&self, gens_now: &[u64], snap: &[u64]) {
+        if snap.len() > self.data.len() || gens_now.len() != self.snap_gens.len() {
+            return;
+        }
+        let v0 = self.version.load(Ordering::Relaxed);
+        if v0 & 1 == 1 {
+            return;
+        }
+        if self
+            .version
+            .compare_exchange(v0, v0 + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        // The `fence(Ordering::Release)` that belongs here is the seeded
+        // omission: data writes below may become visible before the odd
+        // version store on weak hardware, the torn-snapshot race the hb
+        // oracle must flag at adoption time.
+        for (dst, &g) in self.snap_gens.iter().zip(gens_now) {
+            dst.store(g, Ordering::Relaxed);
+        }
+        for (dst, &v) in self.data.iter().zip(snap) {
+            dst.store(v, Ordering::Relaxed);
+        }
+        self.len.store(snap.len(), Ordering::Relaxed);
+        self.version.store(v0 + 2, Ordering::Release);
+        // CAST-OK: hb-ledger site key; the snapshot instance's address
+        // names this seqlock so parallel tests never share a site.
+        crate::hb::on_snapshot_publish_data_only(self as *const Self as u64);
     }
 }
 

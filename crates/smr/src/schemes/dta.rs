@@ -319,6 +319,8 @@ impl DtaHandle {
         let caps_before =
             self.retired.capacity() + self.scan_scratch.capacity() + self.class_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_fence_sc();
         self.scheme.classify_threads_into(&mut self.class_scratch);
         // Frees must hold the recovery lock: freeze walks dereference
         // pinned retired nodes and rely on no concurrent reclamation.
@@ -437,6 +439,8 @@ impl SmrHandle for DtaHandle {
         // the waste-bound monitor.
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("DTA");
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_start_op(crate::hb::HbPolicy::EPOCH);
         self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
@@ -447,6 +451,8 @@ impl SmrHandle for DtaHandle {
     }
 
     fn end_op(&mut self) {
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_end_op();
         self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
         self.scheme.anchors.get(self.tid, 0).store(0, Ordering::Release);
     }

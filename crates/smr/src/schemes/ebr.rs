@@ -152,6 +152,8 @@ impl EbrHandle {
         let scan_t0 = Instant::now();
         let caps_before = self.retired.capacity() + self.scan_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_fence_sc();
         let min = self.scheme.min_active_epoch();
         let mut pending = std::mem::take(&mut self.scan_scratch);
         debug_assert!(pending.is_empty());
@@ -206,6 +208,8 @@ impl SmrHandle for EbrHandle {
         // one stalled thread legitimately pins every later retiree (§1).
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("EBR");
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_start_op(crate::hb::HbPolicy::EPOCH);
         self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
@@ -216,6 +220,8 @@ impl SmrHandle for EbrHandle {
     }
 
     fn end_op(&mut self) {
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_end_op();
         self.scheme.announce.get(self.tid, 0).store(INACTIVE, Ordering::Release);
     }
 

@@ -186,6 +186,8 @@ impl HeHandle {
             + self.era_scratch.capacity()
             + self.gens_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_fence_sc();
         // Same adoption protocol as HP (see SharedSnapshot docs): equal
         // generation vectors prove no era was announced-and-validated since
         // the published walk, so reusing it only over-approximates.
@@ -279,6 +281,8 @@ impl SmrHandle for HeHandle {
     fn start_op(&mut self) {
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("HE");
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_start_op(crate::hb::HbPolicy::HE);
         self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
@@ -291,6 +295,8 @@ impl SmrHandle for HeHandle {
         // next operation that sees an unchanged global era pays no fence at
         // all. This matches the paper's characterization of HE's per-read
         // cost as "only reading the global epoch" (§6).
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_end_op();
     }
 
     fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, refno: usize) -> Shared<T> {
@@ -302,6 +308,12 @@ impl SmrHandle for HeHandle {
             let w = src.load(Ordering::Acquire);
             let era = self.scheme.clock.now();
             if era == prev {
+                // Hb-oracle: era stable across the load — the node's
+                // lifetime overlaps this handle's validated announcement.
+                #[cfg(feature = "hb-oracle")]
+                if !w.is_null() {
+                    crate::hb::on_protect(None, w.addr());
+                }
                 return w;
             }
             self.scheme.era_slots.get(self.tid, refno).store(era, Ordering::Release);
@@ -376,6 +388,10 @@ impl SmrHandle for HeHandle {
 
 impl Drop for HeHandle {
     fn drop(&mut self) {
+        // Hb-oracle: the row clear below withdraws every era announcement
+        // this handle made, so its protection claims must die with it.
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_handle_drop();
         self.scheme.era_slots.clear_row(self.tid, Ordering::Release);
         // Drain scan before parking leftovers — see HpHandle::drop: under
         // watermark triggers plus handle churn, skipping this would leak

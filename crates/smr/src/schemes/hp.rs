@@ -198,6 +198,8 @@ impl HpHandle {
         // Ensure retirements we are about to judge are ordered after any
         // protection announcements we will observe.
         core::sync::atomic::fence(Ordering::SeqCst);
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_fence_sc();
         let naive = self.scheme.cfg.ablation_naive_scan;
         if !naive {
             // Generation vector loaded *after* this handle's fence: if it
@@ -302,12 +304,16 @@ impl SmrHandle for HpHandle {
     fn start_op(&mut self) {
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("HP");
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_start_op(crate::hb::HbPolicy::HP);
         self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
     }
 
     fn end_op(&mut self) {
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_end_op();
         if self.scheme.cfg.ablation_per_slot_fence {
             // Unoptimized baseline: fence after clearing each slot.
             for slot in self.scheme.hp_slots.row(self.tid) {
@@ -338,8 +344,18 @@ impl SmrHandle for HpHandle {
                 return w; // null (possibly marked-null): nothing to protect
             }
             if self.local[refno] == addr {
+                // Hb-oracle: this load *is* the (possibly delayed) validating
+                // re-read of the standing announcement — the slot was stored
+                // and fenced before it — so the protection is validated here
+                // even when the original attempt's re-read failed.
+                #[cfg(feature = "hb-oracle")]
+                crate::hb::on_protect(Some(refno), addr);
                 return w; // already protected by this slot
             }
+            // Hb-oracle: overwriting the slot withdraws whatever claim it
+            // held; the new candidate earns a record only once validated.
+            #[cfg(feature = "hb-oracle")]
+            crate::hb::on_unprotect(refno);
             self.scheme.hp_slots.get(self.tid, refno).store(addr, Ordering::Release);
             self.local[refno] = addr;
             // New protection announced: invalidate shared hazard snapshots
@@ -350,6 +366,10 @@ impl SmrHandle for HpHandle {
             // the announcement happened while the node was linked (§3.1).
             let w2 = src.load(Ordering::Acquire);
             if w2 == w {
+                // Hb-oracle: announcement validated — the node was linked
+                // while the hazard was visible to every later scan fence.
+                #[cfg(feature = "hb-oracle")]
+                crate::hb::on_protect(Some(refno), addr);
                 return w;
             }
             // `src` moved under us: a writer is churning this cell, so back
@@ -362,6 +382,8 @@ impl SmrHandle for HpHandle {
     fn unprotect(&mut self, refno: usize) {
         self.scheme.hp_slots.get(self.tid, refno).store(NO_HAZARD, Ordering::Release);
         self.local[refno] = NO_HAZARD;
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_unprotect(refno);
     }
 
     fn alloc<T: Send + Sync>(&mut self, data: T) -> Shared<T> {
@@ -415,6 +437,10 @@ impl SmrHandle for HpHandle {
 
 impl Drop for HpHandle {
     fn drop(&mut self) {
+        // Hb-oracle: the row clear below withdraws every announcement this
+        // handle made, so its protection claims must die with it.
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_handle_drop();
         self.scheme.hp_slots.clear_row(self.tid, Ordering::Release);
         // Drain scan: with watermark-batched triggers a short-lived handle
         // may never have reached its scan threshold; without this scan its

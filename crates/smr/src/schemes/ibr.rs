@@ -156,6 +156,8 @@ impl IbrHandle {
             + self.scan_scratch.capacity()
             + self.interval_scratch.capacity();
         core::sync::atomic::fence(Ordering::SeqCst);
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_fence_sc();
         // Snapshot all active reservations once, into the retained buffer.
         self.interval_scratch.clear();
         for tid in 0..self.scheme.reservations.threads() {
@@ -216,6 +218,8 @@ impl SmrHandle for IbrHandle {
         // whose intervals overlap it.
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("IBR");
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_start_op(crate::hb::HbPolicy::EPOCH);
         self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
@@ -228,6 +232,8 @@ impl SmrHandle for IbrHandle {
     }
 
     fn end_op(&mut self) {
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_end_op();
         self.scheme.reservations.get(self.tid, UPPER).store(INACTIVE, Ordering::Release);
         self.scheme.reservations.get(self.tid, LOWER).store(INACTIVE, Ordering::Release);
         self.upper_local = INACTIVE;

@@ -107,12 +107,17 @@ impl SmrHandle for LeakyHandle {
         // but its allocations and retires are still lifecycle-tracked.
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("Leaky");
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_start_op(crate::hb::HbPolicy::EPOCH);
         self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
     }
 
-    fn end_op(&mut self) {}
+    fn end_op(&mut self) {
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_end_op();
+    }
 
     #[inline]
     fn read<T: Send + Sync>(&mut self, src: &Atomic<T>, _refno: usize) -> Shared<T> {

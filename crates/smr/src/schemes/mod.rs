@@ -29,3 +29,10 @@ pub use hp::{Hp, HpHandle};
 pub use ibr::{Ibr, IbrHandle};
 pub use leaky::{Leaky, LeakyHandle};
 pub use mp::{Mp, MpHandle};
+
+// Exposed for the hb-oracle's seqlock adoption tests (tests/hb_oracle.rs),
+// which drive the shared-snapshot publish/adopt protocol — including the
+// seeded fence-dropped publish — directly. Not part of the public API.
+#[cfg(feature = "hb-oracle")]
+#[doc(hidden)]
+pub use common::SharedSnapshot;

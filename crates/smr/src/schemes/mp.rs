@@ -413,6 +413,8 @@ impl MpHandle {
         let scan_t0 = Instant::now();
         let caps_before = self.scan_caps();
         core::sync::atomic::fence(Ordering::SeqCst);
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_fence_sc();
         let naive = self.scheme.cfg.ablation_naive_scan;
         if !naive {
             self.scheme.snapshot_into(&mut self.snaps);
@@ -739,6 +741,8 @@ impl MpHandle {
                         // The hazard slot owns this refno's protection now;
                         // the margin machinery has nothing to preserve.
                         self.clear_protege(refno);
+                        #[cfg(feature = "hb-oracle")]
+                        crate::hb::on_protect(None, w.addr());
                         return w;
                     }
                     None => {
@@ -753,12 +757,15 @@ impl MpHandle {
             // Margin path: fence-free whenever ANY announced margin covers
             // the precision block (the cache above only mirrors one).
             if let Some(slot) = self.covering_slot(refno, idx_lo, idx_hi) {
-                // ORDERING: Relaxed — same announce-fence/Release-publish
-                // pairing argument as the cached-cover fast path above.
+                // ORDERING: pairs = schemes/mp.rs:announce_margin — same
+                // announce-fence/Release-publish pairing argument as the
+                // cached-cover fast path above.
                 if self.scheme.global_epoch.load(Ordering::Relaxed) == self.epoch {
                     self.last_cover = slot;
                     self.cache_cover(self.local_mps[slot]);
                     self.set_protege(refno, idx_lo);
+                    #[cfg(feature = "hb-oracle")]
+                    crate::hb::on_protect(None, w.addr());
                     return w;
                 }
                 // Epoch advanced: re-arm if possible, else §4.3.2 HP mode.
@@ -772,6 +779,8 @@ impl MpHandle {
 
             // Already protected by this refno's hazard slot?
             if self.local_hps[refno] != NO_HAZARD && self.local_hps[refno] == w.addr() {
+                #[cfg(feature = "hb-oracle")]
+                crate::hb::on_protect(None, w.addr());
                 return w;
             }
 
@@ -793,6 +802,8 @@ impl MpHandle {
                     continue;
                 }
                 self.set_protege(refno, idx_lo);
+                #[cfg(feature = "hb-oracle")]
+                crate::hb::on_protect(None, w.addr());
                 return w;
             }
             // Margin validation raced a writer on `src`; back off.
@@ -830,6 +841,8 @@ impl SmrHandle for MpHandle {
     fn start_op(&mut self) {
         #[cfg(feature = "oracle")]
         crate::oracle::enter_scheme("MP");
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_start_op(crate::hb::HbPolicy::MP);
         self.bp_rung = BpLevel::Normal;
         let retired_len = self.retired.len();
         self.tele.record_op_start(retired_len);
@@ -856,6 +869,8 @@ impl SmrHandle for MpHandle {
     }
 
     fn end_op(&mut self) {
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_end_op();
         if self.scheme.cfg.ablation_per_slot_fence {
             // Unoptimized baseline: clear everything eagerly, fence after
             // each slot store.
@@ -910,19 +925,21 @@ impl SmrHandle for MpHandle {
         let (idx_lo, idx_hi) = w.index_bounds();
         if idx_lo >= self.cover_lo
             && idx_hi <= self.cover_hi
-            // ORDERING: Relaxed pairs with the publisher's release store
-            // of the node into `src`: the birth stamp was read from
-            // `global_epoch` sequenced-before that publish, our acquire
-            // load of `src` observed the node, and read-read coherence on
-            // the monotone `global_epoch` forces this load to return a
-            // value ≥ the node's birth — equality with `self.epoch`
-            // therefore proves birth ≤ announced epoch. Retire stamps are
-            // ≥ the announced epoch by monotonicity since it was read. No
-            // fence: the covering margin and the epoch were fenced when
-            // announced.
+            // ORDERING: pairs = schemes/mp.rs:announce_margin — Relaxed
+            // pairs with the publisher's release store of the node into
+            // `src`: the birth stamp was read from `global_epoch`
+            // sequenced-before that publish, our acquire load of `src`
+            // observed the node, and read-read coherence on the monotone
+            // `global_epoch` forces this load to return a value ≥ the
+            // node's birth — equality with `self.epoch` therefore proves
+            // birth ≤ announced epoch. Retire stamps are ≥ the announced
+            // epoch by monotonicity since it was read. No fence here: the
+            // covering margin and the epoch were fenced when announced.
             && self.scheme.global_epoch.load(Ordering::Relaxed) == self.epoch
         {
             self.set_protege(refno, idx_lo);
+            #[cfg(feature = "hb-oracle")]
+            crate::hb::on_protect(None, w.addr());
             return w;
         }
         self.read_slow(src, refno)
@@ -1022,6 +1039,10 @@ impl SmrHandle for MpHandle {
 
 impl Drop for MpHandle {
     fn drop(&mut self) {
+        // Hb-oracle: the row clears below withdraw every margin, hazard,
+        // and epoch announcement, so this handle's claims die with it.
+        #[cfg(feature = "hb-oracle")]
+        crate::hb::on_handle_drop();
         // Dropping announcements is removal-only — a torn observation can
         // only under-protect nodes this thread no longer reads — so no
         // seqlock cycle or fence is needed.

@@ -25,6 +25,8 @@
 //!   bounded caps, global overflow shard) recycling SMR node memory.
 //! * [`shadow`] — a sharded shadow table (key → state record with atomic
 //!   transitions), the substrate of `mp-smr`'s reclamation oracle.
+//! * `hb` (feature `hb-oracle`) — a vector-clock happens-before tracker,
+//!   the substrate of `mp-smr`'s happens-before oracle.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -32,6 +34,8 @@
 pub mod backoff;
 pub mod cache_padded;
 pub mod check;
+#[cfg(feature = "hb-oracle")]
+pub mod hb;
 pub mod hist;
 pub mod pool;
 pub mod ring;

@@ -16,6 +16,24 @@ cargo build --release --offline
 echo "==> mp-lint (SMR protocol linter over crates/ tests/ examples/ src/)"
 cargo run -q --release --offline -p mp-lint -- crates tests examples src
 
+# Pairing-graph drift gate: the committed ORDERING_GRAPH.{json,dot}
+# artifacts (embedded in DESIGN.md) must match what the linter derives
+# from the tree right now. Regenerate into a scratch dir and diff.
+echo "==> mp-lint pairing-graph artifacts are fresh"
+GRAPH_TMP=target/ordering-graph-check
+mkdir -p "$GRAPH_TMP"
+cargo run -q --release --offline -p mp-lint -- \
+  --emit-graph "$GRAPH_TMP/ORDERING_GRAPH.json" \
+  --emit-dot "$GRAPH_TMP/ORDERING_GRAPH.dot" \
+  crates tests examples src
+for artifact in ORDERING_GRAPH.json ORDERING_GRAPH.dot; do
+  diff -u "$artifact" "$GRAPH_TMP/$artifact" || {
+    echo "!! $artifact is stale — regenerate with:" >&2
+    echo "!!   cargo run -p mp-lint -- --emit-graph ORDERING_GRAPH.json --emit-dot ORDERING_GRAPH.dot crates tests examples src" >&2
+    exit 1
+  }
+done
+
 echo "==> cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
@@ -40,9 +58,22 @@ run_oracle cargo test -q --offline --features oracle
 echo "==> cargo test -q --offline -p mp-smr --features oracle"
 run_oracle cargo test -q --offline -p mp-smr --features oracle
 
+# Happens-before oracle stage: the vector-clock tracker audits every
+# deref/free/adoption against the protocol's claimed synchronization
+# edges, and the seeded fence-dropped publish must panic deterministically
+# (tests/hb_oracle.rs).
+echo "==> cargo test -q --offline --features 'oracle hb-oracle' (hb oracle armed)"
+run_oracle cargo test -q --offline --features "oracle hb-oracle"
+
+echo "==> cargo test -q --offline -p mp-smr --features hb-oracle"
+run_oracle cargo test -q --offline -p mp-smr --features hb-oracle
+run_oracle cargo test -q --offline -p mp-util --features hb-oracle
+
 echo "==> cargo clippy --offline --all-targets --features oracle -- -D warnings"
 cargo clippy --offline --all-targets --features oracle -- -D warnings
 cargo clippy --offline -p mp-smr --all-targets --features oracle -- -D warnings
+cargo clippy --offline --all-targets --features "oracle hb-oracle" -- -D warnings
+cargo clippy --offline -p mp-util --all-targets --features hb-oracle -- -D warnings
 
 # Bench smoke: a seconds-long throughput run that must produce a
 # well-formed BENCH_throughput.json (into target/bench-smoke/, never the

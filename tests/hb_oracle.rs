@@ -1,0 +1,171 @@
+//! Happens-before oracle tests (`--features hb-oracle`, implies `oracle`).
+//!
+//! **Positive half** — every scheme runs a small multi-threaded churn
+//! workload with the vector-clock tracker armed: each `counted_fence` and
+//! raw scan fence joins the tracked SeqCst order, each validated protect
+//! stamps a record, and every `Shared::deref` of a retired node plus every
+//! snapshot adoption must be justified by a tracked edge. A silent run is
+//! the pass: the oracle found no dereference, free, or adoption whose
+//! protection story the protocol cannot back with a happens-before path.
+//!
+//! **Negative half** — the seeded missing-fence bug: a publisher thread
+//! runs `publish_snapshot_skip_release_fence` (the real publish body with
+//! its section-opening `Release` fence deliberately omitted), and the
+//! adopting thread's `try_adopt_into` must panic deterministically, naming
+//! the missing release edge. This pins that the oracle actually *checks*
+//! the seqlock's ordering rather than merely shadowing it.
+//!
+//! Compiles to nothing without the feature, so default `cargo test`
+//! wall-clock is unchanged.
+
+#![cfg(feature = "hb-oracle")]
+
+use std::sync::{Arc, Barrier};
+
+use margin_pointers::ds::{ConcurrentSet, LinkedList, SkipList};
+use margin_pointers::smr::schemes::{Dta, Ebr, He, Hp, Ibr, Leaky, Mp, SharedSnapshot};
+use margin_pointers::smr::{Config, Smr};
+
+const KEY_SPACE: u64 = 32;
+
+/// Aggressive cadences so scans (and thus fence/adopt/free hooks) run many
+/// times within a short plan.
+fn cfg() -> Config {
+    Config::default()
+        .with_max_threads(4)
+        .with_slots_per_thread(margin_pointers::ds::skiplist::SLOTS_NEEDED)
+        .with_empty_freq(4)
+        .with_epoch_freq(8)
+        .with_anchor_hops(4)
+        .with_stall_patience(2)
+}
+
+/// Three threads churn a set (insert/remove/contains over a small key
+/// space) so retired nodes are continually re-read, scanned, and freed
+/// while the tracker audits every deref and free.
+fn churn<S: Smr, D: ConcurrentSet<S>>() {
+    let smr = S::new(cfg());
+    let ds = Arc::new(D::new(&smr));
+    let barrier = Arc::new(Barrier::new(3));
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let smr = smr.clone();
+            let ds = ds.clone();
+            let barrier = barrier.clone();
+            s.spawn(move || {
+                let mut h = smr.register();
+                barrier.wait();
+                let mut k = t + 1;
+                for i in 0..400u64 {
+                    k = (k.wrapping_mul(31) + t + 7) % KEY_SPACE;
+                    match i % 3 {
+                        0 => {
+                            ds.insert(&mut h, k);
+                        }
+                        1 => {
+                            ds.remove(&mut h, k);
+                        }
+                        _ => {
+                            ds.contains(&mut h, k);
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn mp_churn_is_hb_clean() {
+    churn::<Mp, LinkedList<Mp>>();
+    churn::<Mp, SkipList<Mp>>();
+}
+
+#[test]
+fn hp_churn_is_hb_clean() {
+    churn::<Hp, LinkedList<Hp>>();
+}
+
+#[test]
+fn he_churn_is_hb_clean() {
+    churn::<He, LinkedList<He>>();
+}
+
+#[test]
+fn ebr_churn_is_hb_clean() {
+    churn::<Ebr, LinkedList<Ebr>>();
+}
+
+#[test]
+fn ibr_churn_is_hb_clean() {
+    churn::<Ibr, LinkedList<Ibr>>();
+}
+
+#[test]
+fn dta_churn_is_hb_clean() {
+    churn::<Dta, LinkedList<Dta>>();
+}
+
+#[test]
+fn leaky_churn_is_hb_clean() {
+    churn::<Leaky, LinkedList<Leaky>>();
+}
+
+// ---------------------------------------------------------------------------
+// Seqlock publish/adopt: the oracle's release-edge check.
+// ---------------------------------------------------------------------------
+
+/// Same-thread publish → adopt: trivially ordered, must stay silent.
+#[test]
+fn same_thread_publish_then_adopt_is_hb_clean() {
+    let snap = SharedSnapshot::new(2, 2);
+    snap.publish_snapshot(&[0, 0], &[1, 2, 3]);
+    let mut gens = Vec::new();
+    let mut out = Vec::new();
+    snap.load_gens_into(&mut gens);
+    assert!(snap.try_adopt_into(&gens, &mut out));
+    assert_eq!(out, vec![1, 2, 3]);
+}
+
+/// Cross-thread publish → adopt through the *correct* publish path: the
+/// tracked release edge justifies the adoption — exactly the control for
+/// the negative twin below, which differs only in the dropped fence.
+#[test]
+fn cross_thread_publish_with_release_fence_is_hb_clean() {
+    let snap = Arc::new(SharedSnapshot::new(2, 2));
+    let p = snap.clone();
+    std::thread::spawn(move || p.publish_snapshot(&[0, 0], &[4, 5, 6]))
+        .join()
+        .expect("publisher thread");
+    let mut gens = Vec::new();
+    let mut out = Vec::new();
+    snap.load_gens_into(&mut gens);
+    assert!(snap.try_adopt_into(&gens, &mut out));
+    assert_eq!(out, vec![4, 5, 6]);
+}
+
+/// The seeded negative: the publisher omits the section-opening `Release`
+/// fence, so no tracked release edge exists at the site. Joining the
+/// publisher thread is deliberately *not* a tracked edge — the oracle
+/// models only the synchronization the SMR protocol itself claims — so
+/// the adoption must panic, naming the missing edge.
+#[test]
+#[should_panic(expected = "missing release edge")]
+fn adopting_a_fence_dropped_publish_panics() {
+    // Pin this thread's tracker registration before the publisher spawns:
+    // tracker tids of exited threads are recycled (reuse is a real edge —
+    // TLS destructor → tracker mutex → registration), so without this the
+    // adopting thread could inherit the dead publisher's tid and clock,
+    // trivially covering the unordered stamp.
+    mp_smr::hb::on_fence_sc();
+    let snap = Arc::new(SharedSnapshot::new(2, 2));
+    let p = snap.clone();
+    std::thread::spawn(move || p.publish_snapshot_skip_release_fence(&[0, 0], &[7, 8, 9]))
+        .join()
+        .expect("publisher thread");
+    let mut gens = Vec::new();
+    let mut out = Vec::new();
+    snap.load_gens_into(&mut gens);
+    let _ = snap.try_adopt_into(&gens, &mut out);
+    unreachable!("the hb oracle must flag the unordered adoption");
+}

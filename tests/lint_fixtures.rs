@@ -126,6 +126,14 @@ fn ordering_pass_fires_on_gated_relaxed_and_unclassified_sites() {
 }
 
 #[test]
+fn pairing_resolution_fires_on_dangling_exempt_counter_and_relaxed_only_refs() {
+    // Linted as smr/src/node.rs so the real rules gate `new`/`reclaim`
+    // (retire_load) and classify `live_nodes` as counter, `drop` as exempt
+    // — the four resolution error classes in one file.
+    check_negative("ordering_pairing.rs", "crates/smr/src/node.rs", PASS_ORDERING);
+}
+
+#[test]
 fn scope_pass_fires_on_unprotected_deref() {
     check_negative("scope_unprotected.rs", "crates/ds/src/scope_unprotected.rs", PASS_SCOPE);
 }
@@ -147,6 +155,7 @@ fn positive_corpus_is_clean() {
         ("positive/safety_ok.rs", "crates/smr/src/safety_ok.rs"),
         ("positive/ordering_ok.rs", "crates/smr/src/schemes/hp.rs"),
         ("positive/ordering_counter_ok.rs", "crates/smr/src/schemes/common.rs"),
+        ("positive/ordering_pairing_ok.rs", "crates/smr/src/schemes/mp.rs"),
         ("positive/scope_ok.rs", "crates/ds/src/scope_ok.rs"),
         ("positive/forbidden_ok.rs", "crates/smr/src/forbidden_ok.rs"),
     ];
@@ -177,6 +186,7 @@ fn every_positive_fixture_is_in_the_corpus() {
             "forbidden_ok.rs",
             "ordering_counter_ok.rs",
             "ordering_ok.rs",
+            "ordering_pairing_ok.rs",
             "safety_ok.rs",
             "scope_ok.rs"
         ],
@@ -227,4 +237,36 @@ fn merged_tree_lints_clean() {
         "merged tree must lint clean; found:\n  {}",
         diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n  ")
     );
+}
+
+#[test]
+fn committed_ordering_graph_artifacts_are_fresh() {
+    // ORDERING_GRAPH.{json,dot} are committed so DESIGN.md can reference a
+    // stable artifact; converting/adding an annotation without regenerating
+    // them fails here. Paths are repo-relative (cargo runs integration
+    // tests from the package root) to match how verify.sh invokes the
+    // linter, so the buckets carry identical `crates/...` file keys.
+    let paths: Vec<PathBuf> = ["crates", "tests", "examples", "src"]
+        .iter()
+        .map(PathBuf::from)
+        .collect();
+    let cfg = LintConfig {
+        invariants: PathBuf::from("INVARIANTS.md"),
+        ordering_rules: PathBuf::from("crates/lint/ordering.rules"),
+    };
+    let (_, sites) =
+        mp_lint::lint_paths_with_sites(&paths, &cfg).expect("lint configuration must load");
+    for (artifact, want) in [
+        ("ORDERING_GRAPH.json", mp_lint::passes::ordering::graph_json(&sites)),
+        ("ORDERING_GRAPH.dot", mp_lint::passes::ordering::graph_dot(&sites)),
+    ] {
+        let committed = std::fs::read_to_string(repo_root().join(artifact))
+            .unwrap_or_else(|e| panic!("{artifact} must exist at the repo root: {e}"));
+        assert_eq!(
+            committed, want,
+            "{artifact} is stale — regenerate with `cargo run -p mp-lint -- \
+             --emit-graph ORDERING_GRAPH.json --emit-dot ORDERING_GRAPH.dot \
+             crates tests examples src`"
+        );
+    }
 }
